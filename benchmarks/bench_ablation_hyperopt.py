@@ -1,0 +1,97 @@
+"""Ablation: hyperparameter tuner strategies for flexible precompilation.
+
+Figure 7's latency reductions rest on the precompute phase being cheap
+("about an hour of pre-compute time to determine the best learning rate -
+decay rate pair for each subcircuit").  The default tuner is an exhaustive
+grid; the paper's section 7.2 cites derivative-free alternatives.  This
+ablation compares grid, random, successive-halving, and RBF-surrogate
+tuners on the same single-θ block: quality of the found configuration
+(iterations-to-converge with it) vs GRAPE iterations spent finding it.
+"""
+
+import pytest
+
+import common
+from repro.analysis import format_table
+from repro.circuits import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.core.hyperopt import sample_targets, tune_hyperparameters
+from repro.core.search import random_search, rbf_search, successive_halving
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape import GrapeSettings
+from repro.pulse.hamiltonian import build_control_set
+from repro.transpile import line_topology
+
+SETTINGS = GrapeSettings(dt_ns=0.5 if not common.FULL_MODE else 0.25,
+                         target_fidelity=0.95 if not common.FULL_MODE else 0.99)
+BUDGET = 120 if not common.FULL_MODE else 400
+
+
+def _problem():
+    theta = Parameter("theta")
+    circuit = QuantumCircuit(2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.rz(theta, 1)
+    circuit.cx(0, 1)
+    circuit.h(0)
+    control_set = build_control_set(GmonDevice(line_topology(2)), [0, 1])
+    targets = sample_targets(circuit, 2, seed=5)
+    return control_set, targets
+
+
+@pytest.mark.benchmark(group="ablation-hyperopt")
+def test_tuner_strategy_comparison(benchmark):
+    control_set, targets = _problem()
+    num_steps = 12
+
+    def run():
+        grid = tune_hyperparameters(
+            control_set, targets, num_steps, settings=SETTINGS,
+            iteration_budget=BUDGET,
+        )
+        rand = random_search(
+            control_set, targets, num_steps, settings=SETTINGS,
+            num_trials=12, iteration_budget=BUDGET, seed=0,
+        )
+        halving = successive_halving(
+            control_set, targets, num_steps, settings=SETTINGS,
+            num_configs=12, iteration_budget=BUDGET, seed=0,
+        )
+        rbf = rbf_search(
+            control_set, targets, num_steps, settings=SETTINGS,
+            num_initial=4, num_iterations=5, iteration_budget=BUDGET, seed=0,
+        )
+        return {"grid": grid, "random": rand, "halving": halving, "rbf": rbf}
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    table = []
+    for name, result in results.items():
+        best = result.best_trial
+        table.append(
+            (
+                name,
+                len(result.trials),
+                result.total_iterations,
+                f"{best.learning_rate:.4g}",
+                f"{best.decay_rate:.4g}",
+                f"{best.mean_iterations:.0f}",
+                "yes" if best.all_converged else "no",
+            )
+        )
+        # Every tuner must find a converging configuration on this block.
+        assert best.all_converged, f"{name} failed to find a converging config"
+    # The racing tuner must be cheaper than the exhaustive grid.
+    assert (
+        results["halving"].total_iterations < results["grid"].total_iterations
+    ), "successive halving did not beat grid search cost"
+    text = format_table(
+        (
+            "tuner", "trials", "GRAPE iters spent", "best lr", "best decay",
+            "iters-to-converge", "converged",
+        ),
+        table,
+        title="Ablation: hyperparameter tuner strategies (single-θ block)",
+    )
+    print(text)
+    common.report("ablation_hyperopt", text)

@@ -1,0 +1,106 @@
+"""Ablation: greedy shortest-path routing vs SABRE-style lookahead.
+
+The gate-based runtimes of Tables 2 and 3 depend on the router through the
+inserted SWAPs (7.4 ns each — the most expensive gate in Table 1).  This
+ablation measures how much the lookahead router shaves off the greedy
+baseline, per benchmark family and per topology, in SWAP count and in
+scheduled critical-path runtime.
+"""
+
+import pytest
+
+import common
+from repro.analysis import format_table
+from repro.transpile import (
+    heavy_hex_topology,
+    nearly_square_grid,
+    ring_topology,
+    route_circuit,
+    sabre_route,
+)
+from repro.transpile.passes import default_pass_manager
+from repro.transpile.schedule import asap_schedule
+from repro.transpile.basis import decompose_to_basis
+from repro.qaoa import maxcut_problem, qaoa_circuit
+from repro.vqe import get_molecule
+
+
+def _logical_circuits():
+    rows = []
+    for molecule in common.VQE_MOLECULES:
+        ansatz = get_molecule(molecule).ansatz()
+        rows.append((f"VQE {molecule}", default_pass_manager().run(ansatz)))
+    for kind in common.QAOA_KINDS:
+        circuit = qaoa_circuit(maxcut_problem(kind, 6, seed=0), 3)
+        rows.append((f"QAOA {kind} N=6 p=3", default_pass_manager().run(circuit)))
+    return rows
+
+
+def _topologies(num_qubits):
+    yield "grid", nearly_square_grid(num_qubits)
+    if num_qubits >= 3:
+        yield "ring", ring_topology(num_qubits)
+
+
+def _runtime(circuit) -> float:
+    return asap_schedule(decompose_to_basis(circuit)).duration_ns
+
+
+@pytest.mark.benchmark(group="ablation-routing")
+def test_router_comparison(benchmark):
+    """SWAP counts and runtimes: greedy vs SABRE on each workload."""
+    workloads = _logical_circuits()
+
+    def run():
+        rows = []
+        for name, circuit in workloads:
+            for topo_name, topo in _topologies(circuit.num_qubits):
+                greedy = route_circuit(circuit, topo)
+                sabre = sabre_route(circuit, topo)
+                rows.append(
+                    (
+                        f"{name} / {topo_name}",
+                        greedy.swap_count,
+                        sabre.swap_count,
+                        _runtime(greedy.circuit),
+                        _runtime(sabre.circuit),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    table = []
+    wins = 0
+    for name, g_swaps, s_swaps, g_ns, s_ns in rows:
+        wins += int(s_swaps <= g_swaps)
+        table.append(
+            (name, str(g_swaps), str(s_swaps), f"{g_ns:.0f}", f"{s_ns:.0f}")
+        )
+    # Lookahead must be at least competitive on a majority of workloads.
+    assert wins >= len(rows) / 2, f"sabre won only {wins}/{len(rows)}"
+    text = format_table(
+        ("workload / topology", "greedy swaps", "sabre swaps", "greedy ns", "sabre ns"),
+        table,
+        title="Ablation: greedy vs SABRE-lookahead routing",
+    )
+    print(text)
+    common.report("ablation_routing", text)
+
+
+@pytest.mark.benchmark(group="ablation-routing")
+def test_heavy_hex_routing_overhead(benchmark):
+    """Sparse heavy-hex connectivity costs more SWAPs than the grid."""
+    circuit = default_pass_manager().run(
+        qaoa_circuit(maxcut_problem("erdosrenyi", 6, seed=0), 2)
+    )
+    hex_topo = heavy_hex_topology(1, 2)
+    grid_topo = nearly_square_grid(circuit.num_qubits)
+
+    def run():
+        return (
+            sabre_route(circuit, grid_topo).swap_count,
+            sabre_route(circuit, hex_topo).swap_count,
+        )
+
+    grid_swaps, hex_swaps = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert hex_swaps >= grid_swaps

@@ -1,0 +1,98 @@
+"""Extension: GRAPE convergence cost vs block width (paper §5.2).
+
+The paper's blocking design rests on a scaling claim: "the total
+convergence time for GRAPE's gradient descent scales exponentially in the
+size of the target quantum circuit", which is why circuits are cut into
+≤4-qubit blocks before GRAPE sees them.  This bench makes the claim
+measurable on the gmon model: minimum-time GRAPE on a GHZ-preparation
+block of width 1, 2, 3 (and 4 in full mode), reporting gradient
+iterations, wall time, and whether convergence was reached within the
+budget.
+"""
+
+import numpy as np
+import pytest
+
+import common
+from repro.analysis import format_table
+from repro.circuits import QuantumCircuit
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape import GrapeHyperparameters, GrapeSettings, minimum_time_pulse
+from repro.pulse.hamiltonian import build_control_set
+from repro.sim import circuit_unitary
+from repro.transpile import line_topology
+from repro.transpile.schedule import asap_schedule
+from repro.transpile.basis import decompose_to_basis
+
+WIDTHS = (1, 2, 3, 4) if common.FULL_MODE else (1, 2, 3)
+SETTINGS = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
+HYPER = GrapeHyperparameters(learning_rate=0.05, decay_rate=0.002, max_iterations=300)
+
+
+def _ghz_block(width: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(width)
+    circuit.h(0)
+    for q in range(width - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+@pytest.mark.benchmark(group="ext-grape-scaling")
+def test_grape_cost_vs_block_width(benchmark):
+    def run():
+        rows = []
+        for width in WIDTHS:
+            block = _ghz_block(width)
+            device = GmonDevice(line_topology(width))
+            control_set = build_control_set(device, list(range(width)))
+            target = circuit_unitary(block)
+            gate_ns = asap_schedule(decompose_to_basis(block)).duration_ns
+            result = minimum_time_pulse(
+                control_set,
+                target,
+                upper_bound_ns=max(gate_ns, SETTINGS.resolved_dt()),
+                hyperparameters=HYPER,
+                settings=SETTINGS,
+            )
+            rows.append(
+                (
+                    width,
+                    result.total_iterations,
+                    result.wall_time_s,
+                    result.duration_ns,
+                    gate_ns,
+                    result.converged,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    table = [
+        (
+            w,
+            iters,
+            f"{wall:.2f}",
+            f"{pulse_ns:.1f}",
+            f"{gate_ns:.1f}",
+            "yes" if converged else "no",
+        )
+        for w, iters, wall, pulse_ns, gate_ns, converged in rows
+    ]
+    # Shape assertions for the paper's scaling claim.  Wall time is noisy
+    # under CPU contention, so the monotonicity check uses a deterministic
+    # cost proxy: GRAPE iterations weighted by the O(8^w) per-iteration
+    # propagation cost of a width-w block.
+    costs = [iters * 8**w for w, iters, *_ in rows]
+    assert costs == sorted(costs), f"cost not monotone in width: {costs}"
+    assert costs[-1] > 10 * costs[0], "widest block should dominate the cost"
+    # The narrow blocks must stay cheap enough to precompile in bulk — the
+    # regime strict partial compilation lives in.
+    walls = [wall for _, _, wall, *_ in rows]
+    assert walls[0] < 10.0
+    text = format_table(
+        ("block width", "GRAPE iterations", "wall (s)", "pulse (ns)", "gate (ns)", "converged"),
+        table,
+        title="Extension: GRAPE convergence cost vs block width (GHZ blocks)",
+    )
+    print(text)
+    common.report("ext_grape_scaling", text)

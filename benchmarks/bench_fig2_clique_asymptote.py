@@ -1,0 +1,99 @@
+"""Figure 2 — gate-based grows linearly in p; GRAPE asymptotes (K4 MAXCUT).
+
+The paper compiles QAOA MAXCUT on the 4-node clique as a *single* 4-qubit
+GRAPE problem: gate-based pulse length grows linearly with the number of
+rounds p, while the GRAPE pulse length saturates below the time needed to
+implement an arbitrary 4-qubit unitary (ratio 2.0x at p=1 → 12.0x at p=6).
+
+A 4-qubit whole-circuit GRAPE search is the most expensive item in the
+default suite, so p runs over {1, 2, 3} by default ({1..6} in full mode) —
+enough to expose the sub-linear growth.
+"""
+
+import numpy as np
+import pytest
+
+import common
+from repro.analysis import format_table, render_chart
+from repro.circuits.dag import critical_path_ns
+from repro.pulse.grape import GrapeHyperparameters, GrapeSettings, minimum_time_pulse
+from repro.pulse.hamiltonian import build_control_set
+from repro.pulse.device import GmonDevice
+from repro.qaoa import maxcut_problem, qaoa_circuit
+from repro.sim import circuit_unitary
+from repro.transpile import full_topology, transpile
+
+P_VALUES = (1, 2, 3, 4, 5, 6) if common.FULL_MODE else (1, 2, 3, 4)
+# Whole-circuit 4-qubit GRAPE: coarser slices (the interesting quantity is
+# the total duration, not the waveform resolution) and a patient optimizer.
+SETTINGS = GrapeSettings(
+    dt_ns=0.25 if common.FULL_MODE else 0.5,
+    target_fidelity=0.999 if common.FULL_MODE else 0.99,
+    plateau_patience=200,
+)
+HYPER = GrapeHyperparameters(
+    learning_rate=0.03, decay_rate=0.001,
+    max_iterations=1500 if common.FULL_MODE else 800,
+)
+
+PAPER_RATIOS = {1: 2.0, 6: 12.0}
+
+
+def _collect():
+    problem = maxcut_problem("clique", 4, seed=0)
+    # K4 is fully connected: compile on an all-to-all 4-qubit gmon block so
+    # the whole circuit is one GRAPE problem, as in the paper's figure.
+    device = GmonDevice(full_topology(4))
+    control_set = build_control_set(device, [0, 1, 2, 3])
+    rng = np.random.default_rng(0)
+    rows = []
+    previous_schedule = None
+    for p in P_VALUES:
+        circuit = transpile(qaoa_circuit(problem, p))
+        theta = list(rng.uniform(0.2, 1.2, size=2 * p))
+        bound = circuit.bind_parameters(theta)
+        gate_ns = critical_path_ns(bound)
+        target = circuit_unitary(bound)
+        result = minimum_time_pulse(
+            control_set,
+            target,
+            upper_bound_ns=gate_ns,
+            hyperparameters=HYPER,
+            settings=SETTINGS,
+            precision_ns=0.5,
+        )
+        rows.append([p, gate_ns, result.duration_ns, gate_ns / result.duration_ns])
+        previous_schedule = result.schedule
+    return rows
+
+
+def test_fig2_clique_gate_vs_grape_asymptote(benchmark, capsys):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    text = format_table(
+        ["p", "gate-based (ns)", "GRAPE (ns)", "speedup"],
+        rows,
+        title="Figure 2: QAOA MAXCUT on the 4-node clique — linear vs asymptote",
+        precision=2,
+    )
+    chart = render_chart(
+        {
+            "gate-based": [(row[0], row[1]) for row in rows],
+            "GRAPE": [(row[0], row[2]) for row in rows],
+        },
+        x_label="p",
+        y_label="pulse length (ns)",
+        title="Figure 2 (ASCII): linear vs asymptote",
+    )
+    common.report("fig2_clique_asymptote", text + "\n\n" + chart, capsys)
+
+    gate = [row[1] for row in rows]
+    grape = [row[2] for row in rows]
+    speedups = [row[3] for row in rows]
+    # Gate-based grows linearly with p.
+    gate_increments = np.diff(gate)
+    assert np.all(gate_increments > 0)
+    # GRAPE grows sub-linearly: its total growth is a smaller fraction of
+    # the gate-based growth, so the speedup factor increases with p.
+    assert speedups[-1] > speedups[0]
+    # Paper anchor: ~2x at p=1 (coarse settings allow a wide band).
+    assert speedups[0] > 1.2

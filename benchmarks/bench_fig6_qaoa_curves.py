@@ -1,0 +1,88 @@
+"""Figure 6 — QAOA pulse-duration curves vs p, four strategies.
+
+For each graph family the paper plots pulse duration against the number of
+QAOA rounds p: gate-based is linear, strict is a modest improvement, and
+flexible essentially matches GRAPE.  Default scope: N=6 families at
+p ∈ {1, 3, 5} with gate/strict on every point and flexible/GRAPE at p=1
+(the expensive points); full mode sweeps p = 1..8 with all four.
+"""
+
+import numpy as np
+import pytest
+
+import common
+from repro.analysis import format_table, render_chart
+
+P_CURVE = tuple(range(1, 9)) if common.FULL_MODE else (1, 3, 5)
+EXPENSIVE_P = tuple(range(1, 9)) if common.FULL_MODE else (1,)
+
+
+def _collect():
+    curves = {}
+    for kind in common.QAOA_KINDS:
+        for n in common.QAOA_SIZES:
+            for p in P_CURVE:
+                tag = f"qaoa_{kind}_n{n}_p{p}"
+                circuit = common.qaoa_bench_circuit(kind, n, p)
+                methods = ["gate", "strict"]
+                if p in EXPENSIVE_P:
+                    methods += ["flexible", "grape"]
+                curves[(kind, n, p)] = common.durations_for(
+                    tag, circuit, methods=tuple(methods)
+                )
+    return curves
+
+
+def test_fig6_qaoa_duration_curves(benchmark, capsys):
+    curves = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    rows = []
+    for (kind, n, p), record in sorted(curves.items()):
+        rows.append([
+            f"{kind} N={n} p={p}",
+            record.get("gate"),
+            record.get("strict"),
+            record.get("flexible"),
+            record.get("grape"),
+        ])
+    text = format_table(
+        ["benchmark", "gate (ns)", "strict (ns)", "flexible (ns)", "grape (ns)"],
+        rows,
+        title="Figure 6: QAOA pulse durations vs p",
+        precision=1,
+    )
+    charts = []
+    for kind in common.QAOA_KINDS:
+        for n in common.QAOA_SIZES:
+            series = {}
+            for method in ("gate", "strict", "flexible", "grape"):
+                points = [
+                    (p, record[method])
+                    for (k, size, p), record in sorted(curves.items())
+                    if k == kind and size == n and record.get(method) is not None
+                ]
+                if points:
+                    series[method] = points
+            charts.append(
+                render_chart(
+                    series,
+                    x_label="p",
+                    y_label="pulse (ns)",
+                    title=f"Figure 6 (ASCII): {kind} N={n}",
+                )
+            )
+    common.report("fig6_qaoa_curves", text + "\n\n" + "\n\n".join(charts), capsys)
+
+    for kind in common.QAOA_KINDS:
+        for n in common.QAOA_SIZES:
+            gate_curve = [curves[(kind, n, p)]["gate"] for p in P_CURVE]
+            strict_curve = [curves[(kind, n, p)]["strict"] for p in P_CURVE]
+            # Gate-based increases linearly in p.
+            assert all(b > a for a, b in zip(gate_curve, gate_curve[1:]))
+            # Strict never exceeds gate-based at any p.
+            for g, s in zip(gate_curve, strict_curve):
+                assert s <= g + 1e-6
+            # At the expensive points, flexible ≤ strict and grape ≤ strict.
+            for p in EXPENSIVE_P:
+                record = curves[(kind, n, p)]
+                assert record["flexible"] <= record["strict"] + 1.5
+                assert record["grape"] <= record["strict"] + 1.5

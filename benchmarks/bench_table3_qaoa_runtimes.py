@@ -1,0 +1,60 @@
+"""Table 3 — gate-based runtimes for the 32 QAOA MAXCUT benchmarks.
+
+N ∈ {6, 8} × {3-regular, Erdős–Rényi} × p ∈ 1..8.  The defining property:
+runtime is linear in p for every family, and 8-node graphs cost more than
+6-node graphs.  All 32 circuits are built even in default mode (no GRAPE
+involved — this is the cheap baseline table).
+"""
+
+import numpy as np
+import pytest
+
+import common
+from repro.analysis import format_table
+from repro.circuits.dag import critical_path_ns
+
+
+def _build_table():
+    table = {}
+    for kind in common.QAOA_KINDS:
+        for n in (6, 8):
+            runtimes = []
+            for p in range(1, 9):
+                circuit = common.qaoa_bench_circuit(kind, n, p)
+                runtimes.append(critical_path_ns(circuit))
+            table[(kind, n)] = runtimes
+    return table
+
+
+def test_table3_qaoa_gate_runtimes(benchmark, capsys):
+    table = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    rows = []
+    for p in range(1, 9):
+        row = [f"p={p}"]
+        for kind in ("3regular", "erdosrenyi"):
+            for n in (6, 8):
+                row.append(table[(kind, n)][p - 1])
+                row.append(common.PAPER_TABLE3_NS[(kind, n)][p - 1])
+        rows.append(row)
+    text = format_table(
+        ["", "3reg N6", "paper", "3reg N8", "paper",
+         "ER N6", "paper", "ER N8", "paper"],
+        rows,
+        title="Table 3: QAOA gate-based runtimes (ns), measured vs paper",
+        precision=0,
+    )
+    common.report("table3_qaoa_runtimes", text, capsys)
+
+    for (kind, n), runtimes in table.items():
+        # Linearity in p: increments should be near-constant.
+        increments = np.diff(runtimes)
+        assert np.all(increments > 0), (kind, n)
+        assert np.std(increments) / np.mean(increments) < 0.25, (kind, n)
+        # Same order of magnitude as the paper.
+        paper = common.PAPER_TABLE3_NS[(kind, n)]
+        for measured, expected in zip(runtimes, paper):
+            assert 0.2 * expected <= measured <= 5 * expected, (kind, n)
+    # 8-node graphs are slower than 6-node graphs at every p.
+    for kind in common.QAOA_KINDS:
+        for p_idx in range(8):
+            assert table[(kind, 8)][p_idx] > table[(kind, 6)][p_idx]

@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+The suite mirrors the paper's evaluation: one bench module per table or
+figure.  Heavy artifacts are shared through :mod:`benchmarks.common`; each
+bench prints a paper-style text table to the terminal and writes it under
+``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of rootdir layout.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Decoherence study: what the pulse speedups buy in success probability.
+
+Simulates a QAOA circuit through a density-matrix noise model (amplitude
+damping + dephasing scaled by each gate's pulse duration) at several pulse
+speedup factors.  The fidelity gain is exponential in the time saved —
+"our pulse speedups are not merely about wall time ... but moreso about
+making computations possible in the first place, before the qubits
+decohere" (paper section 9).
+
+Run:  python examples/noisy_execution_study.py
+"""
+
+from repro.analysis import format_table
+from repro.qaoa import maxcut_problem, qaoa_circuit
+from repro.sim import NoiseModel, success_probability_with_speedup
+from repro.transpile import transpile
+
+
+def main():
+    problem = maxcut_problem("3regular", 6, seed=0)
+    circuit = transpile(qaoa_circuit(problem, p=3)).bind_parameters(
+        [0.4, 0.9, 0.5, 0.8, 0.6, 0.7]
+    )
+    print(f"Workload: {circuit.name}, {len(circuit)} gates\n")
+
+    # Short coherence times exaggerate the effect so it is visible on a
+    # small circuit; the mechanism is identical at realistic T1/T2.
+    noise = NoiseModel(t1_ns=3000.0, t2_ns=2500.0)
+
+    rows = []
+    base = success_probability_with_speedup(circuit, 1.0, noise)
+    for speedup in (1.0, 1.5, 2.0, 3.0, 5.0):
+        prob = success_probability_with_speedup(circuit, speedup, noise)
+        rows.append([f"{speedup:.1f}x", prob, prob / base])
+    print(format_table(
+        ["pulse speedup", "success probability", "gain over gate-based"],
+        rows,
+        title="Success probability vs pulse speedup (T1=3µs, T2=2.5µs)",
+        precision=4,
+    ))
+    print("\nThe 1.5-3x speedups partial compilation delivers (Figure 5/6) "
+          "convert into multiplicative fidelity gains that compound with "
+          "circuit depth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Anatomy of partial compilation: slicing, blocking, hyperparameters.
+
+Walks the paper's Figure 3 pipeline step by step on a LiH UCCSD ansatz:
+
+1. transpile to the Table-1 basis with every parametrized gate an Rz(θ);
+2. strict slicing — the alternating [Fixed, Rz(θ)] structure;
+3. flexible slicing — deep single-θ slices via parameter monotonicity;
+4. blocking into GRAPE-sized subcircuits;
+5. hyperparameter robustness — the Figure 4 observation that the best
+   ADAM learning rate for a single-θ block does not depend on θ.
+
+Run:  python examples/partial_compilation_pipeline.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.blocking import aggregate_blocks
+from repro.core import (
+    flexible_slices,
+    learning_rate_sweep,
+    parametrized_gate_fraction,
+    sample_targets,
+    strict_slices,
+)
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape import GrapeSettings
+from repro.pulse.hamiltonian import build_control_set
+from repro.transpile import line_topology, transpile
+from repro.vqe import get_molecule
+
+
+def main():
+    # Step 1: the workload.
+    molecule = get_molecule("LiH")
+    circuit = transpile(molecule.ansatz())
+    print(f"{molecule.name} UCCSD: {circuit.num_qubits} qubits, "
+          f"{len(circuit)} gates, {len(circuit.parameters)} parameters, "
+          f"{parametrized_gate_fraction(circuit):.1%} parametrized gates "
+          f"(paper: 5-8% for VQE)\n")
+
+    # Step 2: strict slicing.
+    strict = strict_slices(circuit)
+    fixed = [s for s in strict if s.kind == "fixed"]
+    print(f"Strict slicing: {len(strict)} slices "
+          f"({len(fixed)} Fixed, {len(strict) - len(fixed)} Rz(θ))")
+    print(f"  Fixed-slice depth: mean {np.mean([s.num_gates for s in fixed]):.1f} "
+          f"gates, max {max(s.num_gates for s in fixed)}")
+
+    # Step 3: flexible slicing.
+    flexible = flexible_slices(circuit)
+    print(f"Flexible slicing: {len(flexible)} single-θ slices "
+          f"(one per parameter), depth: mean "
+          f"{np.mean([s.num_gates for s in flexible]):.1f} gates — "
+          f"much deeper, as Figure 3c promises\n")
+
+    # Step 4: blocking one flexible slice.
+    piece = flexible[0]
+    blocked = aggregate_blocks(piece.circuit, max_width=3)
+    rows = [
+        [b.index, str(sorted(b.qubits)), len(b.instruction_indices),
+         "yes" if any(circuit[i].parameters for i in b.instruction_indices) else "no"]
+        for b in blocked.blocks
+    ]
+    print(format_table(
+        ["block", "qubits", "gates", "contains θ?"],
+        rows,
+        title=f"Blocking of slice θ={piece.parameter.name} (≤3-qubit GRAPE blocks)",
+    ))
+
+    # Step 5: hyperparameter robustness (Figure 4's observation).
+    theta_block = QuantumBlockForDemo(circuit, blocked)
+    sub, device_qubits = theta_block.first_parametrized_block()
+    device = GmonDevice(line_topology(molecule.num_qubits))
+    control_set = build_control_set(device, device_qubits)
+    targets = sample_targets(sub, 3, seed=5)
+    lrs = (0.003, 0.01, 0.03, 0.1)
+    errors = learning_rate_sweep(
+        control_set, targets, num_steps=16, learning_rates=lrs, iterations=60,
+        settings=GrapeSettings(dt_ns=0.25, target_fidelity=0.99),
+    )
+    rows = [[f"θ sample {i}"] + [f"{e:.3f}" for e in row]
+            for i, row in enumerate(errors)]
+    print()
+    print(format_table(
+        ["angle"] + [f"lr={lr}" for lr in lrs],
+        rows,
+        title="GRAPE error after 60 iterations vs learning rate (Figure 4)",
+    ))
+    best = [int(np.argmin(row)) for row in errors]
+    print(f"\nBest learning-rate column per θ sample: {best} — identical "
+          f"across angles, which is why the tuned hyperparameters can be "
+          f"precomputed once and reused every iteration.")
+
+
+class QuantumBlockForDemo:
+    """Helper to pull the first θ-dependent block out of a blocked slice."""
+
+    def __init__(self, circuit, blocked):
+        self.circuit = circuit
+        self.blocked = blocked
+
+    def first_parametrized_block(self):
+        for block in self.blocked.blocks:
+            sub, device_qubits = self.blocked.local_circuit(block)
+            if sub.is_parameterized():
+                return sub, device_qubits
+        raise RuntimeError("no parametrized block found")
+
+
+if __name__ == "__main__":
+    main()

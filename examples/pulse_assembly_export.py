@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Exporting a strict-partial-compilation plan as pulse assembly (§6).
+
+The paper proposes storing the precompiled Fixed-block pulses "as
+microinstructions in a low-level assembly such as eQASM".  This example
+walks the full path a control computer would take:
+
+1. strict-partial-compile a small UCCSD-style circuit (GRAPE runs once,
+   offline),
+2. export the plan as a pulse assembly: a deduplicated microinstruction
+   table plus a program of ``pulse``/``rz`` ops,
+3. serialize it to JSON and load it back (the artifact one would ship to
+   the fridge-side control stack),
+4. link it at three different variational parametrizations — the
+   zero-GRAPE runtime step — and confirm the pulse duration never changes
+   with the angles.
+
+Run:  python examples/pulse_assembly_export.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.core import StrictPartialCompiler
+from repro.pulse import PulseAssembly, assembly_from_strict_plan
+from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
+
+SETTINGS = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
+HYPER = GrapeHyperparameters(learning_rate=0.05, decay_rate=0.002, max_iterations=150)
+
+
+def ansatz_like_circuit() -> QuantumCircuit:
+    """A miniature UCCSD-flavored block: CX ladders around Rz(θᵢ)."""
+    t0, t1 = Parameter("t0"), Parameter("t1")
+    circuit = QuantumCircuit(2)
+    circuit.h(0)
+    circuit.h(1)
+    circuit.cx(0, 1)
+    circuit.rz(t0, 1)
+    circuit.cx(0, 1)
+    circuit.rx(np.pi / 2, 0)
+    circuit.cx(0, 1)
+    circuit.rz(t1 * 0.5, 1)
+    circuit.cx(0, 1)
+    circuit.h(0)
+    return circuit
+
+
+def main() -> None:
+    circuit = ansatz_like_circuit()
+    print("1. Precompiling Fixed blocks with GRAPE (offline, once)...")
+    compiler = StrictPartialCompiler.precompile(
+        circuit, settings=SETTINGS, hyperparameters=HYPER, max_block_width=2
+    )
+    report = compiler.report
+    print(
+        f"   {report.blocks_precompiled} Fixed blocks precompiled in "
+        f"{report.wall_time_s:.1f}s ({report.grape_iterations} GRAPE iterations)\n"
+    )
+
+    print("2. Exporting the plan as eQASM-style pulse assembly:\n")
+    assembly = assembly_from_strict_plan(compiler)
+    print(assembly.format())
+
+    print("\n3. JSON round-trip (the artifact the control stack loads):")
+    payload = assembly.to_json()
+    loaded = PulseAssembly.from_json(payload)
+    print(f"   {len(payload)} bytes, {len(loaded.table)} unique microinstructions\n")
+
+    print("4. Linking at three parametrizations (zero GRAPE at runtime):")
+    rows = []
+    for values in ([0.1, -0.4], [1.2, 2.2], [-3.0, 0.05]):
+        program = loaded.link({"t0": values[0], "t1": values[1]})
+        rows.append(
+            (f"θ = {values}", len(program), f"{program.duration_ns:.1f}")
+        )
+    print(format_table(("parametrization", "blocks", "pulse duration (ns)"), rows))
+    durations = {row[2] for row in rows}
+    assert len(durations) == 1, "lookup Rz durations must be angle-independent"
+    print(
+        "\nThe duration is identical for every parametrization: runtime "
+        "compilation is pure table lookup, exactly the paper's strict "
+        "partial compilation property."
+    )
+
+
+if __name__ == "__main__":
+    main()

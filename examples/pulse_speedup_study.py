@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Why pulse speedups matter: GRAPE basis-gate pulses and decoherence.
+
+Recomputes the paper's Table 1 from first principles — running the
+minimum-time GRAPE search for each basis gate on the gmon device model —
+and translates the resulting speedups into success-probability gains under
+exponential decoherence ("the effect of a pulse time speedup enters the
+power of an exponential term", paper section 5).
+
+Run:  python examples/pulse_speedup_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import decoherence_advantage, format_table
+from repro.circuits import QuantumCircuit
+from repro.config import GATE_DURATIONS_NS
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape import GrapeHyperparameters, GrapeSettings, minimum_time_pulse
+from repro.pulse.hamiltonian import build_control_set
+from repro.sim import circuit_unitary
+from repro.transpile import line_topology
+
+
+def gate_unitaries():
+    h = QuantumCircuit(1).h(0)
+    rz = QuantumCircuit(1).rz(np.pi, 0)
+    rx = QuantumCircuit(1).rx(np.pi, 0)
+    cx = QuantumCircuit(2).cx(0, 1)
+    swap = QuantumCircuit(2).swap(0, 1)
+    return {
+        "rz": (circuit_unitary(rz), 1),
+        "rx": (circuit_unitary(rx), 1),
+        "h": (circuit_unitary(h), 1),
+        "cx": (circuit_unitary(cx), 2),
+        "swap": (circuit_unitary(swap), 2),
+    }
+
+
+def main():
+    device = GmonDevice(line_topology(2))
+    settings = GrapeSettings(dt_ns=0.1, target_fidelity=0.999)
+    hyper = GrapeHyperparameters(learning_rate=0.05, decay_rate=0.002,
+                                 max_iterations=400)
+
+    rows = []
+    for name, (target, width) in gate_unitaries().items():
+        control_set = build_control_set(device, list(range(width)))
+        paper_ns = GATE_DURATIONS_NS[name]
+        result = minimum_time_pulse(
+            control_set, target, upper_bound_ns=2.5 * paper_ns,
+            hyperparameters=hyper, settings=settings, precision_ns=0.2,
+        )
+        rows.append([name, paper_ns, result.duration_ns, result.fidelity,
+                     result.total_iterations])
+        print(f"  {name}: GRAPE found {result.duration_ns:.2f} ns "
+              f"(paper Table 1: {paper_ns} ns)")
+    print()
+    print(format_table(
+        ["gate", "paper (ns)", "GRAPE min (ns)", "fidelity", "iterations"],
+        rows,
+        title="Table 1 recomputed on the gmon model",
+        precision=2,
+    ))
+
+    # A concrete decoherence story: a 1000 ns circuit sped up 2x.
+    baseline, sped_up = 1000.0, 500.0
+    gain = decoherence_advantage(baseline, sped_up)
+    print(f"\nA 2x pulse speedup on a 1 µs circuit multiplies the "
+          f"success probability by {gain:.3f} (T_coh = 20 µs); the gain is "
+          f"exponential in the time saved, so speedups compound for deeper "
+          f"circuits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""QAOA MAXCUT on the paper's benchmark graph families.
+
+Solves MAXCUT with QAOA at p = 1..3 on a 6-node 3-regular graph and a
+6-node Erdős–Rényi graph (the paper's Table 3 families), reporting the
+approximation ratio against the brute-force optimum, and shows the
+gate-based pulse runtime growing linearly with p while the structure that
+partial compilation exploits (parameter monotonicity, Rz(θ) density) holds
+at every p.
+
+Run:  python examples/qaoa_maxcut.py
+"""
+
+from repro.analysis import format_table
+from repro.circuits import critical_path_ns
+from repro.core import is_parameter_monotonic, parametrized_gate_fraction
+from repro.qaoa import QAOADriver, maxcut_problem, qaoa_circuit
+from repro.transpile import transpile
+
+
+def main():
+    rows = []
+    for kind in ("3regular", "erdosrenyi"):
+        problem = maxcut_problem(kind, 6, seed=0)
+        print(f"{problem.name}: {len(problem.edges)} edges, "
+              f"optimal cut = {problem.optimal_cut}")
+        for p in (1, 2, 3):
+            circuit = transpile(qaoa_circuit(problem, p))
+            assert is_parameter_monotonic(circuit)
+            driver = QAOADriver(problem, p=p, max_iterations=150 * p,
+                                seed=0, restarts=2)
+            result = driver.run()
+            rows.append([
+                f"{kind} p={p}",
+                result.expected_cut,
+                problem.optimal_cut,
+                result.approximation_ratio,
+                result.best_sampled_cut,
+                critical_path_ns(circuit),
+                parametrized_gate_fraction(circuit),
+            ])
+    print()
+    print(format_table(
+        ["benchmark", "E[cut]", "opt", "ratio", "best sample",
+         "gate runtime (ns)", "param gate frac"],
+        rows,
+        title="QAOA MAXCUT across p (paper Table 3 families, N=6)",
+        precision=3,
+    ))
+    print("\nGate-based runtime grows linearly in p — exactly the regime "
+          "where GRAPE's asymptoting pulse length wins (paper Figure 2).")
+
+
+if __name__ == "__main__":
+    main()

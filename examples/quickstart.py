@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Quickstart: compile one variational circuit four ways.
+
+Builds a QAOA MAXCUT circuit on the 4-node clique (the paper's Figure 2
+workload), then compiles one parametrization with each strategy and prints
+the paper's two headline metrics side by side: pulse duration and runtime
+compilation latency.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, success_probability
+from repro.core import (
+    FlexiblePartialCompiler,
+    FullGrapeCompiler,
+    GateBasedCompiler,
+    StrictPartialCompiler,
+)
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
+from repro.qaoa import maxcut_problem, qaoa_circuit
+from repro.transpile import line_topology, transpile
+
+
+def main():
+    # 1. A variational workload: QAOA MAXCUT on the 4-node clique, p=1.
+    problem = maxcut_problem("clique", 4, seed=0)
+    circuit = transpile(qaoa_circuit(problem, p=1))
+    print(f"Workload: {circuit.name} — {circuit.num_qubits} qubits, "
+          f"{len(circuit)} gates, {len(circuit.parameters)} parameters\n")
+
+    # 2. The device: a gmon chip (paper Appendix A) and fast GRAPE settings.
+    device = GmonDevice(line_topology(4))
+    settings = GrapeSettings(dt_ns=0.25, target_fidelity=0.99)
+    hyper = GrapeHyperparameters(learning_rate=0.05, decay_rate=0.002,
+                                 max_iterations=200)
+
+    # One iteration's angles, as the classical optimizer would supply them.
+    theta = list(np.random.default_rng(1).uniform(0.2, 1.2, size=2))
+
+    # 3. Compile with each strategy.
+    gate = GateBasedCompiler().compile_parametrized(circuit, theta)
+
+    grape = FullGrapeCompiler(
+        device=device, settings=settings, hyperparameters=hyper,
+        max_block_width=3,
+    ).compile_parametrized(circuit, theta)
+
+    strict = StrictPartialCompiler.precompile(
+        circuit, device=device, settings=settings, hyperparameters=hyper,
+        max_block_width=3,
+    )
+    strict_result = strict.compile(theta)
+
+    flexible = FlexiblePartialCompiler.precompile(
+        circuit, device=device, settings=settings, hyperparameters=hyper,
+        max_block_width=3, tuning_samples=2,
+        learning_rates=(0.03, 0.1), decay_rates=(0.0, 0.01),
+    )
+    flexible_result = flexible.compile(theta)
+
+    # 4. Report.
+    rows = []
+    for label, result, precompute in (
+        ("gate-based", gate, 0.0),
+        ("strict partial", strict_result, strict.report.wall_time_s),
+        ("flexible partial", flexible_result, flexible.report.wall_time_s),
+        ("full GRAPE", grape, 0.0),
+    ):
+        rows.append([
+            label,
+            result.pulse_duration_ns,
+            gate.pulse_duration_ns / result.pulse_duration_ns,
+            result.runtime_latency_s * 1e3,
+            precompute,
+            success_probability(result.pulse_duration_ns) /
+            success_probability(gate.pulse_duration_ns),
+        ])
+    print(format_table(
+        ["strategy", "pulse (ns)", "speedup", "runtime latency (ms)",
+         "precompute (s)", "success gain"],
+        rows,
+        title="QAOA MAXCUT K4, p=1 — one variational iteration",
+        precision=2,
+    ))
+    print("\nThe pattern the paper reports: GRAPE-quality pulse durations "
+          "need either full GRAPE's runtime latency (untenable in the loop) "
+          "or partial compilation's precompute + tiny runtime cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""KAK decomposition and the 3-CX bound (paper §5.4), hands on.
+
+The paper quotes the classic circuit-complexity result that "3 CX gates,
+sandwiched by single-qubit rotations, is sufficient to implement any two
+qubit operation", and measures how much further GRAPE's continuous control
+can go.  This example shows the gate-level side of that argument:
+
+1. the Weyl-chamber coordinates and minimal CX count of the named
+   two-qubit gates,
+2. resynthesis of random two-qubit unitaries at their provable CX minimum,
+3. the KAK resynthesis pass collapsing a deep two-qubit gate run — and how
+   its best possible result still falls short of the GRAPE pulse for the
+   same block, which is the gap only pulse-level control closes.
+
+Run:  python examples/two_qubit_resynthesis.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import CXGate, CZGate, ISwapGate, SwapGate
+from repro.linalg import global_phase_aligned, haar_random_unitary
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape import GrapeHyperparameters, GrapeSettings, minimum_time_pulse
+from repro.pulse.hamiltonian import build_control_set
+from repro.sim import circuit_unitary
+from repro.transpile import (
+    kak_decompose,
+    line_topology,
+    resynthesize_two_qubit_runs,
+    two_qubit_circuit,
+)
+from repro.transpile.basis import decompose_to_basis
+from repro.transpile.optimize import optimize_circuit
+from repro.transpile.schedule import asap_schedule
+
+
+def named_gate_classes() -> None:
+    print("1. Weyl-chamber coordinates of the named two-qubit gates:\n")
+    rows = []
+    for gate in (CXGate(), CZGate(), ISwapGate(), SwapGate()):
+        d = kak_decompose(gate.matrix())
+        circuit = two_qubit_circuit(gate.matrix())
+        rows.append(
+            (
+                gate.name,
+                f"({d.x:.3f}, {d.y:.3f}, {d.z:.3f})",
+                circuit.count_ops().get("cx", 0),
+            )
+        )
+    print(format_table(("gate", "(x, y, z)", "min CX"), rows))
+    print(
+        "\nCX and CZ share a Weyl point (locally equivalent); SWAP sits at "
+        "the chamber corner (π/4, π/4, π/4) and needs all 3 CX.\n"
+    )
+
+
+def random_unitary_synthesis() -> None:
+    print("2. Random SU(4) synthesis at the 3-CX bound:\n")
+    rows = []
+    for seed in range(4):
+        u = haar_random_unitary(4, seed=seed)
+        circuit = two_qubit_circuit(u)
+        synthesized = global_phase_aligned(u, circuit_unitary(circuit))
+        err = np.abs(synthesized - u).max()
+        rows.append((f"haar seed {seed}", circuit.count_ops().get("cx", 0), f"{err:.2e}"))
+    print(format_table(("unitary", "CX count", "max |Δ| (up to phase)"), rows))
+    print()
+
+
+def pass_vs_grape() -> None:
+    print("3. Resynthesis pass vs GRAPE on one deep two-qubit run:\n")
+    rng = np.random.default_rng(3)
+    block = QuantumCircuit(2)
+    for _ in range(5):
+        block.rz(rng.uniform(-3, 3), 0)
+        block.rx(rng.uniform(-3, 3), 1)
+        block.cx(0, 1)
+    block.rz(rng.uniform(-3, 3), 1)
+
+    resynth = optimize_circuit(decompose_to_basis(resynthesize_two_qubit_runs(block)))
+    base_ns = asap_schedule(decompose_to_basis(block)).duration_ns
+    resynth_ns = asap_schedule(resynth).duration_ns
+
+    device = GmonDevice(line_topology(2))
+    control_set = build_control_set(device, [0, 1])
+    pulse = minimum_time_pulse(
+        control_set,
+        circuit_unitary(block),
+        upper_bound_ns=base_ns,
+        hyperparameters=GrapeHyperparameters(0.05, 0.002, max_iterations=200),
+        settings=GrapeSettings(dt_ns=0.5, target_fidelity=0.95),
+    )
+    rows = [
+        ("original run", block.count_ops().get("cx", 0), f"{base_ns:.1f}"),
+        ("KAK resynthesis (≤3 CX)", resynth.count_ops().get("cx", 0), f"{resynth_ns:.1f}"),
+        ("GRAPE pulse", "—", f"{pulse.duration_ns:.1f}"),
+    ]
+    print(format_table(("implementation", "CX count", "duration (ns)"), rows))
+    print(
+        "\nThe resynthesis pass reaches the gate model's provable floor; the "
+        "remaining distance to the GRAPE pulse is the part of the speedup "
+        "that genuinely requires pulse-level control (ISA alignment, "
+        "fractional gates, the 15x Z/X drive asymmetry)."
+    )
+
+
+def main() -> None:
+    named_gate_classes()
+    random_unitary_synthesis()
+    pass_vs_grape()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""VQE on H2 with partial compilation in the loop (paper section 8.4).
+
+Runs the full hybrid loop of Figure 1 — UCCSD ansatz, exact-statevector
+energy, Nelder-Mead — while compiling the circuit to pulses at *every*
+iteration with strict partial compilation.  The point of the exercise:
+the per-iteration compilation latency is essentially zero, where full
+GRAPE would cost minutes per iteration ("over 2 years of runtime
+compilation latency" for the paper's 3500-iteration BeH2 run).
+
+Run:  python examples/vqe_h2.py
+"""
+
+from repro.analysis import format_table
+from repro.core import StrictPartialCompiler
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
+from repro.transpile import line_topology, transpile
+from repro.vqe import VQEDriver, get_molecule, h2_hamiltonian
+
+
+def main():
+    molecule = get_molecule("H2")
+    hamiltonian = h2_hamiltonian()
+    ansatz = transpile(molecule.ansatz())
+    print(f"Molecule: {molecule.name} — {molecule.num_qubits} qubits, "
+          f"{molecule.num_parameters} UCCSD parameters, "
+          f"{len(ansatz)} gates after transpilation")
+    print(f"Exact ground-state energy: {hamiltonian.ground_state_energy():+.6f} Ha\n")
+
+    # Pre-compute GRAPE pulses for the Fixed blocks, once.
+    settings = GrapeSettings(dt_ns=0.25, target_fidelity=0.99)
+    hyper = GrapeHyperparameters(learning_rate=0.05, decay_rate=0.002,
+                                 max_iterations=200)
+    compiler = StrictPartialCompiler.precompile(
+        ansatz,
+        device=GmonDevice(line_topology(molecule.num_qubits)),
+        settings=settings,
+        hyperparameters=hyper,
+        max_block_width=2,
+    )
+    print(f"Strict precompile: {compiler.report.blocks_precompiled} Fixed "
+          f"blocks in {compiler.report.wall_time_s:.1f} s "
+          f"({compiler.report.grape_iterations} GRAPE iterations, "
+          f"{compiler.report.cache_hits} cache hits)\n")
+
+    # The hybrid loop, compiling at every iteration.
+    driver = VQEDriver(hamiltonian, ansatz, max_iterations=300, seed=2,
+                       compiler=compiler)
+    result = driver.run()
+
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["VQE energy (Ha)", f"{result.optimal_energy:+.6f}"],
+            ["exact energy (Ha)", f"{result.exact_energy:+.6f}"],
+            ["absolute error (Ha)", f"{result.error_to_exact:.2e}"],
+            ["optimizer iterations", result.iterations],
+            ["total in-loop compile latency (s)", f"{result.compile_latency_s:.4f}"],
+            ["pulse duration per iteration (ns)", f"{result.compile_pulse_ns[-1]:.1f}"],
+        ],
+        title="VQE-H2 with strict partial compilation in the loop",
+    ))
+    print("\nEvery one of those iterations was compiled to pulses at "
+          "lookup-table speed — that is the strict-partial-compilation "
+          "contribution.")
+
+
+if __name__ == "__main__":
+    main()

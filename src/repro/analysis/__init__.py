@@ -1,0 +1,26 @@
+"""Reporting and analysis helpers used by the benchmark harness."""
+
+from repro.analysis.aggregate import (
+    KANDALA_BEH2_ITERATIONS,
+    CampaignProjection,
+    project_campaign,
+)
+from repro.analysis.decoherence import (
+    decoherence_advantage,
+    success_probability,
+)
+from repro.analysis.speedup import SpeedupRow, speedup_table
+from repro.analysis.charts import render_chart
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "render_chart",
+    "CampaignProjection",
+    "KANDALA_BEH2_ITERATIONS",
+    "SpeedupRow",
+    "project_campaign",
+    "decoherence_advantage",
+    "format_table",
+    "speedup_table",
+    "success_probability",
+]

@@ -1,0 +1,81 @@
+"""Aggregate impact on total variational runtime (paper section 8.4).
+
+The paper's closing argument: VQE needs thousands of iterations (3500 for
+the BeH2 study of Kandala et al.), so per-iteration compilation latency
+multiplies into the total wall time — "over 2 years of runtime compilation
+latency via Full-GRAPE", versus ~an hour of one-off pre-compute for strict
+partial compilation.  This module projects total campaign cost for a given
+strategy from the measured per-iteration numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Iteration count of the Kandala et al. (2017) BeH2 VQE experiment that
+#: the paper extrapolates from.
+KANDALA_BEH2_ITERATIONS = 3500
+
+
+@dataclass(frozen=True)
+class CampaignProjection:
+    """Projected cost of a full variational campaign under one strategy.
+
+    Attributes
+    ----------
+    strategy:
+        Compiler name.
+    iterations:
+        Number of variational iterations in the campaign.
+    precompute_s:
+        One-off pre-computation wall time.
+    per_iteration_compile_s:
+        Runtime compilation latency paid every iteration.
+    per_iteration_pulse_ns:
+        Pulse duration per circuit execution (per iteration, one execution
+        modelled; shots multiply it uniformly across strategies).
+    """
+
+    strategy: str
+    iterations: int
+    precompute_s: float
+    per_iteration_compile_s: float
+    per_iteration_pulse_ns: float
+
+    @property
+    def total_compile_s(self) -> float:
+        """Total compilation cost of the campaign, precompute included."""
+        return self.precompute_s + self.iterations * self.per_iteration_compile_s
+
+    @property
+    def total_compile_days(self) -> float:
+        return self.total_compile_s / 86_400.0
+
+    def speedup_over(self, other: "CampaignProjection") -> float:
+        """How much cheaper this strategy's total compilation is."""
+        if self.total_compile_s <= 0:
+            return float("inf")
+        return other.total_compile_s / self.total_compile_s
+
+
+def project_campaign(
+    strategy: str,
+    per_iteration_compile_s: float,
+    per_iteration_pulse_ns: float,
+    iterations: int = KANDALA_BEH2_ITERATIONS,
+    precompute_s: float = 0.0,
+) -> CampaignProjection:
+    """Build a :class:`CampaignProjection` from measured per-iteration data."""
+    if iterations < 1:
+        raise ReproError(f"campaign needs at least one iteration, got {iterations}")
+    if per_iteration_compile_s < 0 or precompute_s < 0:
+        raise ReproError("latencies must be non-negative")
+    return CampaignProjection(
+        strategy=strategy,
+        iterations=iterations,
+        precompute_s=precompute_s,
+        per_iteration_compile_s=per_iteration_compile_s,
+        per_iteration_pulse_ns=per_iteration_pulse_ns,
+    )

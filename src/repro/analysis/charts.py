@@ -1,0 +1,66 @@
+"""ASCII line charts for the figure benchmarks.
+
+The paper's Figures 2 and 6 are pulse-duration-vs-p line plots.  The
+benchmark harness runs in text-only environments, so the figure benches
+render their series as monospace scatter charts alongside the numeric
+tables — close enough to eyeball the linear-vs-asymptote shapes the
+reproduction asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["render_chart"]
+
+#: Plot glyphs, assigned to series in insertion order.
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    series: Mapping[str, Sequence[tuple]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render ``{name: [(x, y), …]}`` as an ASCII scatter/line chart.
+
+    Each series gets one marker glyph; a legend, axis ranges, and optional
+    title are attached.  Raises :class:`ReproError` for empty input or
+    degenerate dimensions.
+    """
+    if not series or all(len(points) == 0 for points in series.values()):
+        raise ReproError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ReproError(f"chart area {width}x{height} is too small")
+
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, points) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in points:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top = {y_hi:g}, bottom = {y_lo:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:g} … {x_hi:g}    legend: " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Speedup tables over compilation strategies (Table 4 / Figures 5-6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+METHOD_ORDER = ("gate", "strict", "flexible", "grape")
+
+
+@dataclass
+class SpeedupRow:
+    """Pulse durations for one benchmark across the four strategies."""
+
+    benchmark: str
+    gate_ns: float
+    strict_ns: float | None = None
+    flexible_ns: float | None = None
+    grape_ns: float | None = None
+
+    def speedup(self, method: str) -> float | None:
+        """Pulse speedup factor of ``method`` relative to gate-based."""
+        value = {
+            "gate": self.gate_ns,
+            "strict": self.strict_ns,
+            "flexible": self.flexible_ns,
+            "grape": self.grape_ns,
+        }.get(method)
+        if method not in METHOD_ORDER:
+            raise ReproError(f"unknown method {method!r}")
+        if value is None or value <= 0:
+            return None
+        return self.gate_ns / value
+
+    def ordering_holds(self, tolerance_ns: float = 1e-6) -> bool:
+        """Check the paper's invariant gate ≥ strict ≥ flexible (GRAPE may
+        beat or tie flexible; blocking granularity lets either win by a
+        hair, so GRAPE is only required not to exceed strict)."""
+        chain = [self.gate_ns, self.strict_ns, self.flexible_ns]
+        values = [v for v in chain if v is not None]
+        ok = all(a >= b - tolerance_ns for a, b in zip(values, values[1:]))
+        if self.grape_ns is not None and self.strict_ns is not None:
+            ok = ok and self.grape_ns <= self.strict_ns + tolerance_ns
+        return ok
+
+
+def speedup_table(rows: list) -> list:
+    """Rows of (benchmark, duration per method, speedup per method)."""
+    out = []
+    for row in rows:
+        record = {"benchmark": row.benchmark, "gate_ns": row.gate_ns}
+        for method in ("strict", "flexible", "grape"):
+            value = getattr(row, f"{method}_ns")
+            record[f"{method}_ns"] = value
+            record[f"{method}_speedup"] = row.speedup(method)
+        out.append(record)
+    return out

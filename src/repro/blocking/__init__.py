@@ -1,0 +1,5 @@
+"""Circuit blocking: partition circuits into ≤4-qubit GRAPE blocks."""
+
+from repro.blocking.aggregate import Block, BlockedCircuit, aggregate_blocks
+
+__all__ = ["Block", "BlockedCircuit", "aggregate_blocks"]

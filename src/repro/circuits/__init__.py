@@ -1,0 +1,70 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`~repro.circuits.circuit.QuantumCircuit` is an ordered list of gate
+applications on integer qubits.  Gate angles may be symbolic
+:class:`~repro.circuits.parameters.Parameter` expressions; expressions are
+linear forms, so transpiler rewrites such as ``θ → -θ/2`` preserve the
+parameter tag — the property the paper's partial compilation relies on
+("we resolve these latent dependencies by explicitly tagging the dependent
+parameter in software").
+"""
+
+from repro.circuits.parameters import Parameter, ParameterExpression
+from repro.circuits.gates import (
+    Gate,
+    CXGate,
+    CZGate,
+    HGate,
+    IGate,
+    ISwapGate,
+    RXGate,
+    RYGate,
+    RZGate,
+    RZZGate,
+    SGate,
+    SdgGate,
+    SwapGate,
+    TGate,
+    TdgGate,
+    XGate,
+    YGate,
+    ZGate,
+    gate_from_name,
+)
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.dag import CircuitDag, circuit_layers, critical_path_ns
+from repro.circuits.library import ghz_circuit, random_circuit
+from repro.circuits.qasm import from_qasm, to_qasm
+
+__all__ = [
+    "CXGate",
+    "CZGate",
+    "CircuitDag",
+    "Gate",
+    "HGate",
+    "IGate",
+    "ISwapGate",
+    "Instruction",
+    "Parameter",
+    "ParameterExpression",
+    "QuantumCircuit",
+    "RXGate",
+    "RYGate",
+    "RZGate",
+    "RZZGate",
+    "SGate",
+    "SdgGate",
+    "SwapGate",
+    "TGate",
+    "TdgGate",
+    "XGate",
+    "YGate",
+    "ZGate",
+    "circuit_layers",
+    "critical_path_ns",
+    "from_qasm",
+    "to_qasm",
+    "gate_from_name",
+    "ghz_circuit",
+    "random_circuit",
+]

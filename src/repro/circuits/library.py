@@ -1,0 +1,51 @@
+"""Small circuit constructors used by tests, examples, and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import CXGate, HGate, RXGate, RZGate
+from repro.errors import CircuitError
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """H + CX ladder preparing the ``num_qubits``-qubit GHZ state."""
+    if num_qubits < 2:
+        raise CircuitError("GHZ needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: int | None = None,
+    two_qubit_fraction: float = 0.3,
+) -> QuantumCircuit:
+    """A seeded random circuit over {Rx, Rz, H, CX}.
+
+    Useful as an arbitrary-but-reproducible workload for property tests and
+    microbenchmarks; not a paper benchmark by itself.
+    """
+    if num_qubits < 1:
+        raise CircuitError("need at least one qubit")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{num_gates}")
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < two_qubit_fraction:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.append(CXGate(), (int(a), int(b)))
+        else:
+            q = int(rng.integers(num_qubits))
+            choice = rng.integers(3)
+            if choice == 0:
+                circuit.append(RXGate(float(rng.uniform(0, 2 * np.pi))), (q,))
+            elif choice == 1:
+                circuit.append(RZGate(float(rng.uniform(0, 2 * np.pi))), (q,))
+            else:
+                circuit.append(HGate(), (q,))
+    return circuit

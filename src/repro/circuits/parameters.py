@@ -1,0 +1,246 @@
+"""Symbolic circuit parameters as linear expressions.
+
+Variational circuits are parameterized by angles ``θ_0 … θ_{k-1}``.  Circuit
+construction and optimization transform individual angles into forms like
+``-θ_i``, ``θ_i / 2`` or ``2·θ_i + π`` (e.g. Pauli-evolution synthesis and
+rotation merging).  Partial compilation must still know *which* ``θ_i`` a
+gate depends on, so angles are represented as linear forms
+
+    ``expr = Σ_i c_i · θ_i + const``
+
+which are closed under every rewrite the transpiler performs.  The paper
+describes this as "explicitly tagging the dependent parameter in software
+during the variational circuit construction phase" (section 7.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Union
+
+from repro.errors import ParameterError
+
+Number = Union[int, float]
+
+
+class Parameter:
+    """A named symbolic circuit parameter.
+
+    Parameters are compared by identity of their name and an ``index`` used
+    for ordering (parameter monotonicity analysis sorts by it).  Arithmetic
+    on a :class:`Parameter` produces a :class:`ParameterExpression`.
+    """
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str, index: int | None = None):
+        self.name = name
+        # Default index parsed from trailing digits ("theta_3" -> 3).
+        if index is None:
+            digits = ""
+            for ch in reversed(name):
+                if ch.isdigit():
+                    digits = ch + digits
+                else:
+                    break
+            index = int(digits) if digits else 0
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.index))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Parameter):
+            return self.name == other.name and self.index == other.index
+        return NotImplemented
+
+    def __lt__(self, other: "Parameter") -> bool:
+        return (self.index, self.name) < (other.index, other.name)
+
+    # -- arithmetic lifts to ParameterExpression ---------------------------
+    def _expr(self) -> "ParameterExpression":
+        return ParameterExpression({self: 1.0}, 0.0)
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return (-self._expr()) + other
+
+    def __mul__(self, other):
+        return self._expr() * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._expr() / other
+
+    def __neg__(self):
+        return -self._expr()
+
+
+class ParameterExpression:
+    """A linear form over :class:`Parameter` objects.
+
+    Immutable.  Supports ``+``, ``-``, scalar ``*`` and ``/``, binding, and
+    querying which parameters appear with nonzero coefficient.
+    """
+
+    __slots__ = ("_coeffs", "_const")
+
+    def __init__(self, coeffs: Mapping[Parameter, float], const: float = 0.0):
+        cleaned = {p: float(c) for p, c in coeffs.items() if abs(c) > 1e-15}
+        self._coeffs = cleaned
+        self._const = float(const)
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def parameters(self) -> frozenset:
+        """The set of parameters this expression depends on."""
+        return frozenset(self._coeffs)
+
+    @property
+    def constant(self) -> float:
+        """The constant offset of the linear form."""
+        return self._const
+
+    def coefficient(self, parameter: Parameter) -> float:
+        """Coefficient of ``parameter`` (0.0 if absent)."""
+        return self._coeffs.get(parameter, 0.0)
+
+    def is_constant(self) -> bool:
+        """True when no symbolic parameter remains."""
+        return not self._coeffs
+
+    def to_float(self) -> float:
+        """The numeric value of a constant expression.
+
+        Raises
+        ------
+        ParameterError
+            If the expression still contains unbound parameters.
+        """
+        if self._coeffs:
+            names = sorted(p.name for p in self._coeffs)
+            raise ParameterError(f"expression still depends on parameters {names}")
+        return self._const
+
+    # -- binding -----------------------------------------------------------
+    def bind(self, values: Mapping[Parameter, Number]) -> "ParameterExpression":
+        """Substitute numeric values for (a subset of) parameters."""
+        coeffs = dict(self._coeffs)
+        const = self._const
+        for param, value in values.items():
+            if param in coeffs:
+                const += coeffs.pop(param) * float(value)
+        return ParameterExpression(coeffs, const)
+
+    # -- arithmetic ----------------------------------------------------------
+    @staticmethod
+    def _coerce(value) -> "ParameterExpression":
+        if isinstance(value, ParameterExpression):
+            return value
+        if isinstance(value, Parameter):
+            return value._expr()
+        if isinstance(value, (int, float)):
+            return ParameterExpression({}, float(value))
+        raise ParameterError(f"cannot use {type(value).__name__} in a parameter expression")
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        coeffs = dict(self._coeffs)
+        for p, c in other._coeffs.items():
+            coeffs[p] = coeffs.get(p, 0.0) + c
+        return ParameterExpression(coeffs, self._const + other._const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other):
+        return (-self) + other
+
+    def __neg__(self):
+        return ParameterExpression({p: -c for p, c in self._coeffs.items()}, -self._const)
+
+    def __mul__(self, scalar):
+        if isinstance(scalar, (Parameter, ParameterExpression)):
+            raise ParameterError("parameter expressions are linear; cannot multiply two of them")
+        return ParameterExpression(
+            {p: c * float(scalar) for p, c in self._coeffs.items()},
+            self._const * float(scalar),
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar):
+        if isinstance(scalar, (Parameter, ParameterExpression)):
+            raise ParameterError("cannot divide by a parameter expression")
+        return self * (1.0 / float(scalar))
+
+    # -- comparison / display ------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            return self.is_constant() and math.isclose(self._const, float(other), abs_tol=1e-12)
+        if isinstance(other, Parameter):
+            other = other._expr()
+        if isinstance(other, ParameterExpression):
+            diff = self - other
+            return diff.is_constant() and abs(diff._const) < 1e-12
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        items = tuple(sorted(((p.name, p.index, round(c, 12)) for p, c in self._coeffs.items())))
+        return hash((items, round(self._const, 12)))
+
+    def __repr__(self) -> str:
+        return f"ParameterExpression({self})"
+
+    def __str__(self) -> str:
+        terms = []
+        for p in sorted(self._coeffs):
+            c = self._coeffs[p]
+            if math.isclose(c, 1.0):
+                terms.append(f"{p.name}")
+            elif math.isclose(c, -1.0):
+                terms.append(f"-{p.name}")
+            else:
+                terms.append(f"{c:g}*{p.name}")
+        if self._const or not terms:
+            terms.append(f"{self._const:g}")
+        out = " + ".join(terms)
+        return out.replace("+ -", "- ")
+
+
+def parameter_value(angle) -> float:
+    """Return the float value of ``angle`` (number or constant expression).
+
+    Raises :class:`ParameterError` when the angle is still symbolic; used by
+    code paths (matrix construction, pulse lookup) that require bound values.
+    """
+    if isinstance(angle, ParameterExpression):
+        return angle.to_float()
+    if isinstance(angle, Parameter):
+        raise ParameterError(f"parameter {angle.name} is unbound")
+    return float(angle)
+
+
+def angle_parameters(angle) -> frozenset:
+    """The set of :class:`Parameter` objects ``angle`` depends on."""
+    if isinstance(angle, ParameterExpression):
+        return angle.parameters
+    if isinstance(angle, Parameter):
+        return frozenset({angle})
+    return frozenset()

@@ -1,0 +1,134 @@
+"""OpenQASM 2.0 export/import.
+
+Interoperability with the wider toolchain (the paper's artifacts are Qiskit
+circuits).  Export handles every library gate; import covers the subset the
+exporter emits plus common aliases, including symbolic parameters spelled
+as bare identifiers (``rz(theta_0) q[1];``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import gate_from_name
+from repro.circuits.parameters import Parameter, ParameterExpression
+from repro.errors import CircuitError
+
+_EXPORT_NAMES = {
+    "id": "id",
+    "x": "x",
+    "y": "y",
+    "z": "z",
+    "h": "h",
+    "s": "s",
+    "sdg": "sdg",
+    "t": "t",
+    "tdg": "tdg",
+    "rx": "rx",
+    "ry": "ry",
+    "rz": "rz",
+    "cx": "cx",
+    "cz": "cz",
+    "swap": "swap",
+    "iswap": "iswap",
+    "rzz": "rzz",
+}
+
+
+def _format_angle(angle) -> str:
+    if isinstance(angle, Parameter):
+        return angle.name
+    if isinstance(angle, ParameterExpression):
+        if angle.is_constant():
+            return f"{angle.to_float():.12g}"
+        return str(angle).replace(" ", "")
+    return f"{float(angle):.12g}"
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize ``circuit`` to OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for inst in circuit:
+        name = inst.gate.name
+        if name not in _EXPORT_NAMES:
+            raise CircuitError(f"gate {name!r} has no QASM export")
+        qasm_name = _EXPORT_NAMES[name]
+        qubits = ",".join(f"q[{q}]" for q in inst.qubits)
+        if inst.gate.params:
+            args = ",".join(_format_angle(p) for p in inst.gate.params)
+            lines.append(f"{qasm_name}({args}) {qubits};")
+        else:
+            lines.append(f"{qasm_name} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+_GATE_LINE = re.compile(
+    r"^(?P<name>[a-z_][a-z0-9_]*)\s*(?:\((?P<args>[^)]*)\))?\s*(?P<qubits>.+);$"
+)
+_QUBIT = re.compile(r"q\[(\d+)\]")
+
+#: Constants and helpers allowed inside imported angle expressions.
+_SAFE_EVAL_GLOBALS = {"pi": math.pi, "__builtins__": {}}
+
+
+def _parse_angle(text: str, parameters: dict):
+    text = text.strip()
+    # Bare identifier or simple linear combination over identifiers.
+    idents = set(re.findall(r"[A-Za-z_][A-Za-z_0-9]*", text)) - {"pi"}
+    if not idents:
+        try:
+            return float(eval(text, dict(_SAFE_EVAL_GLOBALS)))  # noqa: S307
+        except Exception as exc:
+            raise CircuitError(f"cannot parse angle {text!r}") from exc
+    env = dict(_SAFE_EVAL_GLOBALS)
+    for name in idents:
+        param = parameters.setdefault(name, Parameter(name))
+        env[name] = ParameterExpression({param: 1.0}, 0.0)
+    try:
+        value = eval(text, env)  # noqa: S307
+    except Exception as exc:
+        raise CircuitError(f"cannot parse symbolic angle {text!r}") from exc
+    return value
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text produced by :func:`to_qasm` (or compatible)."""
+    circuit: QuantumCircuit | None = None
+    parameters: dict = {}
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(("OPENQASM", "include")):
+            continue
+        if line.startswith("qreg"):
+            match = re.match(r"qreg\s+q\[(\d+)\];", line)
+            if not match:
+                raise CircuitError(f"unsupported qreg declaration: {line!r}")
+            circuit = QuantumCircuit(int(match.group(1)), name="qasm")
+            continue
+        if line.startswith(("creg", "barrier", "measure")):
+            continue
+        if circuit is None:
+            raise CircuitError("gate before qreg declaration")
+        match = _GATE_LINE.match(line)
+        if not match:
+            raise CircuitError(f"cannot parse line: {line!r}")
+        name = match.group("name")
+        qubits = tuple(int(q) for q in _QUBIT.findall(match.group("qubits")))
+        params = []
+        if match.group("args"):
+            params = [
+                _parse_angle(arg, parameters)
+                for arg in match.group("args").split(",")
+            ]
+        circuit.append(gate_from_name(name, params), qubits)
+    if circuit is None:
+        raise CircuitError("no qreg declaration found")
+    return circuit

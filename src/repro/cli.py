@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small utilities for poking at the reproduction without writing a script:
+
+* ``molecules`` — the VQE-UCCSD benchmark registry (paper Table 2).
+* ``gate-table`` — the compiler's basis gate set and pulse durations
+  (paper Table 1).
+* ``qaoa-info`` — circuit statistics for one QAOA MAXCUT benchmark.
+* ``compile`` — run one benchmark through a chosen compilation strategy at
+  a random parametrization and report pulse duration + runtime latency.
+
+Every command prints plain text and returns a process exit code, so the
+module is equally usable from tests (``main([...])``) and the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.config import GATE_DURATIONS_NS
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_molecules(_args) -> int:
+    from repro.vqe.molecules import MOLECULES
+
+    rows = [
+        (
+            spec.name,
+            spec.num_qubits,
+            spec.num_parameters,
+            f"{spec.paper_gate_runtime_ns:g}",
+        )
+        for spec in MOLECULES.values()
+    ]
+    print(
+        format_table(
+            ("molecule", "qubits", "#params", "paper runtime (ns)"),
+            rows,
+            title="VQE-UCCSD benchmarks (paper Table 2)",
+        )
+    )
+    return 0
+
+
+def _cmd_gate_table(_args) -> int:
+    rows = [(name, f"{ns:g}") for name, ns in sorted(GATE_DURATIONS_NS.items())]
+    print(
+        format_table(
+            ("gate", "pulse duration (ns)"),
+            rows,
+            title="Gate-based compilation lookup table (paper Table 1)",
+        )
+    )
+    return 0
+
+
+def _cmd_qaoa_info(args) -> int:
+    from repro.qaoa import maxcut_problem, qaoa_circuit
+    from repro.transpile import transpile
+    from repro.transpile.schedule import asap_schedule
+
+    problem = maxcut_problem(args.kind, args.nodes, seed=args.seed)
+    circuit = transpile(qaoa_circuit(problem, args.p))
+    schedule = asap_schedule(circuit.bind_parameters([0.5] * len(circuit.parameters)))
+    rows = [
+        ("graph", problem.name),
+        ("edges", len(problem.edges)),
+        ("optimal cut", problem.optimal_cut),
+        ("qubits", circuit.num_qubits),
+        ("parameters", len(circuit.parameters)),
+        ("gates", len(circuit)),
+        ("gate-based runtime (ns)", f"{schedule.duration_ns:.1f}"),
+    ]
+    print(format_table(("property", "value"), rows, title=f"QAOA p={args.p}"))
+    return 0
+
+
+def _benchmark_circuit(spec: str):
+    from repro.qaoa import maxcut_problem, qaoa_circuit
+    from repro.transpile import transpile
+    from repro.vqe import get_molecule
+
+    parts = spec.split(":")
+    if parts[0] == "vqe" and len(parts) == 2:
+        return transpile(get_molecule(parts[1]).ansatz())
+    if parts[0] == "qaoa" and len(parts) == 4:
+        kind, nodes, p = parts[1], int(parts[2]), int(parts[3])
+        return transpile(qaoa_circuit(maxcut_problem(kind, nodes), p))
+    raise ValueError(
+        f"bad benchmark spec {spec!r}; use vqe:<molecule> or qaoa:<kind>:<nodes>:<p>"
+    )
+
+
+def _cmd_compile(args) -> int:
+    from repro.core import (
+        FlexiblePartialCompiler,
+        FullGrapeCompiler,
+        GateBasedCompiler,
+        StrictPartialCompiler,
+        default_device_for,
+    )
+    from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
+
+    try:
+        circuit = _benchmark_circuit(args.benchmark)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    settings = GrapeSettings(dt_ns=args.dt, target_fidelity=args.fidelity)
+    hyper = GrapeHyperparameters(0.05, 0.002, max_iterations=args.iterations)
+    rng = np.random.default_rng(args.seed)
+    values = list(rng.uniform(-np.pi / 2, np.pi / 2, size=len(circuit.parameters)))
+    device = default_device_for(circuit)
+
+    if args.method == "gate":
+        compiler = GateBasedCompiler()
+        compiled = compiler.compile_parametrized(circuit, values)
+        precompute = "0 s (lookup table)"
+    elif args.method == "grape":
+        compiler = FullGrapeCompiler(
+            device=device,
+            settings=settings,
+            hyperparameters=hyper,
+            max_block_width=args.block_width,
+        )
+        compiled = compiler.compile_parametrized(circuit, values)
+        precompute = "0 s (all work at runtime)"
+    elif args.method == "strict":
+        compiler = StrictPartialCompiler.precompile(
+            circuit,
+            device=device,
+            settings=settings,
+            hyperparameters=hyper,
+            max_block_width=args.block_width,
+        )
+        compiled = compiler.compile(values)
+        precompute = f"{compiler.report.wall_time_s:.1f} s"
+    else:  # flexible
+        compiler = FlexiblePartialCompiler.precompile(
+            circuit,
+            device=device,
+            settings=settings,
+            hyperparameters=hyper,
+            max_block_width=args.block_width,
+            tuning_samples=1,
+        )
+        compiled = compiler.compile(values)
+        precompute = f"{compiler.report.wall_time_s:.1f} s"
+
+    rows = [
+        ("benchmark", args.benchmark),
+        ("method", args.method),
+        ("qubits", circuit.num_qubits),
+        ("pulse duration (ns)", f"{compiled.pulse_duration_ns:.1f}"),
+        ("runtime latency (s)", f"{compiled.runtime_latency_s:.3f}"),
+        ("runtime GRAPE iterations", compiled.runtime_iterations),
+        ("precompute", precompute),
+    ]
+    print(format_table(("property", "value"), rows, title="compile result"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` CLI (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Partial compilation of variational algorithms (MICRO '19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("molecules", help="list the VQE benchmark molecules").set_defaults(
+        func=_cmd_molecules
+    )
+    sub.add_parser("gate-table", help="print the Table-1 gate durations").set_defaults(
+        func=_cmd_gate_table
+    )
+
+    qaoa = sub.add_parser("qaoa-info", help="stats for one QAOA benchmark")
+    qaoa.add_argument("--kind", choices=("3regular", "erdosrenyi"), default="3regular")
+    qaoa.add_argument("--nodes", type=int, default=6)
+    qaoa.add_argument("--p", type=int, default=1)
+    qaoa.add_argument("--seed", type=int, default=0)
+    qaoa.set_defaults(func=_cmd_qaoa_info)
+
+    compile_ = sub.add_parser("compile", help="compile one benchmark")
+    compile_.add_argument(
+        "--benchmark",
+        required=True,
+        help="vqe:<molecule> or qaoa:<kind>:<nodes>:<p>, e.g. vqe:H2",
+    )
+    compile_.add_argument(
+        "--method",
+        choices=("gate", "strict", "flexible", "grape"),
+        default="gate",
+    )
+    compile_.add_argument("--dt", type=float, default=0.5, help="GRAPE slice (ns)")
+    compile_.add_argument("--fidelity", type=float, default=0.95)
+    compile_.add_argument("--iterations", type=int, default=150)
+    compile_.add_argument("--block-width", type=int, default=2)
+    compile_.add_argument("--seed", type=int, default=0)
+    compile_.set_defaults(func=_cmd_compile)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Parse ``argv`` (default ``sys.argv[1:]``) and run the command."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

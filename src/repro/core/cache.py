@@ -1,0 +1,95 @@
+"""Pulse cache keyed by block unitary.
+
+Variational circuits are extremely repetitive — UCCSD repeats the same CX
+ladders and basis changes hundreds of times — so GRAPE results are cached by
+a phase-canonical hash of the target unitary plus the physical context
+(channel layout, time step, fidelity target).  Strict partial compilation's
+"zero runtime latency" and the tractability of the benchmark harness both
+rest on this cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pulse.hamiltonian import ControlSet
+from repro.pulse.schedule import PulseSchedule
+
+
+def unitary_fingerprint(unitary: np.ndarray, decimals: int = 8) -> str:
+    """A global-phase-invariant hash of a unitary.
+
+    The matrix is rotated so its largest-magnitude entry is real-positive,
+    rounded, and hashed; unitaries equal up to global phase collide (by
+    design) and nothing else realistically does.
+    """
+    u = np.asarray(unitary, dtype=complex)
+    flat = u.ravel()
+    pivot = flat[np.argmax(np.abs(flat))]
+    if np.abs(pivot) > 1e-12:
+        u = u * (np.abs(pivot) / pivot)
+    rounded = np.round(u, decimals)
+    # Normalize signed zeros so -0.0 and 0.0 hash identically.
+    rounded = rounded + (0.0 + 0.0j)
+    return hashlib.sha256(rounded.tobytes()).hexdigest()
+
+
+def control_context_key(control_set: ControlSet, dt_ns: float, target_fidelity: float) -> tuple:
+    """The physical context under which a cached pulse remains valid."""
+    channels = tuple(
+        (ch.kind, tuple(q - control_set.qubits[0] for q in ch.qubits), round(ch.max_amplitude, 9))
+        for ch in control_set.channels
+    )
+    return (control_set.levels, channels, round(dt_ns, 9), round(target_fidelity, 9))
+
+
+@dataclass
+class CacheEntry:
+    """One cached minimum-time GRAPE outcome for a block unitary."""
+
+    schedule: PulseSchedule
+    duration_ns: float
+    fidelity: float
+    converged: bool
+    iterations: int
+
+
+@dataclass
+class PulseCache:
+    """In-memory cache of minimum-time GRAPE results."""
+
+    _entries: dict = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def key(self, unitary: np.ndarray, control_set: ControlSet, dt_ns: float, target_fidelity: float) -> tuple:
+        """Cache key: phase-canonical unitary fingerprint + physical context."""
+        return (
+            unitary_fingerprint(unitary),
+            control_context_key(control_set, dt_ns, target_fidelity),
+        )
+
+    def get(self, key: tuple) -> CacheEntry | None:
+        """Look up ``key``, counting the hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: CacheEntry) -> None:
+        """Store ``entry`` under ``key`` (overwrites)."""
+        self._entries[key] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,78 @@
+"""Parameter-monotonicity analysis (paper section 7.1).
+
+Both UCCSD and QAOA circuits apply one subcircuit per parameter, in
+parameter order, exactly once — so the θᵢ-dependent gates appear in
+monotonically non-decreasing ``i``.  Flexible partial compilation's deep
+single-parameter slices exist *because* of this property, so it is checked
+explicitly before slicing.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import CompilationError
+
+
+def parametrized_gate_sequence(circuit: QuantumCircuit) -> list:
+    """``(instruction_index, parameter)`` for every parameter-dependent gate.
+
+    Raises
+    ------
+    CompilationError
+        If any single gate depends on more than one parameter (cannot be
+        assigned to a single-θ slice).
+    """
+    out = []
+    for idx, inst in enumerate(circuit):
+        params = inst.parameters
+        if not params:
+            continue
+        if len(params) > 1:
+            names = sorted(p.name for p in params)
+            raise CompilationError(
+                f"gate {inst!r} depends on multiple parameters {names}; "
+                "flexible slicing requires single-parameter gates"
+            )
+        out.append((idx, next(iter(params))))
+    return out
+
+
+def parameter_appearance_order(circuit: QuantumCircuit) -> list:
+    """Parameters in order of first appearance along the instruction list."""
+    seen = []
+    for _, param in parametrized_gate_sequence(circuit):
+        if param not in seen:
+            seen.append(param)
+    return seen
+
+
+def is_parameter_monotonic(circuit: QuantumCircuit) -> bool:
+    """True when θᵢ-dependent gates appear in non-decreasing ``i``.
+
+    The paper's example: the angle sequence ``[θ1, θ1, θ2, θ3]`` is
+    monotonic; ``[θ1, θ2, θ3, θ1]`` is not.
+    """
+    ordered = sorted(circuit.parameters)
+    rank = {p: i for i, p in enumerate(ordered)}
+    last = -1
+    for _, param in parametrized_gate_sequence(circuit):
+        r = rank[param]
+        if r < last:
+            return False
+        last = r
+    return True
+
+
+def is_parameter_grouped(circuit: QuantumCircuit) -> bool:
+    """Weaker property: all gates of each θᵢ are consecutive among
+    parametrized gates (sufficient for single-parameter slicing even when
+    parameters appear out of index order)."""
+    seen: set = set()
+    current = None
+    for _, param in parametrized_gate_sequence(circuit):
+        if param != current:
+            if param in seen:
+                return False
+            seen.add(param)
+            current = param
+    return True

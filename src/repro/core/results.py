@@ -1,0 +1,83 @@
+"""Result records shared by all compilation strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pulse.schedule import PulseProgram
+
+
+@dataclass
+class CompiledPulse:
+    """The outcome of compiling one (bound) circuit down to pulses.
+
+    Attributes
+    ----------
+    method:
+        ``"gate"``, ``"grape"``, ``"strict"``, or ``"flexible"``.
+    program:
+        The block pulse program (ASAP-sequenced).
+    pulse_duration_ns:
+        Critical-path pulse duration — the paper's headline metric.
+    runtime_latency_s:
+        Wall-clock compilation latency paid *at run time*, i.e. inside the
+        variational loop.  Pre-computation is reported separately.
+    runtime_iterations:
+        GRAPE gradient iterations run at run time (hardware-independent
+        latency proxy).
+    blocks_compiled / cache_hits:
+        Work accounting for the run.
+    """
+
+    method: str
+    program: PulseProgram
+    pulse_duration_ns: float
+    runtime_latency_s: float
+    runtime_iterations: int = 0
+    blocks_compiled: int = 0
+    cache_hits: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class PrecompileReport:
+    """Accounting for a precompilation (pre-computation) phase.
+
+    This is the work the paper describes as "executed as pre-computation
+    step prior to executing the variational algorithm" — it is *not* part of
+    the per-iteration latency.
+    """
+
+    method: str
+    wall_time_s: float
+    grape_iterations: int
+    blocks_precompiled: int
+    parametrized_blocks: int = 0
+    cache_hits: int = 0
+    hyperopt_trials: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class LatencyComparison:
+    """Flexible-vs-full-GRAPE latency reduction (Figure 7 rows)."""
+
+    benchmark: str
+    full_grape_seconds: float
+    flexible_seconds: float
+    full_grape_iterations: int
+    flexible_iterations: int
+
+    @property
+    def wall_time_reduction(self) -> float:
+        """Full-GRAPE wall seconds over flexible wall seconds (Figure 7)."""
+        if self.flexible_seconds <= 0:
+            return float("inf")
+        return self.full_grape_seconds / self.flexible_seconds
+
+    @property
+    def iteration_reduction(self) -> float:
+        """Hardware-independent latency reduction: gradient-iteration ratio."""
+        if self.flexible_iterations <= 0:
+            return float("inf")
+        return self.full_grape_iterations / self.flexible_iterations

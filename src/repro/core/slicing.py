@@ -1,0 +1,132 @@
+"""Circuit slicing for partial compilation (paper sections 6 and 7).
+
+* :func:`strict_slices` — Figure 3b: a temporal cut at every
+  parameter-dependent gate, producing a strictly alternating sequence
+  ``[Fixed, Rz(θ₁), Fixed, Rz(θ₁), Fixed, Rz(θ₂), …]``.
+* :func:`flexible_slices` — Figure 3c: cuts only at parameter-group
+  boundaries (valid by parameter monotonicity), producing much deeper
+  subcircuits that each depend on exactly one θᵢ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.core.monotonic import is_parameter_grouped, parametrized_gate_sequence
+from repro.errors import CompilationError
+
+
+@dataclass
+class CircuitSlice:
+    """A contiguous instruction range with a single (or no) parameter tag.
+
+    ``kind`` is ``"fixed"`` (no parameter dependence) or ``"parametrized"``.
+    ``circuit`` is the slice's subcircuit at the full register width.
+    """
+
+    kind: str
+    parameter: Parameter | None
+    circuit: QuantumCircuit
+    instruction_indices: list = field(default_factory=list)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.circuit)
+
+    def __repr__(self) -> str:
+        tag = self.parameter.name if self.parameter else "-"
+        return f"Slice({self.kind}, θ={tag}, gates={self.num_gates})"
+
+
+def _make_slice(parent: QuantumCircuit, indices: list, kind: str, parameter) -> CircuitSlice:
+    sub = parent.sub_circuit(indices)
+    sub.name = f"{parent.name}_{kind}_{indices[0] if indices else 'empty'}"
+    return CircuitSlice(kind=kind, parameter=parameter, circuit=sub, instruction_indices=list(indices))
+
+
+def strict_slices(circuit: QuantumCircuit) -> list:
+    """Alternate maximal Fixed subcircuits with single parametrized gates.
+
+    Every parameter-dependent gate becomes its own single-gate slice; the
+    runs of parameter-independent gates between them become Fixed slices.
+    """
+    slices: list[CircuitSlice] = []
+    fixed_run: list[int] = []
+    for idx, inst in enumerate(circuit):
+        params = inst.parameters
+        if params:
+            if len(params) > 1:
+                names = sorted(p.name for p in params)
+                raise CompilationError(
+                    f"gate {inst!r} depends on several parameters {names}"
+                )
+            if fixed_run:
+                slices.append(_make_slice(circuit, fixed_run, "fixed", None))
+                fixed_run = []
+            slices.append(
+                _make_slice(circuit, [idx], "parametrized", next(iter(params)))
+            )
+        else:
+            fixed_run.append(idx)
+    if fixed_run:
+        slices.append(_make_slice(circuit, fixed_run, "fixed", None))
+    return slices
+
+
+def flexible_slices(circuit: QuantumCircuit) -> list:
+    """Slice at parameter-group boundaries (one θᵢ per slice).
+
+    The fixed prefix joins the first parametrized slice and the fixed
+    suffix joins the last, as in the paper's Figure 3c.  A circuit with no
+    parameters yields one Fixed slice.
+
+    Raises
+    ------
+    CompilationError
+        If the parametrized gates are not grouped consecutively per
+        parameter (parameter monotonicity violated).
+    """
+    if not circuit.parameters:
+        if len(circuit) == 0:
+            return []
+        return [_make_slice(circuit, list(range(len(circuit))), "fixed", None)]
+    if not is_parameter_grouped(circuit):
+        raise CompilationError(
+            "parametrized gates are interleaved across parameters; flexible "
+            "slicing requires parameter monotonicity (paper section 7.1)"
+        )
+    # Partition at the first gate of each new parameter group.
+    boundaries: list[tuple] = []  # (start_idx, parameter)
+    for idx, param in parametrized_gate_sequence(circuit):
+        if not boundaries or boundaries[-1][1] != param:
+            boundaries.append((idx, param))
+
+    slices: list[CircuitSlice] = []
+    for g, (start, param) in enumerate(boundaries):
+        begin = 0 if g == 0 else start  # fixed prefix joins the first slice
+        end = boundaries[g + 1][0] if g + 1 < len(boundaries) else len(circuit)
+        indices = list(range(begin, end))
+        slices.append(_make_slice(circuit, indices, "parametrized", param))
+    return slices
+
+
+def slice_parameter_counts(slices: list) -> dict:
+    """Histogram {kind: count} — used in tests and reporting."""
+    out: dict[str, int] = {}
+    for s in slices:
+        out[s.kind] = out.get(s.kind, 0) + 1
+    return out
+
+
+def parametrized_gate_fraction(circuit: QuantumCircuit) -> float:
+    """Fraction of gates that depend on a parameter.
+
+    The paper reports 5-8 % for VQE-UCCSD and 15-28 % for QAOA — the
+    quantity that determines how much strict partial compilation can win.
+    """
+    if len(circuit) == 0:
+        return 0.0
+    parametrized = sum(1 for inst in circuit if inst.parameters)
+    return parametrized / len(circuit)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid circuit operations."""
+
+
+class ParameterError(CircuitError):
+    """Raised for invalid symbolic-parameter operations (e.g. binding a
+    value to a parameter the expression does not contain)."""
+
+
+class TranspileError(ReproError):
+    """Raised when a transpiler pass cannot process a circuit."""
+
+
+class DeviceError(ReproError):
+    """Raised for invalid device topologies or out-of-range qubit indices."""
+
+
+class PulseError(ReproError):
+    """Raised for malformed pulse schedules or control arrays."""
+
+
+class GrapeError(ReproError):
+    """Raised when GRAPE optimization cannot be set up or fails to make
+    progress (e.g. infeasible time bounds in the minimum-time search)."""
+
+
+class BlockingError(ReproError):
+    """Raised when circuit blocking produces an invalid partition."""
+
+
+class CompilationError(ReproError):
+    """Raised by the partial-compilation engines for invalid inputs, such as
+    binding the wrong number of parameters at run time."""
+
+
+class VQEError(ReproError):
+    """Raised for invalid fermionic operators, molecules, or VQE setups."""
+
+
+class QAOAError(ReproError):
+    """Raised for invalid QAOA problem instances."""

@@ -1,0 +1,108 @@
+"""Matrix exponentials of Hermitian generators, vectorized and differentiable.
+
+GRAPE propagates ``U_k = exp(-i dt H_k)`` for hundreds of time slices per
+gradient step.  Two facts make this fast and exact:
+
+* ``numpy.linalg.eigh`` accepts stacked matrices ``(..., d, d)``, so all time
+  slices are diagonalized in one call.
+* In the eigenbasis of ``H``, the Fréchet (directional) derivative of
+  ``f(H) = exp(-i dt H)`` along a perturbation ``V`` has the closed form
+  ``V_eig ∘ Γ`` where ``Γ_ij = (f(λ_i) - f(λ_j)) / (λ_i - λ_j)`` (divided
+  differences, with the diagonal given by ``f'(λ_i)``).  This gives *exact*
+  analytic gradients — no small-``dt`` approximation — matching the
+  "gradients computed analytically" methodology of the paper's GRAPE
+  implementation [Leung et al. 2017].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def expm_hermitian(hamiltonians: np.ndarray, dt: float) -> np.ndarray:
+    """Compute ``exp(-1j * dt * H)`` for one or a stack of Hermitian ``H``.
+
+    Parameters
+    ----------
+    hamiltonians:
+        Array of shape ``(d, d)`` or ``(n, d, d)``; each matrix must be
+        Hermitian.
+    dt:
+        Time-step scale factor.
+
+    Returns
+    -------
+    numpy.ndarray
+        Unitaries with the same leading shape as the input.
+    """
+    h = np.asarray(hamiltonians, dtype=complex)
+    if h.ndim < 2 or h.shape[-1] != h.shape[-2]:
+        raise ReproError(f"expected square matrices, got shape {h.shape}")
+    eigvals, eigvecs = np.linalg.eigh(h)
+    phases = np.exp(-1j * dt * eigvals)
+    # V diag(phases) V†, batched.
+    return np.einsum(
+        "...ij,...j,...kj->...ik", eigvecs, phases, eigvecs.conj(), optimize=True
+    )
+
+
+def expm_hermitian_frechet(
+    hamiltonian: np.ndarray,
+    directions: np.ndarray,
+    dt: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exponential and its exact Fréchet derivatives along ``directions``.
+
+    Computes ``U = exp(-1j dt H)`` together with ``dU/ds`` for each direction
+    ``D`` in ``directions``, where ``H(s) = H + s D``.
+
+    Parameters
+    ----------
+    hamiltonian:
+        Hermitian matrix of shape ``(d, d)``.
+    directions:
+        Array of shape ``(m, d, d)``; each Hermitian perturbation direction.
+    dt:
+        Time-step scale factor.
+
+    Returns
+    -------
+    tuple
+        ``(U, dU)`` with ``U`` of shape ``(d, d)`` and ``dU`` of shape
+        ``(m, d, d)``.
+    """
+    h = np.asarray(hamiltonian, dtype=complex)
+    dirs = np.asarray(directions, dtype=complex)
+    if dirs.ndim == 2:
+        dirs = dirs[None]
+    eigvals, eigvecs = np.linalg.eigh(h)
+    phases = np.exp(-1j * dt * eigvals)
+    unitary = (eigvecs * phases) @ eigvecs.conj().T
+
+    gamma = _divided_differences(eigvals, phases, dt)
+    # Transform each direction into the eigenbasis, apply the Loewner mask,
+    # and transform back: dU = V ((V† D V) ∘ Γ) V†.
+    d_eig = np.einsum("ji,mjk,kl->mil", eigvecs.conj(), dirs, eigvecs, optimize=True)
+    d_eig *= gamma
+    derivative = np.einsum("ij,mjk,lk->mil", eigvecs, d_eig, eigvecs.conj(), optimize=True)
+    return unitary, derivative
+
+
+def _divided_differences(eigvals: np.ndarray, phases: np.ndarray, dt: float) -> np.ndarray:
+    """Loewner matrix of divided differences for ``f(x) = exp(-1j dt x)``.
+
+    Off-diagonal: ``(f(λ_i) - f(λ_j)) / (λ_i - λ_j)``; diagonal (and nearly
+    degenerate pairs): ``f'(λ) = -1j dt f(λ)``.
+    """
+    diff = eigvals[:, None] - eigvals[None, :]
+    num = phases[:, None] - phases[None, :]
+    # Mask near-degenerate pairs where the quotient is numerically unstable.
+    degenerate = np.abs(diff) < 1e-12
+    safe = np.where(degenerate, 1.0, diff)
+    gamma = num / safe
+    derivative_diag = -1j * dt * phases
+    # Broadcast f'(λ_i) onto degenerate pairs (exact in the limit λ_i -> λ_j).
+    gamma = np.where(degenerate, derivative_diag[:, None], gamma)
+    return gamma

@@ -1,0 +1,146 @@
+"""Elementary operators and operator embedding.
+
+All operators are plain ``numpy.ndarray`` with dtype ``complex128``.  The
+qubit ordering convention throughout the library is *big-endian*: qubit 0 is
+the most significant bit of the basis-state index, matching the usual
+textbook matrices (``CX`` controlled on qubit 0 flips qubit 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: 2x2 identity.
+IDENTITY = np.eye(2, dtype=complex)
+
+#: Pauli X (bit flip).
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+
+#: Pauli Y.
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+#: Pauli Z (phase flip).
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+_PAULIS = {"I": IDENTITY, "X": PAULI_X, "Y": PAULI_Y, "Z": PAULI_Z}
+
+
+def pauli_matrix(label: str) -> np.ndarray:
+    """Return the matrix of a tensor product of Paulis.
+
+    ``label`` is a string over ``IXYZ``; character ``k`` acts on qubit ``k``
+    (big-endian).  ``pauli_matrix("XI")`` is ``X ⊗ I``.
+    """
+    if not label:
+        raise ReproError("empty Pauli label")
+    try:
+        factors = [_PAULIS[ch] for ch in label.upper()]
+    except KeyError as exc:
+        raise ReproError(f"invalid Pauli character in {label!r}") from exc
+    return kron_all(factors)
+
+
+def kron_all(factors: Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of matrices, left to right."""
+    result = None
+    for factor in factors:
+        result = np.array(factor, dtype=complex) if result is None else np.kron(result, factor)
+    if result is None:
+        raise ReproError("kron_all requires at least one factor")
+    return result
+
+
+def annihilation_operator(levels: int = 2) -> np.ndarray:
+    """Truncated bosonic annihilation operator ``a`` on ``levels`` levels.
+
+    For ``levels=2`` this is the qubit lowering operator; ``levels=3`` gives
+    the qutrit truncation used for leakage modelling (paper section 8.3).
+    """
+    if levels < 2:
+        raise ReproError(f"need at least 2 levels, got {levels}")
+    op = np.zeros((levels, levels), dtype=complex)
+    for n in range(1, levels):
+        op[n - 1, n] = np.sqrt(n)
+    return op
+
+
+def creation_operator(levels: int = 2) -> np.ndarray:
+    """Truncated bosonic creation operator ``a†`` on ``levels`` levels."""
+    return annihilation_operator(levels).conj().T
+
+
+def number_operator(levels: int = 2) -> np.ndarray:
+    """Number operator ``a† a``; for a qubit this is ``|1><1|``."""
+    return np.diag(np.arange(levels, dtype=complex))
+
+
+def embed_operator(
+    op: np.ndarray,
+    targets: Sequence[int],
+    n_sites: int,
+    levels: int = 2,
+) -> np.ndarray:
+    """Embed ``op`` acting on ``targets`` into an ``n_sites``-site space.
+
+    ``op`` must act on ``len(targets)`` sites of dimension ``levels`` each,
+    i.e. have shape ``(levels**len(targets),) * 2``.  ``targets`` lists the
+    site indices in the order of ``op``'s tensor factors.  Sites are
+    big-endian: site 0 is the most significant digit.
+
+    This is the workhorse for building block Hamiltonians and for lifting
+    gate matrices onto full registers.
+    """
+    targets = list(targets)
+    if len(set(targets)) != len(targets):
+        raise ReproError(f"duplicate targets in {targets}")
+    if any(t < 0 or t >= n_sites for t in targets):
+        raise ReproError(f"targets {targets} out of range for {n_sites} sites")
+    k = len(targets)
+    expected = levels**k
+    if op.shape != (expected, expected):
+        raise ReproError(
+            f"operator shape {op.shape} does not match {k} sites of dimension {levels}"
+        )
+
+    # Reshape into a rank-2k tensor, one axis pair per target site, then
+    # contract into the identity on the remaining sites via transposition.
+    dim = levels**n_sites
+    full = np.zeros((dim, dim), dtype=complex)
+    others = [q for q in range(n_sites) if q not in targets]
+    op_tensor = op.reshape([levels] * (2 * k))
+
+    # Build the permutation that maps (targets..., others...) -> site order.
+    order = targets + others
+    perm = np.argsort(order)
+
+    eye = np.eye(levels ** len(others), dtype=complex).reshape([levels] * (2 * len(others)))
+    # Tensor product in (targets, others) order: axes are
+    # (t_out..., o_out..., t_in..., o_in...) after moveaxis below.
+    combined = np.tensordot(op_tensor, eye, axes=0)
+    # combined axes: t_out(k), t_in(k), o_out(m), o_in(m)
+    m = len(others)
+    out_axes = list(range(0, k)) + list(range(2 * k, 2 * k + m))
+    in_axes = list(range(k, 2 * k)) + list(range(2 * k + m, 2 * k + 2 * m))
+    combined = np.transpose(combined, out_axes + in_axes)
+    # Now axes are (out sites in `order` order, in sites in `order` order);
+    # permute each group into ascending site order.
+    combined = np.transpose(combined, list(perm) + [n_sites + p for p in perm])
+    full[:, :] = combined.reshape(dim, dim)
+    return full
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """True if ``matrix`` equals its conjugate transpose within ``atol``."""
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """True if ``matrix`` is unitary within ``atol``."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    dim = matrix.shape[0]
+    return bool(np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=atol))

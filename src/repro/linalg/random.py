@@ -1,0 +1,40 @@
+"""Seeded random unitaries, states, and Hermitian matrices.
+
+Used by tests (property-based invariants need arbitrary inputs) and by the
+benchmark harness (the paper fixes randomization seeds "for both
+reproducibility and consistency between identical benchmarks"; so do we).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def haar_random_unitary(dim: int, seed: int | np.random.Generator | None = None) -> np.ndarray:
+    """Haar-distributed random unitary via QR of a Ginibre matrix."""
+    rng = _rng(seed)
+    ginibre = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(ginibre)
+    # Fix the phase ambiguity of QR so the distribution is exactly Haar.
+    phases = np.diagonal(r) / np.abs(np.diagonal(r))
+    return q * phases
+
+
+def haar_random_state(dim: int, seed: int | np.random.Generator | None = None) -> np.ndarray:
+    """Haar-random pure state vector of dimension ``dim``."""
+    rng = _rng(seed)
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return vec / np.linalg.norm(vec)
+
+
+def random_hermitian(dim: int, seed: int | np.random.Generator | None = None) -> np.ndarray:
+    """Random Hermitian matrix with Gaussian entries (GUE-like, unnormalized)."""
+    rng = _rng(seed)
+    raw = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    return (raw + raw.conj().T) / 2.0

@@ -1,0 +1,74 @@
+"""Unitary comparison and fidelity measures.
+
+The GRAPE objective is the phase-insensitive trace fidelity
+``F = |Tr(U_target† U)|² / d²`` (paper section 7.2 cost functions); the same
+measure is used across tests to compare compiled circuits against target
+unitaries up to global phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def trace_fidelity(target: np.ndarray, actual: np.ndarray) -> float:
+    """Phase-insensitive gate fidelity ``|Tr(target† actual)|² / d²``.
+
+    Equals 1 exactly when ``actual`` matches ``target`` up to global phase,
+    and decreases smoothly with distance; this is the fidelity GRAPE
+    maximizes.
+    """
+    target = np.asarray(target, dtype=complex)
+    actual = np.asarray(actual, dtype=complex)
+    if target.shape != actual.shape:
+        raise ReproError(f"shape mismatch {target.shape} vs {actual.shape}")
+    d = target.shape[0]
+    overlap = np.trace(target.conj().T @ actual)
+    return float(np.abs(overlap) ** 2 / d**2)
+
+
+def process_fidelity(target: np.ndarray, actual: np.ndarray) -> float:
+    """Alias of :func:`trace_fidelity` under its quantum-information name."""
+    return trace_fidelity(target, actual)
+
+
+def average_gate_fidelity(target: np.ndarray, actual: np.ndarray) -> float:
+    """Average gate fidelity ``(d·F_pro + 1) / (d + 1)``."""
+    d = np.asarray(target).shape[0]
+    return (d * trace_fidelity(target, actual) + 1.0) / (d + 1.0)
+
+
+def unitaries_equal_up_to_phase(
+    first: np.ndarray, second: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """True when ``first = e^{iφ} second`` for some global phase ``φ``."""
+    first = np.asarray(first, dtype=complex)
+    second = np.asarray(second, dtype=complex)
+    if first.shape != second.shape:
+        return False
+    overlap = np.trace(second.conj().T @ first)
+    d = first.shape[0]
+    if np.abs(overlap) < 1e-12:
+        return False
+    phase = overlap / np.abs(overlap)
+    return bool(np.allclose(first, phase * second, atol=atol))
+
+
+def global_phase_aligned(reference: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Return ``matrix`` multiplied by the phase that best aligns it with
+    ``reference`` (the phase of ``Tr(reference† matrix)``)."""
+    overlap = np.trace(np.asarray(reference).conj().T @ np.asarray(matrix))
+    if np.abs(overlap) < 1e-12:
+        return np.asarray(matrix, dtype=complex)
+    return np.asarray(matrix, dtype=complex) * (np.abs(overlap) / overlap)
+
+
+def closest_unitary(matrix: np.ndarray) -> np.ndarray:
+    """Project a matrix onto the unitary group via its polar decomposition.
+
+    Used to clean up numerically drifted products of many propagators.
+    """
+    u, _, vh = np.linalg.svd(np.asarray(matrix, dtype=complex))
+    return u @ vh

@@ -1,0 +1,39 @@
+"""Pulse-level device model and control schedules.
+
+Implements the gmon superconducting-qubit system of the paper's Appendix A:
+per-qubit charge drives (Rx-type, |Ω| ≤ 2π·0.1 GHz), per-qubit flux drives
+(Rz-type, |Ω| ≤ 2π·1.5 GHz — the 15x Z/X asymmetry GRAPE exploits), and a
+tunable coupler per connected pair (|g| ≤ 2π·50 MHz, iSWAP-type).  Supports
+the binary-qubit truncation and the 3-level qutrit truncation used for
+leakage studies (paper section 8.3).
+"""
+
+from repro.pulse.device import GmonDevice, ControlChannel
+from repro.pulse.hamiltonian import ControlSet, build_control_set, embed_target_unitary
+from repro.pulse.schedule import PulseSchedule, PulseProgram
+from repro.pulse.verify import BlockVerification, propagate_schedule, verify_block
+from repro.pulse.assembly import (
+    MicroinstructionTable,
+    ParametricRzOp,
+    PulseAssembly,
+    PulseOp,
+    assembly_from_strict_plan,
+)
+
+__all__ = [
+    "MicroinstructionTable",
+    "ParametricRzOp",
+    "PulseAssembly",
+    "PulseOp",
+    "assembly_from_strict_plan",
+    "ControlChannel",
+    "ControlSet",
+    "GmonDevice",
+    "PulseProgram",
+    "PulseSchedule",
+    "BlockVerification",
+    "propagate_schedule",
+    "verify_block",
+    "build_control_set",
+    "embed_target_unitary",
+]

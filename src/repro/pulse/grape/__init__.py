@@ -1,0 +1,34 @@
+"""GRAPE — GRadient Ascent Pulse Engineering, from scratch.
+
+Follows the methodology of the paper's section 5 (after Leung et al. 2017):
+piecewise-constant control fields, exact analytic gradients (here via the
+eigenbasis Fréchet derivative rather than autodiff), an ADAM optimizer whose
+learning rate and decay are the hyperparameters flexible partial compilation
+tunes, and a binary search for the minimum pulse time (section 5.3).
+"""
+
+from repro.pulse.grape.adam import AdamOptimizer
+from repro.pulse.grape.lbfgs import LBFGSOptimizer
+from repro.pulse.grape.controls import initial_controls
+from repro.pulse.grape.cost import GrapeCost, RegularizationSettings
+from repro.pulse.grape.engine import (
+    GrapeHyperparameters,
+    GrapeResult,
+    GrapeSettings,
+    optimize_pulse,
+)
+from repro.pulse.grape.time_search import MinimumTimeResult, minimum_time_pulse
+
+__all__ = [
+    "AdamOptimizer",
+    "LBFGSOptimizer",
+    "GrapeCost",
+    "GrapeHyperparameters",
+    "GrapeResult",
+    "GrapeSettings",
+    "MinimumTimeResult",
+    "RegularizationSettings",
+    "initial_controls",
+    "minimum_time_pulse",
+    "optimize_pulse",
+]

@@ -1,0 +1,39 @@
+"""QAOA substrate: MAXCUT problems, benchmark graphs, circuits, driver.
+
+The paper benchmarks QAOA MAXCUT on 3-regular and Erdős–Rényi graphs of 6
+and 8 nodes, with p = 1…8 rounds (Table 3, Figure 6), plus the 4-node clique
+for Figure 2.
+"""
+
+from repro.qaoa.graphs import benchmark_graph, clique_graph, graph_edges
+from repro.qaoa.maxcut import (
+    MaxCutProblem,
+    cut_value,
+    maxcut_hamiltonian,
+    maxcut_problem,
+)
+from repro.qaoa.circuits import qaoa_circuit
+from repro.qaoa.classical import (
+    ClassicalCutResult,
+    goemans_williamson,
+    greedy_local_search,
+    random_cut,
+)
+from repro.qaoa.driver import QAOADriver, QAOAResult
+
+__all__ = [
+    "random_cut",
+    "greedy_local_search",
+    "goemans_williamson",
+    "ClassicalCutResult",
+    "MaxCutProblem",
+    "QAOADriver",
+    "QAOAResult",
+    "benchmark_graph",
+    "clique_graph",
+    "cut_value",
+    "graph_edges",
+    "maxcut_hamiltonian",
+    "maxcut_problem",
+    "qaoa_circuit",
+]

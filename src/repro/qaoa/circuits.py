@@ -1,0 +1,53 @@
+"""QAOA circuit construction.
+
+One round applies the Cost-Optimization unitary ``exp(-i γ Σ Z_i Z_j / …)``
+(an ``Rzz(2γ)`` per edge) then the Mixing unitary ``exp(-i β Σ X_q)`` (an
+``Rx(2β)`` per qubit).  The 2p parameters are named ``theta_0 … theta_{2p-1}``
+with γ_k = θ_{2k} and β_k = θ_{2k+1}, so their index order equals their
+appearance order — parameter monotonicity by construction (paper §7.1:
+"once the corresponding Mixing or Cost-Optimization has been applied, the
+circuit no longer depends on that parameter").
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.errors import QAOAError
+from repro.qaoa.graphs import graph_edges
+from repro.qaoa.maxcut import MaxCutProblem
+
+
+def qaoa_circuit(problem: MaxCutProblem | nx.Graph, p: int, name: str | None = None) -> QuantumCircuit:
+    """The p-round QAOA MAXCUT ansatz for ``problem``.
+
+    Returns a parametrized circuit over ``2p`` symbolic parameters.
+    """
+    if p < 1:
+        raise QAOAError(f"need at least one round, got p={p}")
+    if isinstance(problem, MaxCutProblem):
+        graph = problem.graph
+        base_name = name or f"qaoa_{problem.kind}_n{problem.num_nodes}_p{p}"
+    else:
+        graph = problem
+        base_name = name or f"qaoa_n{graph.number_of_nodes()}_p{p}"
+    num_qubits = graph.number_of_nodes()
+    edges = graph_edges(graph)
+    if not edges:
+        raise QAOAError("graph has no edges")
+
+    circuit = QuantumCircuit(num_qubits, name=base_name)
+    for q in range(num_qubits):
+        circuit.h(q)
+    for round_index in range(p):
+        gamma = Parameter(f"theta_{2 * round_index}", index=2 * round_index)
+        beta = Parameter(f"theta_{2 * round_index + 1}", index=2 * round_index + 1)
+        # Cost-Optimization step: exp(-i γ (Z_i Z_j)/2 · 2) per edge.
+        for a, b in edges:
+            circuit.rzz(2.0 * gamma, a, b)
+        # Mixing step.
+        for q in range(num_qubits):
+            circuit.rx(2.0 * beta, q)
+    return circuit

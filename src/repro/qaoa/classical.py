@@ -1,0 +1,186 @@
+"""Classical MAXCUT baselines: Goemans-Williamson, greedy, random.
+
+The paper positions QAOA against "the best-known classical algorithm,
+Goemans-Williamson" (section 4.2, citing Crooks' finding of mean parity at
+p = 5 on 10-node graphs).  To make that comparison executable offline, the
+GW semidefinite relaxation is solved with a Burer-Monteiro low-rank
+factorization — projected gradient ascent over unit vectors — followed by
+the classic random-hyperplane rounding.  On the benchmark-sized graphs
+(≤ 10 nodes) this reliably reaches the SDP optimum, and the rounded cuts
+carry the 0.878-approximation guarantee in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import QAOAError
+from repro.qaoa.graphs import graph_edges
+from repro.qaoa.maxcut import cut_value
+
+__all__ = [
+    "ClassicalCutResult",
+    "goemans_williamson",
+    "greedy_local_search",
+    "random_cut",
+    "sdp_relaxation_vectors",
+]
+
+#: The Goemans-Williamson approximation constant α ≈ 0.878.
+GW_ALPHA = 0.8785672
+
+_BITS = ("0", "1")
+
+
+@dataclass(frozen=True)
+class ClassicalCutResult:
+    """Outcome of a classical MAXCUT heuristic."""
+
+    algorithm: str
+    bitstring: str
+    cut: int
+    expected_cut: float
+    relaxation_value: float | None = None
+
+    def approximation_ratio(self, optimal_cut: int) -> float:
+        """``cut / optimal_cut``; raises unless the optimum is positive."""
+        if optimal_cut <= 0:
+            raise QAOAError("optimal cut must be positive")
+        return self.cut / optimal_cut
+
+
+def _validate(graph: nx.Graph) -> None:
+    if graph.number_of_nodes() < 2 or graph.number_of_edges() < 1:
+        raise QAOAError("MAXCUT needs a graph with at least one edge")
+
+
+def _bits_from_signs(signs: np.ndarray) -> str:
+    return "".join(_BITS[int(s > 0)] for s in signs)
+
+
+def sdp_relaxation_vectors(
+    graph: nx.Graph,
+    rank: int | None = None,
+    iterations: int = 400,
+    step: float = 0.2,
+    seed: int = 0,
+) -> tuple:
+    """Solve the GW SDP via Burer-Monteiro projected gradient ascent.
+
+    Maximizes ``Σ_(i,j) (1 - vᵢ·vⱼ) / 2`` over unit vectors ``vᵢ ∈ R^k``.
+    For ``k > sqrt(2n)`` the low-rank problem has no spurious local optima
+    (Burer-Monteiro guarantee), so gradient ascent converges to the SDP
+    value.  Returns ``(vectors, relaxation_value)``.
+    """
+    _validate(graph)
+    n = graph.number_of_nodes()
+    if rank is None:
+        rank = max(3, int(np.ceil(np.sqrt(2 * n))) + 1)
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, rank))
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+
+    adjacency = np.zeros((n, n))
+    for a, b in graph_edges(graph):
+        adjacency[a, b] = adjacency[b, a] = 1.0
+
+    for _ in range(iterations):
+        # ∂/∂vᵢ Σ (1 - vᵢ·vⱼ)/2 = -Σ_j A_ij vⱼ / 2: ascend its direction.
+        gradient = -adjacency @ vectors / 2
+        vectors = vectors + step * gradient
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+
+    gram = vectors @ vectors.T
+    relaxation = sum(
+        (1.0 - gram[a, b]) / 2 for a, b in graph_edges(graph)
+    )
+    return vectors, float(relaxation)
+
+
+def goemans_williamson(
+    graph: nx.Graph,
+    num_rounds: int = 64,
+    seed: int = 0,
+    rank: int | None = None,
+    iterations: int = 400,
+) -> ClassicalCutResult:
+    """Goemans-Williamson: SDP relaxation + random-hyperplane rounding.
+
+    ``num_rounds`` independent hyperplanes are drawn; the best rounded cut
+    is returned, with the mean rounded cut as ``expected_cut``.
+    """
+    vectors, relaxation = sdp_relaxation_vectors(
+        graph, rank=rank, iterations=iterations, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    best_bits, best_cut, cuts = "", -1, []
+    for _ in range(max(1, num_rounds)):
+        hyperplane = rng.normal(size=vectors.shape[1])
+        bits = _bits_from_signs(vectors @ hyperplane)
+        cut = cut_value(graph, bits)
+        cuts.append(cut)
+        if cut > best_cut:
+            best_bits, best_cut = bits, cut
+    return ClassicalCutResult(
+        algorithm="goemans-williamson",
+        bitstring=best_bits,
+        cut=best_cut,
+        expected_cut=float(np.mean(cuts)),
+        relaxation_value=relaxation,
+    )
+
+
+def random_cut(graph: nx.Graph, num_samples: int = 64, seed: int = 0) -> ClassicalCutResult:
+    """Uniformly random assignment baseline (expected cut = |E| / 2)."""
+    _validate(graph)
+    rng = np.random.default_rng(seed)
+    n = graph.number_of_nodes()
+    best_bits, best_cut, cuts = "", -1, []
+    for _ in range(max(1, num_samples)):
+        bits = "".join(rng.choice(_BITS, size=n))
+        cut = cut_value(graph, bits)
+        cuts.append(cut)
+        if cut > best_cut:
+            best_bits, best_cut = bits, cut
+    return ClassicalCutResult(
+        algorithm="random",
+        bitstring=best_bits,
+        cut=best_cut,
+        expected_cut=float(np.mean(cuts)),
+    )
+
+
+def greedy_local_search(
+    graph: nx.Graph, seed: int = 0, max_sweeps: int = 100
+) -> ClassicalCutResult:
+    """1-flip local search from a random start (cut ≥ |E|/2 at a local opt).
+
+    At a local optimum every vertex has at least half its edges cut, which
+    gives the classic 1/2-approximation guarantee this baseline is tested
+    against.
+    """
+    _validate(graph)
+    rng = np.random.default_rng(seed)
+    n = graph.number_of_nodes()
+    sides = rng.integers(0, 2, size=n)
+    adjacency = [list(graph.neighbors(v)) for v in range(n)]
+    for _ in range(max_sweeps):
+        improved = False
+        for v in range(n):
+            cut_edges = sum(sides[u] != sides[v] for u in adjacency[v])
+            if 2 * cut_edges < len(adjacency[v]):
+                sides[v] ^= 1
+                improved = True
+        if not improved:
+            break
+    bits = "".join(_BITS[s] for s in sides)
+    cut = cut_value(graph, bits)
+    return ClassicalCutResult(
+        algorithm="greedy-local",
+        bitstring=bits,
+        cut=cut,
+        expected_cut=float(cut),
+    )

@@ -1,0 +1,54 @@
+"""Benchmark graph families (paper section 4.2).
+
+"For each (N, p) pair, we benchmark for two types of random graphs:
+3-regular (each node is connected to three neighbors) and Erdos-Renyi (each
+possible edge is included with 50 % probability)."  Seeds are fixed for
+reproducibility, as in the paper.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import QAOAError
+
+GRAPH_KINDS = ("3regular", "erdosrenyi", "clique")
+
+
+def benchmark_graph(kind: str, num_nodes: int, seed: int = 0) -> nx.Graph:
+    """A seeded benchmark graph of the requested family.
+
+    ``kind`` ∈ {"3regular", "erdosrenyi", "clique"}.  Erdős–Rényi graphs are
+    re-sampled (deterministically) until connected, so every benchmark
+    instance is a single component.
+    """
+    kind = kind.lower().replace("-", "").replace("_", "")
+    if kind in ("3regular", "regular"):
+        if num_nodes <= 3 or (3 * num_nodes) % 2 != 0:
+            raise QAOAError(
+                f"no 3-regular graph on {num_nodes} nodes (need even n > 3)"
+            )
+        return nx.random_regular_graph(3, num_nodes, seed=seed)
+    if kind in ("erdosrenyi", "er"):
+        if num_nodes < 2:
+            raise QAOAError("Erdős–Rényi graphs need at least 2 nodes")
+        for attempt in range(100):
+            graph = nx.erdos_renyi_graph(num_nodes, 0.5, seed=seed + 1000 * attempt)
+            if graph.number_of_edges() > 0 and nx.is_connected(graph):
+                return graph
+        raise QAOAError(f"failed to sample a connected ER graph on {num_nodes} nodes")
+    if kind == "clique":
+        return clique_graph(num_nodes)
+    raise QAOAError(f"unknown graph kind {kind!r}; available: {GRAPH_KINDS}")
+
+
+def clique_graph(num_nodes: int) -> nx.Graph:
+    """The complete graph K_n (Figure 2 uses the 4-node clique)."""
+    if num_nodes < 2:
+        raise QAOAError("cliques need at least 2 nodes")
+    return nx.complete_graph(num_nodes)
+
+
+def graph_edges(graph: nx.Graph) -> tuple:
+    """Sorted edge tuples of ``graph`` (deterministic iteration order)."""
+    return tuple(sorted(tuple(sorted(e)) for e in graph.edges))

@@ -1,0 +1,81 @@
+"""MAXCUT cost functions and problem instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import QAOAError
+from repro.qaoa.graphs import benchmark_graph, graph_edges
+from repro.sim.pauli import PauliString, PauliSum
+
+
+def maxcut_hamiltonian(graph: nx.Graph) -> PauliSum:
+    """The minimization Hamiltonian ``H = Σ_(i,j) (Z_i Z_j - 1) / 2``.
+
+    Its ground energy is ``-maxcut(graph)``: minimizing ⟨H⟩ maximizes the
+    expected cut.
+    """
+    num_nodes = graph.number_of_nodes()
+    if num_nodes < 1:
+        raise QAOAError("empty graph")
+    terms = []
+    for a, b in graph_edges(graph):
+        terms.append(PauliString.from_sparse(num_nodes, {a: "Z", b: "Z"}, 0.5))
+        terms.append(PauliString("I" * num_nodes, -0.5))
+    return PauliSum(terms)
+
+
+def cut_value(graph: nx.Graph, bitstring: str) -> int:
+    """Number of edges cut by the partition encoded in ``bitstring``."""
+    if len(bitstring) != graph.number_of_nodes():
+        raise QAOAError(
+            f"bitstring length {len(bitstring)} != {graph.number_of_nodes()} nodes"
+        )
+    return sum(1 for a, b in graph.edges if bitstring[a] != bitstring[b])
+
+
+def exact_maxcut(graph: nx.Graph) -> int:
+    """Brute-force optimum (benchmark graphs are ≤ 10 nodes)."""
+    n = graph.number_of_nodes()
+    if n > 20:
+        raise QAOAError("brute-force MAXCUT is limited to 20 nodes")
+    best = 0
+    for assignment in range(1 << (n - 1)):  # fix node 0's side by symmetry
+        bits = format(assignment << 1, f"0{n}b")
+        best = max(best, cut_value(graph, bits))
+    return best
+
+
+@dataclass(frozen=True)
+class MaxCutProblem:
+    """A QAOA MAXCUT benchmark instance."""
+
+    kind: str
+    num_nodes: int
+    seed: int
+    graph: nx.Graph
+    hamiltonian: PauliSum
+    optimal_cut: int
+
+    @property
+    def name(self) -> str:
+        return f"maxcut_{self.kind}_n{self.num_nodes}_s{self.seed}"
+
+    @property
+    def edges(self) -> tuple:
+        return graph_edges(self.graph)
+
+
+def maxcut_problem(kind: str, num_nodes: int, seed: int = 0) -> MaxCutProblem:
+    """Build a seeded benchmark instance with its exact optimum."""
+    graph = benchmark_graph(kind, num_nodes, seed=seed)
+    return MaxCutProblem(
+        kind=kind,
+        num_nodes=num_nodes,
+        seed=seed,
+        graph=graph,
+        hamiltonian=maxcut_hamiltonian(graph),
+        optimal_cut=exact_maxcut(graph),
+    )

@@ -1,0 +1,18 @@
+"""Statevector simulation, circuit unitaries, and Pauli observables."""
+
+from repro.sim.density import DensityMatrix, NoiseModel, simulate_noisy, success_probability_with_speedup
+from repro.sim.statevector import Statevector, simulate
+from repro.sim.unitary import circuit_unitary
+from repro.sim.pauli import PauliString, PauliSum
+
+__all__ = [
+    "DensityMatrix",
+    "NoiseModel",
+    "PauliString",
+    "PauliSum",
+    "Statevector",
+    "circuit_unitary",
+    "simulate",
+    "simulate_noisy",
+    "success_probability_with_speedup",
+]

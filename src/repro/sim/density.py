@@ -1,0 +1,177 @@
+"""Density-matrix simulation with duration-dependent decoherence.
+
+The paper's central physical argument is that "error due to decoherence
+scales exponentially with quantum runtime", so shorter pulses translate
+directly into higher success probability.  This module makes that argument
+executable: a :class:`DensityMatrix` simulator applies each gate's unitary
+*followed by* amplitude-damping (T1) and pure-dephasing (T2) channels whose
+strengths depend on the gate's pulse duration.  Running the same circuit
+with gate-based durations versus GRAPE durations shows the fidelity gap the
+pulse speedups buy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import CircuitError, ReproError
+from repro.linalg.operators import embed_operator
+from repro.sim.statevector import Statevector
+from repro.transpile.schedule import gate_duration_ns
+
+#: Representative gmon coherence times (ns).
+DEFAULT_T1_NS = 20_000.0
+DEFAULT_T2_NS = 15_000.0
+
+
+class NoiseModel:
+    """Per-qubit amplitude damping and dephasing from T1/T2 times.
+
+    For a gate of duration ``t`` the damping probability is
+    ``γ = 1 - exp(-t / T1)`` and the extra pure-dephasing probability is
+    ``λ = 1 - exp(-t (1/T2 - 1/(2 T1)))`` (requires T2 ≤ 2·T1).
+    """
+
+    def __init__(self, t1_ns: float = DEFAULT_T1_NS, t2_ns: float | None = None):
+        if t2_ns is None:
+            t2_ns = min(DEFAULT_T2_NS, t1_ns)
+        if t1_ns <= 0 or t2_ns <= 0:
+            raise ReproError("coherence times must be positive")
+        if t2_ns > 2 * t1_ns:
+            raise ReproError(f"T2 = {t2_ns} exceeds the physical bound 2·T1 = {2 * t1_ns}")
+        self.t1_ns = t1_ns
+        self.t2_ns = t2_ns
+
+    def damping_probability(self, duration_ns: float) -> float:
+        return 1.0 - math.exp(-duration_ns / self.t1_ns)
+
+    def dephasing_probability(self, duration_ns: float) -> float:
+        rate = 1.0 / self.t2_ns - 0.5 / self.t1_ns
+        return 1.0 - math.exp(-duration_ns * rate)
+
+    def kraus_operators(self, duration_ns: float) -> list:
+        """Single-qubit Kraus set combining damping then dephasing."""
+        gamma = self.damping_probability(duration_ns)
+        lam = self.dephasing_probability(duration_ns)
+        damp = [
+            np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex),
+            np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex),
+        ]
+        dephase = [
+            math.sqrt(1 - lam) * np.eye(2, dtype=complex),
+            math.sqrt(lam) * np.diag([1.0, -1.0]).astype(complex),
+        ]
+        kraus = [d @ a for a in damp for d in dephase]
+        return kraus
+
+
+class DensityMatrix:
+    """A mixed state of ``num_qubits`` qubits."""
+
+    def __init__(self, data: np.ndarray):
+        rho = np.asarray(data, dtype=complex)
+        n = int(np.log2(rho.shape[0]))
+        if rho.shape != (2**n, 2**n):
+            raise CircuitError(f"invalid density-matrix shape {rho.shape}")
+        self.num_qubits = n
+        self.data = rho
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        dim = 2**num_qubits
+        rho = np.zeros((dim, dim), dtype=complex)
+        rho[0, 0] = 1.0
+        return cls(rho)
+
+    @classmethod
+    def from_statevector(cls, state: Statevector) -> "DensityMatrix":
+        return cls(np.outer(state.data, state.data.conj()))
+
+    # -- channels -----------------------------------------------------------
+    def apply_unitary(self, matrix: np.ndarray, qubits: tuple) -> "DensityMatrix":
+        full = embed_operator(matrix, qubits, self.num_qubits)
+        return DensityMatrix(full @ self.data @ full.conj().T)
+
+    def apply_kraus(self, kraus: list, qubit: int) -> "DensityMatrix":
+        out = np.zeros_like(self.data)
+        for k in kraus:
+            full = embed_operator(k, (qubit,), self.num_qubits)
+            out += full @ self.data @ full.conj().T
+        return DensityMatrix(out)
+
+    # -- measurement ----------------------------------------------------------
+    def trace(self) -> float:
+        return float(np.real(np.trace(self.data)))
+
+    def purity(self) -> float:
+        return float(np.real(np.trace(self.data @ self.data)))
+
+    def probabilities(self) -> np.ndarray:
+        return np.real(np.diag(self.data)).clip(min=0.0)
+
+    def expectation(self, operator: np.ndarray) -> float:
+        return float(np.real(np.trace(operator @ self.data)))
+
+    def fidelity_with_pure(self, state: Statevector) -> float:
+        """``<ψ| ρ |ψ>`` — success probability against the ideal output."""
+        vec = state.data
+        return float(np.real(np.vdot(vec, self.data @ vec)))
+
+
+def simulate_noisy(
+    circuit: QuantumCircuit,
+    noise: NoiseModel | None = None,
+    durations: dict | None = None,
+) -> DensityMatrix:
+    """Run ``circuit`` with decoherence proportional to gate durations.
+
+    Parameters
+    ----------
+    circuit:
+        A fully bound circuit.
+    noise:
+        The T1/T2 model (defaults to representative gmon values).
+    durations:
+        Optional gate-name → duration (ns) override.  Passing durations
+        scaled by a pulse-speedup factor models running the same circuit on
+        faster (GRAPE) pulses.
+    """
+    if circuit.is_parameterized():
+        raise CircuitError("bind parameters before noisy simulation")
+    noise = noise or NoiseModel()
+    rho = DensityMatrix.zero_state(circuit.num_qubits)
+    for inst in circuit:
+        rho = rho.apply_unitary(inst.gate.matrix(), inst.qubits)
+        duration = (
+            durations.get(inst.gate.name)
+            if durations and inst.gate.name in durations
+            else gate_duration_ns(inst.gate.name)
+        )
+        kraus = noise.kraus_operators(duration / len(inst.qubits))
+        for q in inst.qubits:
+            rho = rho.apply_kraus(kraus, q)
+    return rho
+
+
+def success_probability_with_speedup(
+    circuit: QuantumCircuit,
+    speedup: float,
+    noise: NoiseModel | None = None,
+) -> float:
+    """Fidelity to the ideal output when every pulse is ``speedup``x shorter.
+
+    The executable version of the paper's claim that pulse speedups enter
+    "the power of an exponential term": fidelity gains compound with depth.
+    """
+    if speedup <= 0:
+        raise ReproError("speedup must be positive")
+    from repro.config import GATE_DURATIONS_NS
+    from repro.sim.statevector import simulate
+
+    scaled = {name: t / speedup for name, t in GATE_DURATIONS_NS.items()}
+    rho = simulate_noisy(circuit, noise=noise, durations=scaled)
+    ideal = simulate(circuit)
+    return rho.fidelity_with_pure(ideal)

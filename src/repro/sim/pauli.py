@@ -1,0 +1,223 @@
+"""Pauli-string observables.
+
+VQE Hamiltonians (after Jordan-Wigner) and QAOA cost functions are sums of
+tensor products of Paulis.  :class:`PauliString` is one weighted product;
+:class:`PauliSum` is a simplified linear combination.  Expectation values are
+computed by applying single-qubit factors to the statevector, so no
+``4^n``-sized matrices are materialized for wide registers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.linalg.operators import pauli_matrix
+from repro.sim.statevector import Statevector
+
+_PAULI_CHARS = "IXYZ"
+
+# Single-qubit Pauli multiplication table: (left, right) -> (phase, result).
+_MULT = {
+    ("I", "I"): (1, "I"), ("I", "X"): (1, "X"), ("I", "Y"): (1, "Y"), ("I", "Z"): (1, "Z"),
+    ("X", "I"): (1, "X"), ("X", "X"): (1, "I"), ("X", "Y"): (1j, "Z"), ("X", "Z"): (-1j, "Y"),
+    ("Y", "I"): (1, "Y"), ("Y", "X"): (-1j, "Z"), ("Y", "Y"): (1, "I"), ("Y", "Z"): (1j, "X"),
+    ("Z", "I"): (1, "Z"), ("Z", "X"): (1j, "Y"), ("Z", "Y"): (-1j, "X"), ("Z", "Z"): (1, "I"),
+}
+
+_SINGLE = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+class PauliString:
+    """A coefficient times a tensor product of Paulis, e.g. ``0.5 · XIZY``."""
+
+    __slots__ = ("label", "coefficient")
+
+    def __init__(self, label: str, coefficient: complex = 1.0):
+        label = label.upper()
+        if not label or any(ch not in _PAULI_CHARS for ch in label):
+            raise ReproError(f"invalid Pauli label {label!r}")
+        self.label = label
+        self.coefficient = complex(coefficient)
+
+    @classmethod
+    def from_sparse(
+        cls, num_qubits: int, factors: Mapping[int, str], coefficient: complex = 1.0
+    ) -> "PauliString":
+        """Build from ``{qubit: 'X'|'Y'|'Z'}`` with identities elsewhere."""
+        chars = ["I"] * num_qubits
+        for qubit, ch in factors.items():
+            if qubit < 0 or qubit >= num_qubits:
+                raise ReproError(f"qubit {qubit} out of range for {num_qubits} qubits")
+            chars[qubit] = ch.upper()
+        return cls("".join(chars), coefficient)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.label)
+
+    @property
+    def support(self) -> tuple:
+        """Qubits acted on non-trivially."""
+        return tuple(i for i, ch in enumerate(self.label) if ch != "I")
+
+    def is_identity(self) -> bool:
+        return all(ch == "I" for ch in self.label)
+
+    def matrix(self) -> np.ndarray:
+        """Dense matrix (use only for small registers)."""
+        return self.coefficient * pauli_matrix(self.label)
+
+    def expectation(self, state: Statevector) -> complex:
+        """``coeff · <ψ| P |ψ>`` without building the full matrix."""
+        if state.num_qubits != self.num_qubits:
+            raise ReproError(
+                f"operator width {self.num_qubits} != state width {state.num_qubits}"
+            )
+        transformed = state
+        for qubit, ch in enumerate(self.label):
+            if ch != "I":
+                transformed = transformed.apply_matrix(_SINGLE[ch], (qubit,))
+        return self.coefficient * np.vdot(state.data, transformed.data)
+
+    def __mul__(self, other):
+        if isinstance(other, PauliString):
+            if other.num_qubits != self.num_qubits:
+                raise ReproError("cannot multiply Pauli strings of different widths")
+            phase = 1 + 0j
+            chars = []
+            for a, b in zip(self.label, other.label):
+                p, ch = _MULT[(a, b)]
+                phase *= p
+                chars.append(ch)
+            return PauliString(
+                "".join(chars), self.coefficient * other.coefficient * phase
+            )
+        return PauliString(self.label, self.coefficient * complex(other))
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return PauliString(self.label, -self.coefficient)
+
+    def __add__(self, other):
+        return PauliSum([self]) + other
+
+    def __sub__(self, other):
+        return PauliSum([self]) - other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return self.label == other.label and np.isclose(
+            self.coefficient, other.coefficient
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.label)
+
+    def __repr__(self) -> str:
+        return f"({self.coefficient:g}) {self.label}"
+
+
+class PauliSum:
+    """A simplified sum of :class:`PauliString` terms over a fixed width."""
+
+    def __init__(self, terms: Iterable[PauliString] = ()):
+        collected: dict[str, complex] = {}
+        width: int | None = None
+        for term in terms:
+            if width is None:
+                width = term.num_qubits
+            elif term.num_qubits != width:
+                raise ReproError("mixed widths in PauliSum")
+            collected[term.label] = collected.get(term.label, 0.0) + term.coefficient
+        self._width = width
+        self._terms = {
+            label: coeff for label, coeff in collected.items() if abs(coeff) > 1e-12
+        }
+
+    @property
+    def num_qubits(self) -> int:
+        if self._width is None:
+            raise ReproError("empty PauliSum has no width")
+        return self._width
+
+    @property
+    def terms(self) -> tuple:
+        return tuple(
+            PauliString(label, coeff) for label, coeff in sorted(self._terms.items())
+        )
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    def coefficient(self, label: str) -> complex:
+        return self._terms.get(label.upper(), 0.0)
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other):
+        if isinstance(other, PauliString):
+            other = PauliSum([other])
+        if not isinstance(other, PauliSum):
+            return NotImplemented
+        return PauliSum(list(self.terms) + list(other.terms))
+
+    def __sub__(self, other):
+        if isinstance(other, PauliString):
+            other = PauliSum([other])
+        return self + (other * -1.0)
+
+    def __mul__(self, other):
+        if isinstance(other, PauliString):
+            other = PauliSum([other])
+        if isinstance(other, PauliSum):
+            products = [
+                PauliString(la, ca) * PauliString(lb, cb)
+                for la, ca in self._terms.items()
+                for lb, cb in other._terms.items()
+            ]
+            return PauliSum(products)
+        return PauliSum(
+            [PauliString(l, c * complex(other)) for l, c in self._terms.items()]
+        )
+
+    def __rmul__(self, other):
+        if isinstance(other, (int, float, complex)):
+            return self * other
+        if isinstance(other, PauliString):
+            return PauliSum([other]) * self
+        return NotImplemented
+
+    # -- numerics -----------------------------------------------------------
+    def matrix(self) -> np.ndarray:
+        """Dense matrix of the sum (small registers only)."""
+        dim = 2**self.num_qubits
+        out = np.zeros((dim, dim), dtype=complex)
+        for term in self.terms:
+            out += term.matrix()
+        return out
+
+    def expectation(self, state: Statevector) -> float:
+        """Real expectation ``<ψ|H|ψ>`` (sum must be Hermitian)."""
+        total = sum(term.expectation(state) for term in self.terms)
+        return float(np.real(total))
+
+    def ground_state_energy(self) -> float:
+        """Exact lowest eigenvalue by dense diagonalization."""
+        return float(np.linalg.eigvalsh(self.matrix())[0])
+
+    def __repr__(self) -> str:
+        inner = " + ".join(repr(t) for t in self.terms[:4])
+        suffix = " + ..." if len(self) > 4 else ""
+        return f"PauliSum[{inner}{suffix}]"

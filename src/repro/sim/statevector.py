@@ -1,0 +1,106 @@
+"""Dense statevector simulator.
+
+Applies gates by tensor contraction on the reshaped state, so memory is
+``O(2^n)`` and each k-qubit gate costs ``O(2^n · 2^k)``.  Big-endian
+convention (qubit 0 = most significant index bit), matching the gate
+matrices in :mod:`repro.circuits.gates`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import CircuitError
+
+
+class Statevector:
+    """A normalized pure state of ``num_qubits`` qubits."""
+
+    def __init__(self, data: np.ndarray, num_qubits: int | None = None):
+        vec = np.asarray(data, dtype=complex).ravel()
+        n = int(np.log2(vec.size))
+        if 2**n != vec.size:
+            raise CircuitError(f"state dimension {vec.size} is not a power of two")
+        if num_qubits is not None and num_qubits != n:
+            raise CircuitError(f"state of dim {vec.size} is not {num_qubits} qubits")
+        self.num_qubits = n
+        self.data = vec
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        vec = np.zeros(2**num_qubits, dtype=complex)
+        vec[0] = 1.0
+        return cls(vec)
+
+    @classmethod
+    def computational_basis(cls, num_qubits: int, bitstring: str) -> "Statevector":
+        """State ``|bitstring>`` with qubit 0 as the leftmost character."""
+        if len(bitstring) != num_qubits or any(b not in "01" for b in bitstring):
+            raise CircuitError(f"invalid bitstring {bitstring!r} for {num_qubits} qubits")
+        vec = np.zeros(2**num_qubits, dtype=complex)
+        vec[int(bitstring, 2)] = 1.0
+        return cls(vec)
+
+    # -- evolution -----------------------------------------------------------
+    def apply_matrix(self, matrix: np.ndarray, qubits: tuple) -> "Statevector":
+        """Apply a ``2^k x 2^k`` matrix to ``qubits`` and return a new state."""
+        k = len(qubits)
+        if matrix.shape != (2**k, 2**k):
+            raise CircuitError(f"matrix shape {matrix.shape} does not act on {k} qubits")
+        n = self.num_qubits
+        tensor = self.data.reshape([2] * n)
+        # Move the target axes to the front, contract, and move back.
+        tensor = np.moveaxis(tensor, qubits, range(k))
+        shape = tensor.shape
+        tensor = matrix @ tensor.reshape(2**k, -1)
+        tensor = tensor.reshape(shape)
+        tensor = np.moveaxis(tensor, range(k), qubits)
+        return Statevector(tensor.ravel())
+
+    def evolve(self, circuit: QuantumCircuit) -> "Statevector":
+        """Run ``circuit`` on this state (must be fully bound)."""
+        if circuit.num_qubits != self.num_qubits:
+            raise CircuitError(
+                f"circuit width {circuit.num_qubits} != state width {self.num_qubits}"
+            )
+        state = self
+        for inst in circuit:
+            state = state.apply_matrix(inst.gate.matrix(), inst.qubits)
+        return state
+
+    # -- measurement ----------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities over computational basis states."""
+        return np.abs(self.data) ** 2
+
+    def expectation(self, operator: np.ndarray) -> float:
+        """Real expectation value ``<ψ|O|ψ>`` of a Hermitian ``operator``."""
+        val = np.vdot(self.data, operator @ self.data)
+        return float(val.real)
+
+    def sample_counts(self, shots: int, seed: int | None = None) -> dict:
+        """Simulated measurement: bitstring -> count over ``shots`` samples."""
+        rng = np.random.default_rng(seed)
+        probs = self.probabilities()
+        outcomes = rng.choice(len(probs), size=shots, p=probs / probs.sum())
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            key = format(outcome, f"0{self.num_qubits}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def fidelity(self, other: "Statevector") -> float:
+        """State fidelity ``|<ψ|φ>|²``."""
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError("fidelity requires equal widths")
+        return float(np.abs(np.vdot(self.data, other.data)) ** 2)
+
+    def __repr__(self) -> str:
+        return f"Statevector({self.num_qubits} qubits)"
+
+
+def simulate(circuit: QuantumCircuit, initial: Statevector | None = None) -> Statevector:
+    """Evolve ``|0…0>`` (or ``initial``) through ``circuit``."""
+    state = initial if initial is not None else Statevector.zero_state(circuit.num_qubits)
+    return state.evolve(circuit)

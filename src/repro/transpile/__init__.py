@@ -1,0 +1,79 @@
+"""Circuit transpilation: basis decomposition, optimization, routing,
+scheduling.
+
+Mirrors the paper's gate-based compilation pipeline (section 4.1): circuits
+are "optimized, parallel-scheduled, mapped using IBM Qiskit's tools,
+augmented by an additional optimization pass ... to merge consecutive
+rotation gates".  Here every stage is implemented from scratch.
+"""
+
+from repro.transpile.topology import (
+    Topology,
+    full_topology,
+    grid_topology,
+    heavy_hex_topology,
+    line_topology,
+    nearly_square_grid,
+    ring_topology,
+)
+from repro.transpile.basis import decompose_to_basis, BASIS_GATES
+from repro.transpile.optimize import (
+    cancel_adjacent_inverses,
+    merge_rotations,
+    optimize_circuit,
+    parametrized_rx_to_rz,
+    remove_zero_rotations,
+)
+from repro.transpile.commute import commuting_rotation_merge
+from repro.transpile.routing import RoutingResult, route_circuit, sabre_route
+from repro.transpile.schedule import Schedule, ScheduledInstruction, asap_schedule
+from repro.transpile.passes import PassManager, default_pass_manager, transpile
+from repro.transpile.kak import (
+    KAKDecomposition,
+    canonical_matrix,
+    cx_count_for_coordinates,
+    kak_decompose,
+    makhlin_invariants,
+    weyl_coordinates,
+)
+from repro.transpile.resynth import (
+    canonical_gate_circuit,
+    resynthesize_two_qubit_runs,
+    two_qubit_circuit,
+)
+
+__all__ = [
+    "nearly_square_grid",
+    "ring_topology",
+    "heavy_hex_topology",
+    "sabre_route",
+    "RoutingResult",
+    "weyl_coordinates",
+    "two_qubit_circuit",
+    "resynthesize_two_qubit_runs",
+    "makhlin_invariants",
+    "kak_decompose",
+    "cx_count_for_coordinates",
+    "canonical_matrix",
+    "canonical_gate_circuit",
+    "KAKDecomposition",
+    "BASIS_GATES",
+    "PassManager",
+    "Schedule",
+    "ScheduledInstruction",
+    "Topology",
+    "asap_schedule",
+    "cancel_adjacent_inverses",
+    "commuting_rotation_merge",
+    "decompose_to_basis",
+    "default_pass_manager",
+    "full_topology",
+    "grid_topology",
+    "line_topology",
+    "merge_rotations",
+    "optimize_circuit",
+    "parametrized_rx_to_rz",
+    "remove_zero_rotations",
+    "route_circuit",
+    "transpile",
+]

@@ -1,0 +1,114 @@
+"""Decomposition into the compilation basis gate set.
+
+The paper's compiler basis is ``{Rz, Rx, H, CX, SWAP}`` (Table 1).  Every
+other library gate is rewritten into it here.  Rewrites are symbolic-safe:
+a parameterized ``Rzz(θ)`` becomes ``CX · Rz(θ) · CX`` with the expression
+``θ`` intact, so the parameter tag survives decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.gates import CXGate, HGate, RXGate, RZGate, SwapGate
+from repro.errors import TranspileError
+
+#: The compilation basis of the paper (Table 1).
+BASIS_GATES = frozenset({"rz", "rx", "h", "cx", "swap"})
+
+_HALF_PI = math.pi / 2
+
+
+def _rewrite(inst: Instruction) -> list:
+    """Rewrite one instruction into basis instructions (circuit order)."""
+    gate, qubits = inst.gate, inst.qubits
+    name = gate.name
+    if name in BASIS_GATES:
+        return [inst]
+    if name == "id":
+        return []
+    a = qubits[0]
+    if name == "x":
+        return [Instruction(RXGate(math.pi), (a,))]
+    if name == "y":
+        # Y = i · Rz(π) Rx(π): apply Rx first, then Rz.
+        return [Instruction(RXGate(math.pi), (a,)), Instruction(RZGate(math.pi), (a,))]
+    if name == "z":
+        return [Instruction(RZGate(math.pi), (a,))]
+    if name == "s":
+        return [Instruction(RZGate(_HALF_PI), (a,))]
+    if name == "sdg":
+        return [Instruction(RZGate(-_HALF_PI), (a,))]
+    if name == "t":
+        return [Instruction(RZGate(math.pi / 4), (a,))]
+    if name == "tdg":
+        return [Instruction(RZGate(-math.pi / 4), (a,))]
+    if name == "ry":
+        # Ry(θ) = Rz(π/2) · Rx(θ) · Rz(-π/2) as matrices; circuit order is
+        # rightmost matrix first.
+        theta = gate.params[0]
+        return [
+            Instruction(RZGate(-_HALF_PI), (a,)),
+            Instruction(RXGate(theta), (a,)),
+            Instruction(RZGate(_HALF_PI), (a,)),
+        ]
+    if name == "cz":
+        b = qubits[1]
+        return [
+            Instruction(HGate(), (b,)),
+            Instruction(CXGate(), (a, b)),
+            Instruction(HGate(), (b,)),
+        ]
+    if name == "rzz":
+        b = qubits[1]
+        theta = gate.params[0]
+        return [
+            Instruction(CXGate(), (a, b)),
+            Instruction(RZGate(theta), (b,)),
+            Instruction(CXGate(), (a, b)),
+        ]
+    if name == "iswap":
+        # iSWAP = H_b · CX_ba · CX_ab · H_a · (S ⊗ S) as matrices, i.e.
+        # circuit order S, S, H_a, CX(a,b), CX(b,a), H_b (up to global phase).
+        b = qubits[1]
+        return [
+            Instruction(RZGate(_HALF_PI), (a,)),
+            Instruction(RZGate(_HALF_PI), (b,)),
+            Instruction(HGate(), (a,)),
+            Instruction(CXGate(), (a, b)),
+            Instruction(CXGate(), (b, a)),
+            Instruction(HGate(), (b,)),
+        ]
+    if name == "iswap_dg":
+        # iSWAP† = (S† ⊗ S†) · iSWAP · (S† ⊗ S†); the leading S† pair cancels
+        # the S pair of the iSWAP expansion.
+        b = qubits[1]
+        return [
+            Instruction(HGate(), (a,)),
+            Instruction(CXGate(), (a, b)),
+            Instruction(CXGate(), (b, a)),
+            Instruction(HGate(), (b,)),
+            Instruction(RZGate(-_HALF_PI), (a,)),
+            Instruction(RZGate(-_HALF_PI), (b,)),
+        ]
+    raise TranspileError(f"no basis decomposition for gate {name!r}")
+
+
+def decompose_to_basis(circuit: QuantumCircuit, expand_swap: bool = False) -> QuantumCircuit:
+    """Rewrite ``circuit`` into the {Rz, Rx, H, CX, SWAP} basis.
+
+    With ``expand_swap=True``, SWAP gates are further expanded into three CX
+    gates (useful when a backend lacks a native SWAP pulse).
+    """
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for inst in circuit:
+        for new in _rewrite(inst):
+            if expand_swap and new.gate.name == "swap":
+                a, b = new.qubits
+                out.append(CXGate(), (a, b))
+                out.append(CXGate(), (b, a))
+                out.append(CXGate(), (a, b))
+            else:
+                out.append(new.gate, new.qubits)
+    return out

@@ -1,0 +1,407 @@
+"""Cartan (KAK) decomposition of two-qubit unitaries.
+
+The paper's section 5.4 leans on the classic circuit-complexity bound that
+"3 CX gates, sandwiched by single-qubit rotations, is sufficient to
+implement any two qubit operation".  This module makes that bound
+executable: any 4x4 unitary is factored through the Cartan decomposition
+
+    ``U = e^{iφ} (A₀ ⊗ A₁) · K(x, y, z) · (B₀ ⊗ B₁)``
+
+where ``K(x, y, z) = exp(i (x·XX + y·YY + z·ZZ))`` is the canonical
+two-qubit interaction and the canonical coordinates ``(x, y, z)`` live in
+the Weyl chamber.  From the coordinates we read off the minimal CX count
+(0, 1, 2, or 3) and synthesize a matching circuit.
+
+Conventions
+-----------
+Qubit 0 is the *most significant* tensor factor (matching
+:func:`repro.linalg.embed_operator`); ``A₀`` above acts on qubit 0.  The
+magic basis is the Cirq/Makhlin one; in it every ``SU(2) ⊗ SU(2)`` operator
+is real orthogonal and every ``K(x, y, z)`` is diagonal.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TranspileError
+
+__all__ = [
+    "KAKDecomposition",
+    "canonical_matrix",
+    "cx_count_for_coordinates",
+    "decompose_su2_tensor",
+    "kak_decompose",
+    "makhlin_invariants",
+    "weyl_coordinates",
+    "zyz_angles",
+]
+
+_PI_2 = math.pi / 2
+_PI_4 = math.pi / 4
+
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.diag([1.0, -1.0]).astype(complex)
+_I2 = np.eye(2, dtype=complex)
+
+#: Magic basis (columns are the magic Bell states).
+MAGIC = np.array(
+    [[1, 0, 0, 1j], [0, 1j, 1, 0], [0, 1j, -1, 0], [1, 0, 0, -1j]],
+    dtype=complex,
+) / math.sqrt(2)
+
+# Diagonals of XX / YY / ZZ in the magic basis (all three are diagonal
+# there); verified by tests against the explicit conjugation.
+_H_XX = np.array([1.0, 1.0, -1.0, -1.0])
+_H_YY = np.array([-1.0, 1.0, -1.0, 1.0])
+_H_ZZ = np.array([1.0, -1.0, -1.0, 1.0])
+
+# Two-qubit Paulis used by the canonicalization moves.
+_XX = np.kron(_X, _X)
+_YY = np.kron(_Y, _Y)
+_ZZ = np.kron(_Z, _Z)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(phi: float) -> np.ndarray:
+    return np.diag([cmath.exp(-0.5j * phi), cmath.exp(0.5j * phi)])
+
+
+def canonical_matrix(x: float, y: float, z: float) -> np.ndarray:
+    """``K(x, y, z) = exp(i (x·XX + y·YY + z·ZZ))`` as a dense 4x4 array.
+
+    Computed in closed form through the magic basis, where the exponent is
+    diagonal — no iterative ``expm`` needed.
+    """
+    lam = x * _H_XX + y * _H_YY + z * _H_ZZ
+    return (MAGIC * np.exp(1j * lam)) @ MAGIC.conj().T
+
+
+def zyz_angles(u: np.ndarray, atol: float = 1e-9) -> tuple:
+    """Euler angles ``(α, β, γ, δ)`` with ``u = e^{iα} Rz(β) Ry(γ) Rz(δ)``.
+
+    Works for any 2x2 unitary; the global phase ``α`` is returned
+    explicitly so callers can track it exactly.
+    """
+    u = np.asarray(u, dtype=complex)
+    if u.shape != (2, 2):
+        raise TranspileError(f"zyz_angles needs a 2x2 matrix, got {u.shape}")
+    det = np.linalg.det(u)
+    alpha = cmath.phase(det) / 2
+    su = u * cmath.exp(-1j * alpha)
+    # su = [[cos(γ/2) e^{-i(β+δ)/2}, -sin(γ/2) e^{-i(β-δ)/2}],
+    #       [sin(γ/2) e^{+i(β-δ)/2},  cos(γ/2) e^{+i(β+δ)/2}]]
+    gamma = 2 * math.atan2(abs(su[1, 0]), abs(su[0, 0]))
+    if abs(su[0, 0]) < atol:
+        # γ = π: only β - δ is determined; pick δ = 0.
+        beta = 2 * cmath.phase(su[1, 0])
+        delta = 0.0
+    elif abs(su[1, 0]) < atol:
+        # γ = 0: only β + δ is determined; pick δ = 0.
+        beta = 2 * cmath.phase(su[1, 1])
+        delta = 0.0
+    else:
+        plus = 2 * cmath.phase(su[1, 1])
+        minus = 2 * cmath.phase(su[1, 0])
+        beta = (plus + minus) / 2
+        delta = (plus - minus) / 2
+    return alpha, beta, gamma, delta
+
+
+def decompose_su2_tensor(u: np.ndarray, atol: float = 1e-7) -> tuple:
+    """Split a 4x4 ``e^{iφ} (A ⊗ B)`` into ``(phase, A, B)`` with A, B in SU(2).
+
+    Raises :class:`TranspileError` if ``u`` is not a tensor product within
+    ``atol`` (checked via the second singular value of the reshuffled
+    matrix).
+    """
+    u = np.asarray(u, dtype=complex)
+    if u.shape != (4, 4):
+        raise TranspileError(f"expected a 4x4 matrix, got {u.shape}")
+    # Reshuffle so that u = A ⊗ B becomes the rank-1 outer product
+    # vec(A) vec(B)^T.
+    m = u.reshape(2, 2, 2, 2).transpose(0, 2, 1, 3).reshape(4, 4)
+    w, s, vh = np.linalg.svd(m)
+    if s[1] > atol:
+        raise TranspileError(
+            f"matrix is not a tensor product of single-qubit operators "
+            f"(residual singular value {s[1]:.2e})"
+        )
+    a = (w[:, 0] * s[0]).reshape(2, 2)
+    b = vh[0, :].reshape(2, 2)
+    # Normalize both factors to SU(2) and pool the leftover global phase.
+    det_a = np.linalg.det(a)
+    det_b = np.linalg.det(b)
+    a = a / np.sqrt(det_a)
+    b = b / np.sqrt(det_b)
+    phase = cmath.phase(np.linalg.det(u)) / 4
+    # Align the pooled phase: u == e^{iφ} (a ⊗ b) up to a residual sign.
+    probe = np.kron(a, b)
+    idx = np.unravel_index(np.argmax(np.abs(probe)), probe.shape)
+    residual = u[idx] / (cmath.exp(1j * phase) * probe[idx])
+    phase += cmath.phase(residual)
+    return phase, a, b
+
+
+@dataclass(frozen=True)
+class KAKDecomposition:
+    """Canonical Cartan decomposition of a two-qubit unitary.
+
+    ``unitary() == e^{i·global_phase} (k1_q0 ⊗ k1_q1) · K(x, y, z)
+    · (k2_q0 ⊗ k2_q1)`` with ``(x, y, z)`` in the Weyl chamber:
+    ``π/4 ≥ x ≥ y ≥ |z|``.  Mirror classes keep ``z < 0`` — they are not
+    locally equivalent to their ``z > 0`` counterparts — except at the
+    ``x = π/4`` face where both coincide and ``z ≥ 0`` is normalized.
+    """
+
+    global_phase: float
+    k1_q0: np.ndarray
+    k1_q1: np.ndarray
+    x: float
+    y: float
+    z: float
+    k2_q0: np.ndarray
+    k2_q1: np.ndarray
+
+    @property
+    def coordinates(self) -> tuple:
+        """Canonical Weyl-chamber coordinates ``(x, y, z)``."""
+        return (self.x, self.y, self.z)
+
+    def canonical_unitary(self) -> np.ndarray:
+        """``K(x, y, z)`` for this decomposition's coordinates."""
+        return canonical_matrix(self.x, self.y, self.z)
+
+    def unitary(self) -> np.ndarray:
+        """Reconstruct the original 4x4 unitary exactly (incl. phase)."""
+        left = np.kron(self.k1_q0, self.k1_q1)
+        right = np.kron(self.k2_q0, self.k2_q1)
+        return cmath.exp(1j * self.global_phase) * (
+            left @ self.canonical_unitary() @ right
+        )
+
+
+def _simultaneously_diagonalize(re: np.ndarray, im: np.ndarray) -> np.ndarray:
+    """Real orthogonal ``P`` diagonalizing two commuting symmetric matrices."""
+    rng = np.random.default_rng(20190716)
+    for _ in range(24):
+        t = rng.uniform(0.1, 2.0)
+        _, p = np.linalg.eigh(re + t * im)
+        if (
+            _is_diagonal(p.T @ re @ p)
+            and _is_diagonal(p.T @ im @ p)
+        ):
+            return p
+    raise TranspileError("simultaneous diagonalization failed to converge")
+
+
+def _is_diagonal(m: np.ndarray, atol: float = 1e-9) -> bool:
+    return bool(np.abs(m - np.diag(np.diag(m))).max() < atol)
+
+
+class _Canonicalizer:
+    """Folds Weyl coordinates into the chamber, tracking local corrections.
+
+    Maintains the invariant ``K(x₀,y₀,z₀) = e^{iφ} L · K(x,y,z) · R`` where
+    ``L`` and ``R`` stay in SU(2)⊗SU(2) (up to phase) throughout.
+    """
+
+    _NEGATE_PAULI = {frozenset((0, 1)): _Z, frozenset((0, 2)): _Y, frozenset((1, 2)): _X}
+
+    def __init__(self, x: float, y: float, z: float, atol: float):
+        self.coords = [x, y, z]
+        self.left = np.eye(4, dtype=complex)
+        self.right = np.eye(4, dtype=complex)
+        self.phase = 0.0
+        self.atol = atol
+        # Conjugating Cliffords for coordinate swaps: S swaps x<->y,
+        # Rx(π/2) swaps y<->z, Ry(π/2) swaps x<->z (all sign-free).
+        s = np.diag([1.0, 1j])
+        self._swap_clifford = {
+            frozenset((0, 1)): s,
+            frozenset((1, 2)): _rx(_PI_2),
+            frozenset((0, 2)): _ry(_PI_2),
+        }
+        self._pauli_for_axis = (_XX, _YY, _ZZ)
+
+    def shift_into_range(self, i: int) -> None:
+        """Bring ``coords[i]`` into (-π/4, π/4] by multiples of π/2."""
+        n = math.floor((self.coords[i] + _PI_4) / _PI_2)
+        if self.coords[i] - n * _PI_2 <= -_PI_4 + self.atol:
+            # Land exactly-boundary values on +π/4, not -π/4, so the
+            # chamber fold terminates (SWAP-like coordinates).
+            n -= 1
+        if n == 0:
+            return
+        self.coords[i] -= n * _PI_2
+        self.phase += n * _PI_2
+        if n % 2:
+            self.right = self._pauli_for_axis[i] @ self.right
+
+    def negate(self, i: int, j: int) -> None:
+        pauli = self._NEGATE_PAULI[frozenset((i, j))]
+        op = np.kron(pauli, _I2)
+        self.coords[i] = -self.coords[i]
+        self.coords[j] = -self.coords[j]
+        self.left = self.left @ op
+        self.right = op @ self.right
+
+    def swap(self, i: int, j: int) -> None:
+        c = self._swap_clifford[frozenset((i, j))]
+        op = np.kron(c, c)
+        self.coords[i], self.coords[j] = self.coords[j], self.coords[i]
+        self.left = self.left @ op.conj().T
+        self.right = op @ self.right
+
+    def run(self) -> None:
+        for i in range(3):
+            self.shift_into_range(i)
+        for _ in range(8):
+            if self._step():
+                return
+        raise TranspileError("Weyl-chamber canonicalization did not converge")
+
+    def _step(self) -> bool:
+        c = self.coords
+        # Clamp numerically-zero coordinates so -0 never drives a negate.
+        for i in range(3):
+            if abs(c[i]) < self.atol:
+                c[i] = 0.0
+        # Sort by magnitude, descending.
+        if abs(c[0]) < abs(c[1]):
+            self.swap(0, 1)
+        if abs(c[1]) < abs(c[2]):
+            self.swap(1, 2)
+        if abs(c[0]) < abs(c[1]):
+            self.swap(0, 1)
+        negatives = [i for i in range(3) if c[i] < 0]
+        if len(negatives) >= 2:
+            self.negate(negatives[0], negatives[1])
+            return False
+        if len(negatives) == 1 and negatives[0] != 2:
+            self.negate(negatives[0], 2)
+            return False
+        # At x = π/4 the mirror classes coincide; normalize z to be >= 0.
+        if c[2] < 0 and abs(c[0] - _PI_4) < self.atol:
+            self.negate(0, 2)
+            self.shift_into_range(0)
+            return False
+        return True
+
+
+def kak_decompose(u: np.ndarray, atol: float = 1e-8) -> KAKDecomposition:
+    """Canonical KAK decomposition of a two-qubit unitary.
+
+    The result reconstructs ``u`` exactly (up to numerical precision) via
+    :meth:`KAKDecomposition.unitary`, with Weyl-chamber canonical
+    coordinates.
+    """
+    u = np.asarray(u, dtype=complex)
+    if u.shape != (4, 4):
+        raise TranspileError(f"KAK needs a 4x4 unitary, got shape {u.shape}")
+    if not np.allclose(u @ u.conj().T, np.eye(4), atol=1e-7):
+        raise TranspileError("KAK input is not unitary")
+
+    det = np.linalg.det(u)
+    phase = cmath.phase(det) / 4
+    u_su = u * cmath.exp(-1j * phase)
+
+    m = MAGIC.conj().T @ u_su @ MAGIC
+    mtm = m.T @ m
+    p = _simultaneously_diagonalize(mtm.real, mtm.imag)
+    if np.linalg.det(p) < 0:
+        p = p.copy()
+        p[:, 0] = -p[:, 0]
+
+    d = np.diag(p.T @ mtm @ p)
+    lam = np.angle(d) / 2
+    q = m @ p @ np.diag(np.exp(-1j * lam))
+    # q is real orthogonal for any eigenphase branch, but det q = e^{-i Σλ}
+    # may be -1; shifting one λ by π selects the SO(4) branch so that both
+    # orthogonal factors map back to tensor products of single-qubit gates.
+    if np.linalg.det(q).real < 0:
+        lam = lam.copy()
+        lam[0] += math.pi
+        q = m @ p @ np.diag(np.exp(-1j * lam))
+    if np.abs(q.imag).max() > 1e-6:
+        raise TranspileError("KAK orthogonal factor failed to become real")
+    q = q.real.astype(float)
+
+    k1 = MAGIC @ q @ MAGIC.conj().T
+    k2 = MAGIC @ p.T @ MAGIC.conj().T
+
+    x = float(lam @ _H_XX) / 4
+    y = float(lam @ _H_YY) / 4
+    z = float(lam @ _H_ZZ) / 4
+    phase += float(np.sum(lam)) / 4
+
+    canon = _Canonicalizer(x, y, z, atol)
+    canon.run()
+    k1 = k1 @ canon.left
+    k2 = canon.right @ k2
+    phase += canon.phase
+
+    p1, a0, a1 = decompose_su2_tensor(k1)
+    p2, b0, b1 = decompose_su2_tensor(k2)
+    cx, cy, cz = canon.coords
+    return KAKDecomposition(
+        global_phase=_wrap_angle(phase + p1 + p2),
+        k1_q0=a0,
+        k1_q1=a1,
+        x=cx,
+        y=cy,
+        z=cz,
+        k2_q0=b0,
+        k2_q1=b1,
+    )
+
+
+def weyl_coordinates(u: np.ndarray, atol: float = 1e-8) -> tuple:
+    """Canonical Weyl-chamber coordinates ``(x, y, z)`` of a 4x4 unitary."""
+    return kak_decompose(u, atol=atol).coordinates
+
+
+def makhlin_invariants(u: np.ndarray) -> tuple:
+    """Makhlin local invariants ``(Re g1, Im g1, g2)``.
+
+    Two two-qubit unitaries are equivalent up to single-qubit operations
+    iff their Makhlin invariants coincide.
+    """
+    u = np.asarray(u, dtype=complex)
+    u_su = u / np.linalg.det(u) ** 0.25
+    m = MAGIC.conj().T @ u_su @ MAGIC
+    mtm = m.T @ m
+    tr = np.trace(mtm)
+    g1 = tr**2 / 16
+    g2 = (tr**2 - np.trace(mtm @ mtm)) / 4
+    return float(g1.real), float(g1.imag), float(g2.real)
+
+
+def cx_count_for_coordinates(coords, atol: float = 1e-7) -> int:
+    """Minimal CX count needed for canonical coordinates ``(x, y, z)``."""
+    x, y, z = coords
+    if abs(x) < atol and abs(y) < atol and abs(z) < atol:
+        return 0
+    if abs(x - _PI_4) < atol and abs(y) < atol and abs(z) < atol:
+        return 1
+    if abs(z) < atol:
+        return 2
+    return 3
+
+
+def _wrap_angle(a: float) -> float:
+    return (a + math.pi) % (2 * math.pi) - math.pi

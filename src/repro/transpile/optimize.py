@@ -1,0 +1,183 @@
+"""Peephole circuit optimization.
+
+Implements the paper's optimization stack (section 2.2): "aggressive
+cancellation of CX gates and Hadamard gates" plus the authors' custom pass
+"for merging rotation gates — e.g. Rx(α) followed by Rx(β) merges into
+Rx(α+β)".  All passes are symbolic-parameter safe: merging ``Rz(θ₀)`` with
+``Rz(-θ₀/2)`` produces ``Rz(θ₀/2)`` with the dependency tag intact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.gates import Gate, HGate, RXGate, RYGate, RZGate, RZZGate
+from repro.circuits.parameters import Parameter, ParameterExpression
+
+_ROTATIONS = {"rx": RXGate, "ry": RYGate, "rz": RZGate}
+_SYMMETRIC_GATES = {"cz", "swap", "rzz", "iswap"}
+_TWO_PI = 2.0 * math.pi
+
+
+def _add_angles(a, b):
+    """Sum two angles, staying symbolic when either side is."""
+    symbolic = isinstance(a, (Parameter, ParameterExpression)) or isinstance(
+        b, (Parameter, ParameterExpression)
+    )
+    if symbolic:
+        return ParameterExpression._coerce(a) + b
+    return float(a) + float(b)
+
+
+def _is_zero_angle(angle) -> bool:
+    """True for *constant* angles equal to 0 modulo 2π.
+
+    ``R(2π) = -1`` is a global phase, unobservable in this library's
+    phase-insensitive fidelity measures, so it is safe to drop.
+    """
+    if isinstance(angle, Parameter):
+        return False
+    if isinstance(angle, ParameterExpression):
+        if not angle.is_constant():
+            return False
+        angle = angle.to_float()
+    return math.isclose(math.cos(angle), 1.0, abs_tol=1e-12) and (
+        abs(math.sin(angle)) < 1e-9
+    )
+
+
+def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Merge runs of same-axis rotations that are adjacent on their qubit.
+
+    This is the paper's custom compiler pass.  Later rotations merge *into
+    the position of the first rotation of the run*, so the instruction-list
+    order of the remaining gates is preserved (parameter monotonicity
+    analyses depend on list order).  Runs that merge to a constant zero
+    angle are removed entirely.
+    """
+    emitted: list = []  # Instruction | None tombstones
+    # open_rotation[q] = index into ``emitted`` of the mergeable rotation.
+    open_rotation: dict[int, int] = {}
+
+    for inst in circuit:
+        name = inst.gate.name
+        if name in _ROTATIONS and len(inst.qubits) == 1:
+            q = inst.qubits[0]
+            slot = open_rotation.get(q)
+            if slot is not None and emitted[slot].gate.name == name:
+                merged = _add_angles(emitted[slot].gate.params[0], inst.gate.params[0])
+                if _is_zero_angle(merged):
+                    emitted[slot] = None
+                    open_rotation.pop(q)
+                else:
+                    emitted[slot] = Instruction(_ROTATIONS[name](merged), (q,))
+                continue
+            emitted.append(inst)
+            open_rotation[q] = len(emitted) - 1
+        else:
+            for q in inst.qubits:
+                open_rotation.pop(q, None)
+            emitted.append(inst)
+
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for inst in emitted:
+        if inst is not None and not (
+            inst.gate.name in _ROTATIONS and _is_zero_angle(inst.gate.params[0])
+        ):
+            out.append(inst.gate, inst.qubits)
+    return out
+
+
+def remove_zero_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Drop rotations with constant angle ≡ 0 (mod 2π), and identity gates."""
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for inst in circuit:
+        name = inst.gate.name
+        if name == "id":
+            continue
+        if name in ("rx", "ry", "rz", "rzz") and _is_zero_angle(inst.gate.params[0]):
+            continue
+        out.append(inst.gate, inst.qubits)
+    return out
+
+
+def _inverse_pair(first: Instruction, second: Instruction) -> bool:
+    """True when ``second`` undoes ``first`` on the same qubits."""
+    if first.gate.name in _SYMMETRIC_GATES or second.gate.name in _SYMMETRIC_GATES:
+        if set(first.qubits) != set(second.qubits):
+            return False
+    elif first.qubits != second.qubits:
+        return False
+    try:
+        return bool(second.gate == first.gate.inverse())
+    except NotImplementedError:
+        return False
+
+
+def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Cancel gate pairs that are mutually inverse and adjacent on all their
+    qubits (CX·CX, H·H, Rz(θ)·Rz(-θ), …), iterating as pairs expose new
+    pairs."""
+    # ``emitted`` holds instructions (or None tombstones); ``top[q]`` is a
+    # stack of emitted indices touching qubit q, so adjacency means: for all
+    # qubits of the incoming gate, the stack tops agree.
+    emitted: list = []
+    top: dict[int, list] = {q: [] for q in range(circuit.num_qubits)}
+
+    for inst in circuit:
+        tops = [top[q][-1] if top[q] else None for q in inst.qubits]
+        prev_idx = tops[0]
+        if (
+            prev_idx is not None
+            and all(t == prev_idx for t in tops)
+            and emitted[prev_idx] is not None
+            and len(emitted[prev_idx].qubits) == len(inst.qubits)
+            and _inverse_pair(emitted[prev_idx], inst)
+        ):
+            emitted[prev_idx] = None
+            for q in inst.qubits:
+                top[q].pop()
+            continue
+        emitted.append(inst)
+        idx = len(emitted) - 1
+        for q in inst.qubits:
+            top[q].append(idx)
+
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for inst in emitted:
+        if inst is not None:
+            out.append(inst.gate, inst.qubits)
+    return out
+
+
+def parametrized_rx_to_rz(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite parameter-dependent ``Rx(θ)`` as ``H · Rz(θ) · H``.
+
+    After this pass every parameter-dependent gate in the benchmark circuits
+    is an ``Rz(θᵢ)``, matching the paper's slicing model (the H gates join
+    the neighbouring Fixed blocks).  Constant-angle Rx gates are untouched.
+    """
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for inst in circuit:
+        if inst.gate.name == "rx" and inst.parameters:
+            q = inst.qubits[0]
+            out.append(HGate(), (q,))
+            out.append(RZGate(inst.gate.params[0]), (q,))
+            out.append(HGate(), (q,))
+        else:
+            out.append(inst.gate, inst.qubits)
+    return out
+
+
+def optimize_circuit(circuit: QuantumCircuit, max_rounds: int = 10) -> QuantumCircuit:
+    """Run merge + cancel + cleanup to a fixed point (≤ ``max_rounds``)."""
+    current = circuit
+    for _ in range(max_rounds):
+        previous_len = len(current)
+        current = merge_rotations(current)
+        current = cancel_adjacent_inverses(current)
+        current = remove_zero_rotations(current)
+        if len(current) == previous_len:
+            break
+    return current

@@ -1,0 +1,254 @@
+"""Qubit mapping and SWAP-insertion routing.
+
+Conforms circuits to nearest-neighbor connectivity, like the paper's use of
+"Qiskit's circuit mapper (to conform to nearest neighbor connectivity)".
+A greedy shortest-path router: when a two-qubit gate spans non-adjacent
+physical qubits, SWAPs walk one operand along a shortest path until the pair
+is adjacent.  SWAPs are emitted as native gates (Table 1 gives SWAP its own
+pulse), not decomposed into CXs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import SwapGate
+from repro.errors import TranspileError
+from repro.transpile.topology import Topology
+
+
+@dataclass
+class RoutingResult:
+    """Output of :func:`route_circuit`.
+
+    Attributes
+    ----------
+    circuit:
+        The routed circuit on physical qubits (width = topology size).
+    initial_layout:
+        Mapping logical qubit -> physical qubit before the first gate.
+    final_layout:
+        The same mapping after all inserted SWAPs.
+    swap_count:
+        Number of SWAP gates inserted.
+    """
+
+    circuit: QuantumCircuit
+    initial_layout: dict
+    final_layout: dict
+    swap_count: int
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    topology: Topology,
+    initial_layout: Mapping[int, int] | None = None,
+) -> RoutingResult:
+    """Insert SWAPs so every two-qubit gate acts on adjacent physical qubits.
+
+    Parameters
+    ----------
+    circuit:
+        Logical circuit; its width must not exceed the topology size.
+    topology:
+        Physical connectivity.
+    initial_layout:
+        Optional logical→physical placement; identity by default.
+    """
+    if circuit.num_qubits > topology.num_qubits:
+        raise TranspileError(
+            f"circuit width {circuit.num_qubits} exceeds device size "
+            f"{topology.num_qubits}"
+        )
+    if initial_layout is None:
+        layout = {q: q for q in range(circuit.num_qubits)}
+    else:
+        layout = {int(k): int(v) for k, v in initial_layout.items()}
+        if len(set(layout.values())) != len(layout):
+            raise TranspileError("initial layout maps two logical qubits to one site")
+    start_layout = dict(layout)
+
+    physical_of = layout  # logical -> physical
+    logical_of = {p: l for l, p in layout.items()}  # physical -> logical
+
+    routed = QuantumCircuit(topology.num_qubits, name=circuit.name)
+    swaps = 0
+
+    def apply_swap(phys_a: int, phys_b: int) -> None:
+        nonlocal swaps
+        routed.append(SwapGate(), (phys_a, phys_b))
+        swaps += 1
+        la, lb = logical_of.get(phys_a), logical_of.get(phys_b)
+        if la is not None:
+            physical_of[la] = phys_b
+        if lb is not None:
+            physical_of[lb] = phys_a
+        logical_of[phys_a], logical_of[phys_b] = lb, la
+
+    for inst in circuit:
+        phys = [physical_of[q] for q in inst.qubits]
+        if len(phys) == 2 and not topology.are_adjacent(*phys):
+            path = topology.shortest_path(phys[0], phys[1])
+            # Walk the first operand down the path until adjacent.
+            for hop in path[1:-1]:
+                apply_swap(physical_of[inst.qubits[0]], hop)
+            phys = [physical_of[q] for q in inst.qubits]
+        elif len(phys) > 2:
+            raise TranspileError("router only supports 1- and 2-qubit gates")
+        routed.append(inst.gate, tuple(phys))
+
+    return RoutingResult(
+        circuit=routed,
+        initial_layout=start_layout,
+        final_layout=dict(physical_of),
+        swap_count=swaps,
+    )
+
+
+def sabre_route(
+    circuit: QuantumCircuit,
+    topology: Topology,
+    initial_layout: Mapping[int, int] | None = None,
+    lookahead: int = 20,
+    lookahead_weight: float = 0.5,
+) -> RoutingResult:
+    """SWAP-insertion routing with a SABRE-style lookahead heuristic.
+
+    Instead of greedily walking each blocked gate along one shortest path,
+    the router keeps the dataflow front layer and, when no front gate is
+    executable, applies the candidate SWAP minimizing
+
+        ``H = Σ_front dist(gate) + w · Σ_window dist(gate) / |window|``
+
+    where the window holds the next ``lookahead`` two-qubit gates in
+    program order.  A per-qubit decay factor discourages ping-ponging the
+    same qubits.  Falls back to identical semantics as
+    :func:`route_circuit`: same result type, SWAPs as native gates.
+    """
+    if circuit.num_qubits > topology.num_qubits:
+        raise TranspileError(
+            f"circuit width {circuit.num_qubits} exceeds device size "
+            f"{topology.num_qubits}"
+        )
+    if initial_layout is None:
+        layout = {q: q for q in range(circuit.num_qubits)}
+    else:
+        layout = {int(k): int(v) for k, v in initial_layout.items()}
+        if len(set(layout.values())) != len(layout):
+            raise TranspileError("initial layout maps two logical qubits to one site")
+    start_layout = dict(layout)
+
+    instructions = list(circuit)
+    # Dataflow DAG over shared qubits: pred_count + per-qubit successor chain.
+    pred_count = [0] * len(instructions)
+    successors: list = [[] for _ in instructions]
+    last_on_qubit: dict = {}
+    for index, inst in enumerate(instructions):
+        for q in inst.qubits:
+            if q in last_on_qubit:
+                successors[last_on_qubit[q]].append(index)
+                pred_count[index] += 1
+            last_on_qubit[q] = index
+    two_qubit_order = [
+        i for i, inst in enumerate(instructions) if len(inst.qubits) == 2
+    ]
+
+    physical_of = layout
+    logical_of = {p: l for l, p in layout.items()}
+    routed = QuantumCircuit(topology.num_qubits, name=circuit.name)
+    swaps = 0
+    done = [False] * len(instructions)
+    front = [i for i in range(len(instructions)) if pred_count[i] == 0]
+    decay = {p: 1.0 for p in range(topology.num_qubits)}
+
+    def emit(index: int) -> None:
+        inst = instructions[index]
+        routed.append(inst.gate, tuple(physical_of[q] for q in inst.qubits))
+        done[index] = True
+
+    def apply_swap(phys_a: int, phys_b: int) -> None:
+        nonlocal swaps
+        routed.append(SwapGate(), (phys_a, phys_b))
+        swaps += 1
+        la, lb = logical_of.get(phys_a), logical_of.get(phys_b)
+        if la is not None:
+            physical_of[la] = phys_b
+        if lb is not None:
+            physical_of[lb] = phys_a
+        logical_of[phys_a], logical_of[phys_b] = lb, la
+        decay[phys_a] += 0.1
+        decay[phys_b] += 0.1
+
+    def gate_distance(index: int) -> int:
+        a, b = instructions[index].qubits
+        return topology.distance(physical_of[a], physical_of[b])
+
+    guard = 0
+    max_swaps = 10 * (len(instructions) + 1) * max(topology.num_qubits, 1)
+    while front:
+        progressed = False
+        for index in list(front):
+            inst = instructions[index]
+            if len(inst.qubits) > 2:
+                raise TranspileError("router only supports 1- and 2-qubit gates")
+            if len(inst.qubits) == 1 or gate_distance(index) == 1:
+                emit(index)
+                front.remove(index)
+                for succ in successors[index]:
+                    pred_count[succ] -= 1
+                    if pred_count[succ] == 0:
+                        front.append(succ)
+                progressed = True
+        if progressed:
+            decay = {p: 1.0 for p in decay}
+            continue
+
+        # Blocked: every front gate is a distant two-qubit gate.
+        blocked = [i for i in front if len(instructions[i].qubits) == 2]
+        window = [
+            i
+            for i in two_qubit_order
+            if not done[i] and i not in front
+        ][:lookahead]
+        candidates = set()
+        for index in blocked:
+            for q in instructions[index].qubits:
+                p = physical_of[q]
+                for neighbor in topology.neighbors(p):
+                    candidates.add(tuple(sorted((p, neighbor))))
+
+        def score(swap: tuple) -> tuple:
+            a, b = swap
+            # Tentatively apply the swap to a local view of the layout.
+            override = {}
+            la, lb = logical_of.get(a), logical_of.get(b)
+            if la is not None:
+                override[la] = b
+            if lb is not None:
+                override[lb] = a
+
+            def dist(index: int) -> int:
+                qa, qb = instructions[index].qubits
+                pa = override.get(qa, physical_of[qa])
+                pb = override.get(qb, physical_of[qb])
+                return topology.distance(pa, pb)
+
+            h = sum(dist(i) for i in blocked)
+            if window:
+                h += lookahead_weight * sum(dist(i) for i in window) / len(window)
+            return (max(decay[a], decay[b]) * h, swap)
+
+        best_score, best_swap = min(score(s) for s in candidates)
+        apply_swap(*best_swap)
+        guard += 1
+        if guard > max_swaps:
+            raise TranspileError("sabre routing failed to make progress")
+
+    return RoutingResult(
+        circuit=routed,
+        initial_layout=start_layout,
+        final_layout=dict(physical_of),
+        swap_count=swaps,
+    )

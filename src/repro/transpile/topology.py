@@ -1,0 +1,133 @@
+"""Device connectivity graphs.
+
+The paper's system Hamiltonian (Appendix A) assumes "a rectangular-grid
+topology with nearest-neighbor connectivity"; circuits are mapped to it
+before compilation.  A :class:`Topology` wraps a networkx graph with the
+queries the router and the pulse model need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import networkx as nx
+
+from repro.errors import DeviceError
+
+
+class Topology:
+    """An undirected qubit-connectivity graph on qubits ``0 … n-1``."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[tuple], name: str = "custom"):
+        self.num_qubits = num_qubits
+        self.name = name
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(num_qubits))
+        for a, b in edges:
+            if a == b or min(a, b) < 0 or max(a, b) >= num_qubits:
+                raise DeviceError(f"invalid edge ({a}, {b}) for {num_qubits} qubits")
+            self.graph.add_edge(int(a), int(b))
+        self._dist = dict(nx.all_pairs_shortest_path_length(self.graph))
+
+    @property
+    def edges(self) -> tuple:
+        return tuple(sorted(tuple(sorted(e)) for e in self.graph.edges))
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def neighbors(self, qubit: int) -> tuple:
+        return tuple(sorted(self.graph.neighbors(qubit)))
+
+    def distance(self, a: int, b: int) -> int:
+        try:
+            return self._dist[a][b]
+        except KeyError:
+            raise DeviceError(f"no path between qubits {a} and {b}") from None
+
+    def shortest_path(self, a: int, b: int) -> list:
+        return nx.shortest_path(self.graph, a, b)
+
+    def subgraph_edges(self, qubits: Iterable[int]) -> tuple:
+        """Edges of the induced subgraph on ``qubits`` (sorted pairs)."""
+        qubits = set(qubits)
+        return tuple(
+            (a, b) for a, b in self.edges if a in qubits and b in qubits
+        )
+
+    def is_connected_subset(self, qubits: Iterable[int]) -> bool:
+        qubits = list(qubits)
+        if not qubits:
+            return True
+        sub = self.graph.subgraph(qubits)
+        return nx.is_connected(sub)
+
+    def __repr__(self) -> str:
+        return f"Topology({self.name!r}, qubits={self.num_qubits}, edges={len(self.edges)})"
+
+
+def line_topology(num_qubits: int) -> Topology:
+    """Linear nearest-neighbor chain."""
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    return Topology(num_qubits, edges, name=f"line_{num_qubits}")
+
+
+def grid_topology(rows: int, cols: int) -> Topology:
+    """Rectangular grid with nearest-neighbor coupling (paper Appendix A)."""
+    if rows < 1 or cols < 1:
+        raise DeviceError("grid needs positive dimensions")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return Topology(rows * cols, edges, name=f"grid_{rows}x{cols}")
+
+
+def nearly_square_grid(num_qubits: int) -> Topology:
+    """The most-square grid with at least ``num_qubits`` sites.
+
+    Used as the default device shape when only a qubit count is known.
+    """
+    rows = max(1, int(math.floor(math.sqrt(num_qubits))))
+    cols = int(math.ceil(num_qubits / rows))
+    return grid_topology(rows, cols)
+
+
+def full_topology(num_qubits: int) -> Topology:
+    """All-to-all connectivity (no routing needed; used in unit tests)."""
+    edges = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)]
+    return Topology(num_qubits, edges, name=f"full_{num_qubits}")
+
+
+def ring_topology(num_qubits: int) -> Topology:
+    """Cycle of nearest neighbors (common ion-trap / small-chip layout)."""
+    if num_qubits < 3:
+        raise DeviceError("a ring needs at least 3 qubits")
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return Topology(num_qubits, edges, name=f"ring_{num_qubits}")
+
+
+def heavy_hex_topology(rows: int, cols: int) -> Topology:
+    """Heavy-hexagon lattice: a hexagonal lattice with one extra qubit on
+    every edge (the degree-2 "heavy" sites of IBM's transmon devices).
+
+    ``rows x cols`` counts hexagonal unit cells; the qubit count is the
+    number of lattice vertices plus one per lattice edge.
+    """
+    if rows < 1 or cols < 1:
+        raise DeviceError("heavy-hex needs positive dimensions")
+    base = nx.hexagonal_lattice_graph(rows, cols)
+    index = {node: i for i, node in enumerate(sorted(base.nodes))}
+    edges = []
+    next_id = len(index)
+    for u, v in sorted(base.edges):
+        mid = next_id
+        next_id += 1
+        edges.append((index[u], mid))
+        edges.append((mid, index[v]))
+    return Topology(next_id, edges, name=f"heavyhex_{rows}x{cols}")

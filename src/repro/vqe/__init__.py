@@ -1,0 +1,36 @@
+"""VQE substrate: fermionic operators, Jordan-Wigner, UCCSD, molecules.
+
+The paper's VQE benchmarks (Table 2) use the UCCSD ansatz generated via
+Qiskit + PySCF.  Neither is available offline, so this package implements a
+minimal fermionic-operator algebra, the Jordan-Wigner transform, Pauli-
+evolution circuit synthesis, and a deterministic excitation generator whose
+circuits match the paper's widths and parameter counts exactly (see
+``DESIGN.md``, substitution 2).
+"""
+
+from repro.vqe.fermion import FermionOperator, FermionTerm
+from repro.vqe.jordan_wigner import jordan_wigner, jordan_wigner_ladder
+from repro.vqe.pauli_evolution import pauli_evolution_circuit, pauli_sum_evolution
+from repro.vqe.uccsd import Excitation, generate_excitations, uccsd_ansatz
+from repro.vqe.molecules import MoleculeSpec, get_molecule, list_molecules
+from repro.vqe.hamiltonians import h2_hamiltonian, synthetic_molecular_hamiltonian
+from repro.vqe.driver import VQEDriver, VQEResult
+
+__all__ = [
+    "Excitation",
+    "FermionOperator",
+    "FermionTerm",
+    "MoleculeSpec",
+    "VQEDriver",
+    "VQEResult",
+    "generate_excitations",
+    "get_molecule",
+    "h2_hamiltonian",
+    "jordan_wigner",
+    "jordan_wigner_ladder",
+    "list_molecules",
+    "pauli_evolution_circuit",
+    "pauli_sum_evolution",
+    "synthetic_molecular_hamiltonian",
+    "uccsd_ansatz",
+]

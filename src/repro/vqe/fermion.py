@@ -1,0 +1,126 @@
+"""A minimal fermionic-operator algebra.
+
+Supports exactly what UCCSD construction needs: products of creation/
+annihilation operators with complex coefficients, sums thereof, scalar
+multiplication, and Hermitian conjugation.  No normal-ordering machinery —
+operators go straight to Pauli form via Jordan-Wigner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import VQEError
+
+
+@dataclass(frozen=True)
+class FermionTerm:
+    """``coefficient · Π_k op_k`` with ``op_k = (mode, is_creation)``.
+
+    Operators apply right-to-left (physics convention): the last tuple in
+    ``ladder`` acts first on the state.
+    """
+
+    ladder: tuple  # tuple[(mode, bool), ...]
+    coefficient: complex = 1.0
+
+    def __post_init__(self):
+        for mode, creation in self.ladder:
+            if mode < 0:
+                raise VQEError(f"negative mode index {mode}")
+            if not isinstance(creation, bool):
+                raise VQEError("ladder entries must be (mode, bool)")
+
+    def dagger(self) -> "FermionTerm":
+        """Hermitian conjugate: reverse order, flip daggers, conjugate."""
+        flipped = tuple((m, not c) for m, c in reversed(self.ladder))
+        return FermionTerm(flipped, self.coefficient.conjugate())
+
+    def max_mode(self) -> int:
+        return max((m for m, _ in self.ladder), default=-1)
+
+    def __repr__(self) -> str:
+        ops = " ".join(f"a{'†' if c else ''}_{m}" for m, c in self.ladder)
+        return f"({self.coefficient:g}) {ops}" if ops else f"({self.coefficient:g})"
+
+
+class FermionOperator:
+    """A sum of :class:`FermionTerm`."""
+
+    def __init__(self, terms: Iterable[FermionTerm] = ()):
+        self.terms = tuple(terms)
+
+    @classmethod
+    def single_excitation(cls, occupied: int, virtual: int) -> "FermionOperator":
+        """``a†_virtual a_occupied`` (one-body excitation)."""
+        if occupied == virtual:
+            raise VQEError("single excitation needs distinct modes")
+        return cls([FermionTerm(((virtual, True), (occupied, False)))])
+
+    @classmethod
+    def double_excitation(
+        cls, occ_pair: tuple, virt_pair: tuple
+    ) -> "FermionOperator":
+        """``a†_r a†_s a_j a_i`` (two-body excitation)."""
+        i, j = occ_pair
+        r, s = virt_pair
+        if len({i, j, r, s}) != 4:
+            raise VQEError("double excitation needs four distinct modes")
+        return cls(
+            [FermionTerm(((r, True), (s, True), (j, False), (i, False)))]
+        )
+
+    @classmethod
+    def mode_rotation(cls, mode: int) -> "FermionOperator":
+        """``a†_mode - a_mode`` — the anti-Hermitian one-mode generator used
+        to pad tiny ansatz instances (see molecules registry notes)."""
+        return cls(
+            [
+                FermionTerm(((mode, True),), 1.0),
+                FermionTerm(((mode, False),), -1.0),
+            ]
+        )
+
+    def dagger(self) -> "FermionOperator":
+        return FermionOperator([t.dagger() for t in self.terms])
+
+    def anti_hermitian_part(self) -> "FermionOperator":
+        """``T - T†`` — the generator UCCSD exponentiates."""
+        return self - self.dagger()
+
+    def max_mode(self) -> int:
+        return max((t.max_mode() for t in self.terms), default=-1)
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other: "FermionOperator") -> "FermionOperator":
+        if not isinstance(other, FermionOperator):
+            return NotImplemented
+        return FermionOperator(self.terms + other.terms)
+
+    def __sub__(self, other: "FermionOperator") -> "FermionOperator":
+        return self + (other * -1.0)
+
+    def __mul__(self, scalar) -> "FermionOperator":
+        if isinstance(scalar, FermionOperator):
+            # Operator product: concatenate ladder sequences.
+            products = []
+            for a in self.terms:
+                for b in scalar.terms:
+                    products.append(
+                        FermionTerm(a.ladder + b.ladder, a.coefficient * b.coefficient)
+                    )
+            return FermionOperator(products)
+        return FermionOperator(
+            [FermionTerm(t.ladder, t.coefficient * complex(scalar)) for t in self.terms]
+        )
+
+    __rmul__ = __mul__
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "FermionOperator(0)"
+        return " + ".join(repr(t) for t in self.terms)

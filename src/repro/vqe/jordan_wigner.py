@@ -1,0 +1,46 @@
+"""Jordan-Wigner transform: fermionic modes → qubits.
+
+``a_p  → (X_p + iY_p)/2 · Z_0 … Z_{p-1}``
+``a†_p → (X_p - iY_p)/2 · Z_0 … Z_{p-1}``
+
+The Z string keeps fermionic anticommutation; products of ladder operators
+become products of the resulting two-term Pauli sums.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VQEError
+from repro.sim.pauli import PauliString, PauliSum
+from repro.vqe.fermion import FermionOperator
+
+
+def jordan_wigner_ladder(mode: int, creation: bool, num_qubits: int) -> PauliSum:
+    """The Pauli form of one ladder operator on ``num_qubits`` qubits."""
+    if mode >= num_qubits:
+        raise VQEError(f"mode {mode} exceeds register of {num_qubits} qubits")
+    prefix = {q: "Z" for q in range(mode)}
+    x_part = PauliString.from_sparse(num_qubits, {**prefix, mode: "X"}, 0.5)
+    sign = -0.5j if creation else 0.5j
+    y_part = PauliString.from_sparse(num_qubits, {**prefix, mode: "Y"}, sign)
+    return PauliSum([x_part, y_part])
+
+
+def jordan_wigner(operator: FermionOperator, num_qubits: int) -> PauliSum:
+    """Transform a :class:`FermionOperator` into a :class:`PauliSum`."""
+    if operator.max_mode() >= num_qubits:
+        raise VQEError(
+            f"operator touches mode {operator.max_mode()} but register has "
+            f"{num_qubits} qubits"
+        )
+    identity = PauliString("I" * num_qubits)
+    total: PauliSum | None = None
+    for term in operator.terms:
+        product = PauliSum([PauliString("I" * num_qubits, term.coefficient)])
+        # Ladder ops act right-to-left on states; as matrices the term is
+        # op_0 · op_1 · … so multiply in listed order.
+        for mode, creation in term.ladder:
+            product = product * jordan_wigner_ladder(mode, creation, num_qubits)
+        total = product if total is None else total + product
+    if total is None:
+        return PauliSum([identity * 0.0]) if num_qubits else PauliSum()
+    return total

@@ -1,0 +1,175 @@
+"""UCCSD ansatz construction.
+
+Exponentiates anti-Hermitian excitation generators ``T_k - T_k†`` with one
+variational parameter each, sequentially in parameter order — which is
+precisely why UCCSD circuits satisfy parameter monotonicity (paper §7.1).
+
+Excitations are generated in a deterministic tier order (spin-conserving
+singles, spin-conserving doubles, then progressively generalized forms) and
+trimmed to the requested parameter count, so the benchmark circuits match
+the paper's Table 2 widths and parameter counts exactly without PySCF
+integrals (see DESIGN.md substitution 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.errors import VQEError
+from repro.vqe.fermion import FermionOperator
+from repro.vqe.jordan_wigner import jordan_wigner
+from repro.vqe.pauli_evolution import pauli_sum_evolution
+from repro.sim.pauli import PauliString, PauliSum
+
+
+@dataclass(frozen=True)
+class Excitation:
+    """One excitation generator.
+
+    ``kind``: ``"single"`` (modes = (occ, virt)), ``"double"``
+    (modes = (i, j, a, b)), or ``"mode"`` (modes = (p,), the one-mode
+    rotation used only to pad the smallest instances).
+    ``tier`` records which generation tier produced it (1 = standard
+    spin-conserving singles … 7 = mode rotations).
+    """
+
+    kind: str
+    modes: tuple
+    tier: int
+
+    def operator(self) -> FermionOperator:
+        if self.kind == "single":
+            occ, virt = self.modes
+            return FermionOperator.single_excitation(occ, virt).anti_hermitian_part()
+        if self.kind == "double":
+            i, j, a, b = self.modes
+            return FermionOperator.double_excitation((i, j), (a, b)).anti_hermitian_part()
+        if self.kind == "mode":
+            return FermionOperator.mode_rotation(self.modes[0])
+        raise VQEError(f"unknown excitation kind {self.kind!r}")
+
+
+def _spin(mode: int) -> int:
+    """Interleaved spin convention: even modes spin-up, odd spin-down."""
+    return mode % 2
+
+
+def generate_excitations(num_qubits: int, num_electrons: int, count: int) -> list:
+    """The first ``count`` excitations in deterministic tier order.
+
+    Tiers (each skips operators already produced by earlier tiers):
+
+    1. spin-conserving singles, occupied → virtual
+    2. spin-conserving doubles, occupied pairs → virtual pairs
+    3. generalized spin-conserving singles (any p < q, same spin)
+    4. generalized spin-conserving doubles (any disjoint pairs, same spin
+       multiset)
+    5. spin-broken singles
+    6. spin-broken doubles
+    7. one-mode rotations (padding for 2-mode instances such as H2)
+    """
+    if num_electrons < 0 or num_electrons > num_qubits:
+        raise VQEError(
+            f"invalid electron count {num_electrons} for {num_qubits} modes"
+        )
+    occ = list(range(num_electrons))
+    virt = list(range(num_electrons, num_qubits))
+    out: list[Excitation] = []
+    seen: set = set()
+
+    def emit(kind: str, modes: tuple, tier: int) -> None:
+        if kind == "double":
+            i, j, a, b = modes
+            pair1, pair2 = tuple(sorted((i, j))), tuple(sorted((a, b)))
+            key = ("d", *sorted([pair1, pair2]))
+            modes = (*pair1, *pair2)
+        elif kind == "single":
+            key = ("s", *sorted(modes))
+            modes = tuple(sorted(modes))
+        else:
+            key = ("m", *modes)
+        if key in seen or len(out) >= count:
+            return
+        seen.add(key)
+        out.append(Excitation(kind, modes, tier))
+
+    # Tier 1: standard singles.
+    for i in occ:
+        for a in virt:
+            if _spin(i) == _spin(a):
+                emit("single", (i, a), 1)
+    # Tier 2: standard doubles.
+    for i, j in combinations(occ, 2):
+        for a, b in combinations(virt, 2):
+            if sorted((_spin(i), _spin(j))) == sorted((_spin(a), _spin(b))):
+                emit("double", (i, j, a, b), 2)
+    # Tier 3: generalized singles.
+    for p, q in combinations(range(num_qubits), 2):
+        if _spin(p) == _spin(q):
+            emit("single", (p, q), 3)
+    # Tier 4: generalized doubles.
+    for p, q in combinations(range(num_qubits), 2):
+        for r, s in combinations(range(num_qubits), 2):
+            if {p, q} & {r, s} or (r, s) <= (p, q):
+                continue
+            if sorted((_spin(p), _spin(q))) == sorted((_spin(r), _spin(s))):
+                emit("double", (p, q, r, s), 4)
+    # Tier 5: spin-broken singles.
+    for p, q in combinations(range(num_qubits), 2):
+        emit("single", (p, q), 5)
+    # Tier 6: spin-broken doubles.
+    for p, q in combinations(range(num_qubits), 2):
+        for r, s in combinations(range(num_qubits), 2):
+            if {p, q} & {r, s} or (r, s) <= (p, q):
+                continue
+            emit("double", (p, q, r, s), 6)
+    # Tier 7: one-mode rotations.
+    for p in range(num_qubits):
+        emit("mode", (p,), 7)
+
+    if len(out) < count:
+        raise VQEError(
+            f"only {len(out)} distinct excitations exist for "
+            f"{num_qubits} modes; requested {count}"
+        )
+    return out
+
+
+def uccsd_ansatz(
+    num_qubits: int,
+    num_electrons: int,
+    num_parameters: int,
+    parameter_prefix: str = "theta",
+    include_reference_state: bool = True,
+    name: str = "uccsd",
+) -> QuantumCircuit:
+    """Build the UCCSD ansatz circuit.
+
+    One :class:`~repro.circuits.parameters.Parameter` per excitation,
+    applied in index order (⇒ parameter monotonicity).  With
+    ``include_reference_state`` the Hartree-Fock occupation (X gates on the
+    occupied modes) precedes the excitations.
+    """
+    excitations = generate_excitations(num_qubits, num_electrons, num_parameters)
+    circuit = QuantumCircuit(num_qubits, name=name)
+    if include_reference_state:
+        for mode in range(num_electrons):
+            circuit.x(mode)
+    for k, excitation in enumerate(excitations):
+        theta = Parameter(f"{parameter_prefix}_{k}", index=k)
+        generator = jordan_wigner(excitation.operator(), num_qubits)
+        # T - T† is anti-Hermitian: its JW image is i·H with H real.
+        real_terms = []
+        for term in generator.terms:
+            if abs(term.coefficient.real) > 1e-9:
+                raise VQEError(
+                    f"excitation generator not anti-Hermitian: {term!r}"
+                )
+            real_terms.append(PauliString(term.label, term.coefficient.imag))
+        hermitian = PauliSum(real_terms)
+        # exp(θ (T - T†)) = exp(i θ H) = exp(-i (-θ) H).
+        pauli_sum_evolution(hermitian, -1.0 * theta, circuit)
+    return circuit

@@ -1,0 +1,77 @@
+"""Tests for analysis helpers: decoherence, speedups, table rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.decoherence import decoherence_advantage, success_probability
+from repro.analysis.speedup import SpeedupRow, speedup_table
+from repro.analysis.tables import format_table
+from repro.errors import ReproError
+
+
+class TestDecoherence:
+    def test_zero_duration_certain_success(self):
+        assert success_probability(0.0) == 1.0
+
+    def test_exponential_decay(self):
+        assert np.isclose(success_probability(20_000.0, 20_000.0), math.exp(-1))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ReproError):
+            success_probability(-1.0)
+
+    def test_invalid_coherence(self):
+        with pytest.raises(ReproError):
+            success_probability(1.0, 0.0)
+
+    def test_advantage_greater_than_one_for_speedup(self):
+        assert decoherence_advantage(1000.0, 500.0) > 1.0
+
+    def test_advantage_exponential_in_time_saved(self):
+        a = decoherence_advantage(2000.0, 1000.0, coherence_ns=1000.0)
+        assert np.isclose(a, math.exp(1.0))
+
+
+class TestSpeedupRow:
+    def test_speedup_computation(self):
+        row = SpeedupRow("x", gate_ns=100.0, strict_ns=50.0, flexible_ns=40.0, grape_ns=40.0)
+        assert row.speedup("strict") == 2.0
+        assert row.speedup("flexible") == 2.5
+
+    def test_missing_value_none(self):
+        row = SpeedupRow("x", gate_ns=100.0)
+        assert row.speedup("grape") is None
+
+    def test_unknown_method(self):
+        row = SpeedupRow("x", gate_ns=100.0)
+        with pytest.raises(ReproError):
+            row.speedup("magic")
+
+    def test_ordering_holds(self):
+        row = SpeedupRow("x", 100.0, 90.0, 80.0, 75.0)
+        assert row.ordering_holds()
+
+    def test_ordering_violated(self):
+        row = SpeedupRow("x", 100.0, 110.0, 80.0, 75.0)
+        assert not row.ordering_holds()
+
+    def test_table_records(self):
+        rows = [SpeedupRow("a", 100.0, 50.0, 40.0, 40.0)]
+        table = speedup_table(rows)
+        assert table[0]["strict_speedup"] == 2.0
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["name", "value"], [["x", 1.25]], precision=2)
+        assert "name" in text and "1.25" in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text
+
+    def test_title_included(self):
+        text = format_table(["a"], [[1]], title="Table 9")
+        assert text.startswith("Table 9")

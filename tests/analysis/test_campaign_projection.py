@@ -1,0 +1,40 @@
+"""Tests for the section-8.4 campaign projection."""
+
+import pytest
+
+from repro.analysis.aggregate import (
+    KANDALA_BEH2_ITERATIONS,
+    project_campaign,
+)
+from repro.errors import ReproError
+
+
+class TestCampaignProjection:
+    def test_total_includes_precompute(self):
+        proj = project_campaign("strict", 0.001, 100.0, iterations=1000,
+                                precompute_s=3600.0)
+        assert proj.total_compile_s == pytest.approx(3600.0 + 1.0)
+
+    def test_full_grape_dominates(self):
+        # The paper's 8.4 argument: minutes per iteration × 3500 iterations.
+        grape = project_campaign("grape", 600.0, 50.0)
+        strict = project_campaign("strict", 1e-4, 60.0, precompute_s=3600.0)
+        assert grape.total_compile_days > 20  # "over 2 years" at 5h/iter
+        assert strict.speedup_over(grape) > 100
+
+    def test_default_iterations_is_kandala(self):
+        proj = project_campaign("gate", 0.0, 10.0)
+        assert proj.iterations == KANDALA_BEH2_ITERATIONS
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ReproError):
+            project_campaign("gate", 0.0, 10.0, iterations=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ReproError):
+            project_campaign("gate", -1.0, 10.0)
+
+    def test_zero_cost_speedup_infinite(self):
+        free = project_campaign("gate", 0.0, 10.0)
+        costly = project_campaign("grape", 1.0, 10.0)
+        assert free.speedup_over(costly) == float("inf")

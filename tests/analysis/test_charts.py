@@ -1,0 +1,78 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.charts import render_chart
+from repro.errors import ReproError
+
+
+class TestRenderChart:
+    def test_basic_render_contains_markers_and_legend(self):
+        text = render_chart(
+            {"gate": [(1, 10), (2, 20)], "grape": [(1, 5), (2, 6)]},
+            width=30,
+            height=8,
+        )
+        assert "o gate" in text and "x grape" in text
+        assert "o" in text.splitlines()[1]
+
+    def test_title_included(self):
+        text = render_chart({"s": [(0, 0), (1, 1)]}, title="Figure 2")
+        assert text.startswith("Figure 2")
+
+    def test_axis_ranges_reported(self):
+        text = render_chart({"s": [(1, 100), (8, 700)]}, x_label="p", y_label="ns")
+        assert "p: 1 … 8" in text
+        assert "top = 700" in text
+
+    def test_monotone_series_renders_monotone(self):
+        """Higher y must land on an earlier (higher) grid row."""
+        text = render_chart({"s": [(0, 0), (1, 10)]}, width=20, height=10)
+        rows = [i for i, line in enumerate(text.splitlines()) if "s" not in line and "o" in line]
+        # The y=10 point is plotted above the y=0 point.
+        assert rows == sorted(rows)
+
+    def test_constant_series_does_not_crash(self):
+        text = render_chart({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "flat" in text
+
+    def test_single_point(self):
+        assert "only" not in render_chart({"p": [(3, 3)]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            render_chart({})
+        with pytest.raises(ReproError):
+            render_chart({"s": []})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ReproError):
+            render_chart({"s": [(0, 0)]}, width=2, height=2)
+
+    def test_many_series_reuse_markers(self):
+        series = {f"s{i}": [(0, i)] for i in range(10)}
+        text = render_chart(series)
+        assert "s9" in text
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_all_points_land_inside_plot_area(points):
+    """Property: every marker stays within the bordered plot area."""
+    width, height = 40, 10
+    text = render_chart({"s": points}, width=width, height=height)
+    plot_lines = [l for l in text.splitlines() if l.startswith("|")]
+    assert len(plot_lines) == height
+    for line in plot_lines:
+        assert len(line) <= width + 1

@@ -1,0 +1,99 @@
+"""Unit tests for circuit blocking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking.aggregate import aggregate_blocks
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import ghz_circuit, random_circuit
+from repro.errors import BlockingError
+from repro.linalg.unitaries import unitaries_equal_up_to_phase
+from repro.sim.unitary import circuit_unitary
+
+
+class TestAggregation:
+    def test_width_bound_respected(self):
+        qc = random_circuit(6, 60, seed=0)
+        blocked = aggregate_blocks(qc, 3)
+        for block in blocked.blocks:
+            assert len(block.qubits) <= 3
+
+    def test_all_instructions_covered(self):
+        qc = random_circuit(5, 40, seed=1)
+        blocked = aggregate_blocks(qc, 4)
+        covered = sorted(
+            i for b in blocked.blocks for i in b.instruction_indices
+        )
+        assert covered == list(range(len(qc)))
+
+    @given(st.integers(0, 30), st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_flattened_preserves_unitary(self, seed, width):
+        qc = random_circuit(4, 30, seed=seed)
+        blocked = aggregate_blocks(qc, width)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(blocked.flattened()), circuit_unitary(qc)
+        )
+
+    def test_single_qubit_width(self):
+        qc = QuantumCircuit(2).h(0).h(1).h(0)
+        blocked = aggregate_blocks(qc, 1)
+        assert all(len(b.qubits) == 1 for b in blocked.blocks)
+
+    def test_two_qubit_gate_overflows_width_one(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        with pytest.raises(BlockingError):
+            aggregate_blocks(qc, 1)
+
+    def test_invalid_width(self):
+        with pytest.raises(BlockingError):
+            aggregate_blocks(QuantumCircuit(1).h(0), 0)
+
+    def test_ghz_blocks_chain(self):
+        blocked = aggregate_blocks(ghz_circuit(6), 3)
+        # Greedy aggregation along the CX chain: ~ceil(5/2)=3 blocks.
+        assert len(blocked) <= 4
+
+    def test_aggregation_groups_gates(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1).rz(0.3, 1).cx(0, 1)
+        blocked = aggregate_blocks(qc, 2)
+        assert len(blocked) == 1
+
+    def test_local_circuit_remaps(self):
+        qc = QuantumCircuit(4).cx(2, 3).h(3)
+        blocked = aggregate_blocks(qc, 2)
+        sub, order = blocked.local_circuit(blocked.blocks[0])
+        assert order == (2, 3)
+        assert sub[0].qubits == (0, 1)
+
+    def test_gate_based_duration(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        blocked = aggregate_blocks(qc, 2)
+        assert np.isclose(
+            blocked.gate_based_duration_ns(blocked.blocks[0]), 1.4 + 3.8
+        )
+
+    def test_blocks_topologically_ordered(self):
+        qc = random_circuit(5, 50, seed=3)
+        blocked = aggregate_blocks(qc, 3)
+        # Per-qubit instruction order must be non-decreasing across blocks.
+        position = {}
+        for pos, block in enumerate(blocked.blocks):
+            for idx in block.instruction_indices:
+                position[idx] = pos
+        last: dict = {}
+        for idx, inst in enumerate(qc):
+            for q in inst.qubits:
+                if q in last:
+                    assert position[last[q]] <= position[idx]
+                last[q] = idx
+
+    def test_parametrized_circuit_blocks(self):
+        from repro.circuits.parameters import Parameter
+
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(2).h(0).rz(theta, 0).cx(0, 1)
+        blocked = aggregate_blocks(qc, 2)
+        assert blocked.flattened().parameters == qc.parameters

@@ -1,0 +1,159 @@
+"""Unit tests for QuantumCircuit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.gates import CXGate, HGate, RZGate, XGate
+from repro.circuits.parameters import Parameter
+from repro.errors import CircuitError
+from repro.linalg.unitaries import unitaries_equal_up_to_phase
+from repro.sim.unitary import circuit_unitary
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        qc = QuantumCircuit(3)
+        assert len(qc) == 0
+        assert qc.num_qubits == 3
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_append_chains(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        assert [i.gate.name for i in qc] == ["h", "cx"]
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).h(2)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).cx(1, 1)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CircuitError):
+            Instruction(CXGate(), (0,))
+
+    def test_all_convenience_methods(self):
+        qc = QuantumCircuit(3)
+        qc.i(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0)
+        qc.rx(0.1, 0).ry(0.2, 1).rz(0.3, 2)
+        qc.cx(0, 1).cz(1, 2).swap(0, 2).iswap(0, 1).rzz(0.4, 1, 2)
+        assert len(qc) == 17
+
+
+class TestQueries:
+    def test_count_ops(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert qc.count_ops() == {"h": 2, "cx": 1}
+
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        assert qc.depth() == 1
+
+    def test_depth_serial_gates(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        assert qc.depth() == 3
+
+    def test_active_qubits(self):
+        qc = QuantumCircuit(4).h(1).cx(1, 3)
+        assert qc.active_qubits() == (1, 3)
+
+    def test_parameters_sorted_by_index(self):
+        p2, p0 = Parameter("theta_2"), Parameter("theta_0")
+        qc = QuantumCircuit(1).rz(p2, 0).rz(p0, 0)
+        assert qc.parameters == (p0, p2)
+
+    def test_is_parameterized(self):
+        qc = QuantumCircuit(1).rz(Parameter("theta_0"), 0)
+        assert qc.is_parameterized()
+        assert not QuantumCircuit(1).h(0).is_parameterized()
+
+
+class TestTransformations:
+    def test_copy_independent(self):
+        qc = QuantumCircuit(1).h(0)
+        clone = qc.copy()
+        clone.x(0)
+        assert len(qc) == 1 and len(clone) == 2
+
+    def test_compose_identity_mapping(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).cx(0, 1)
+        combined = a.compose(b)
+        assert [i.gate.name for i in combined] == ["h", "cx"]
+
+    def test_compose_with_mapping(self):
+        a = QuantumCircuit(3)
+        b = QuantumCircuit(2).cx(0, 1)
+        combined = a.compose(b, qubits=[2, 0])
+        assert combined[0].qubits == (2, 0)
+
+    def test_compose_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1).compose(QuantumCircuit(2))
+
+    def test_inverse_reverses_and_inverts(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        identity = qc.compose(qc.inverse())
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(identity), np.eye(4)
+        )
+
+    def test_bind_by_sequence(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).rz(theta, 0)
+        bound = qc.bind_parameters([0.5])
+        assert math.isclose(bound[0].gate.params[0], 0.5)
+
+    def test_bind_by_mapping(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).rz(2 * theta, 0)
+        bound = qc.bind_parameters({theta: 0.25})
+        assert math.isclose(bound[0].gate.params[0], 0.5)
+
+    def test_bind_wrong_count(self):
+        qc = QuantumCircuit(1).rz(Parameter("theta_0"), 0)
+        with pytest.raises(CircuitError):
+            qc.bind_parameters([0.1, 0.2])
+
+    def test_remap_qubits(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        mapped = qc.remap_qubits({0: 2, 1: 0}, num_qubits=3)
+        assert mapped[0].qubits == (2, 0)
+
+    def test_remap_missing_qubit(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        with pytest.raises(CircuitError):
+            qc.remap_qubits({0: 1})
+
+    def test_sub_circuit(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).x(1)
+        sub = qc.sub_circuit([0, 2])
+        assert [i.gate.name for i in sub] == ["h", "x"]
+
+    def test_slice_indexing(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).x(1)
+        tail = qc[1:]
+        assert [i.gate.name for i in tail] == ["cx", "x"]
+
+
+class TestEquality:
+    def test_equal_circuits(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        assert a == b
+
+    def test_different_order_unequal(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).cx(0, 1).h(0)
+        assert a != b
+
+    def test_draw_contains_gates(self):
+        text = QuantumCircuit(1).h(0).draw()
+        assert "h" in text

@@ -1,0 +1,70 @@
+"""Unit tests for the circuit dependency DAG and critical paths."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag, circuit_layers, critical_path_ns
+from repro.circuits.library import random_circuit
+
+
+class TestDagStructure:
+    def test_chain_dependencies(self):
+        qc = QuantumCircuit(1).h(0).x(0).z(0)
+        dag = CircuitDag(qc)
+        assert list(dag.successors(0)) == [1]
+        assert list(dag.successors(1)) == [2]
+
+    def test_parallel_gates_independent(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        dag = CircuitDag(qc)
+        assert list(dag.successors(0)) == []
+
+    def test_two_qubit_gate_joins(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        dag = CircuitDag(qc)
+        assert set(dag.predecessors(2)) == {0, 1}
+
+    def test_topological_order_valid(self):
+        qc = random_circuit(4, 30, seed=0)
+        dag = CircuitDag(qc)
+        position = {idx: i for i, idx in enumerate(dag.topological_order())}
+        for src, dst in dag.graph.edges:
+            assert position[src] < position[dst]
+
+
+class TestLayers:
+    def test_single_layer(self):
+        qc = QuantumCircuit(3).h(0).h(1).h(2)
+        assert len(circuit_layers(qc)) == 1
+
+    def test_layer_count_equals_depth(self):
+        qc = random_circuit(4, 40, seed=1)
+        assert len(circuit_layers(qc)) == qc.depth()
+
+    def test_layers_cover_all_instructions(self):
+        qc = random_circuit(3, 25, seed=2)
+        total = sum(len(layer) for layer in circuit_layers(qc))
+        assert total == len(qc)
+
+
+class TestCriticalPath:
+    def test_empty_circuit(self):
+        assert critical_path_ns(QuantumCircuit(2)) == 0.0
+
+    def test_serial_sum(self):
+        qc = QuantumCircuit(1).h(0).rx(0.3, 0)
+        assert np.isclose(critical_path_ns(qc), 1.4 + 2.5)
+
+    def test_parallel_max(self):
+        qc = QuantumCircuit(2).rx(0.3, 0).rz(0.3, 1)
+        assert np.isclose(critical_path_ns(qc), 2.5)
+
+    def test_mixed(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1).rz(0.1, 1)
+        assert np.isclose(critical_path_ns(qc), 1.4 + 3.8 + 0.4)
+
+    def test_weighted_critical_path_custom(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        dag = CircuitDag(qc)
+        assert dag.weighted_critical_path(lambda i: 1.0) == 2.0

@@ -1,0 +1,187 @@
+"""Unit tests for the gate library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    CXGate,
+    CZGate,
+    Gate,
+    HGate,
+    IGate,
+    ISwapGate,
+    RXGate,
+    RYGate,
+    RZGate,
+    RZZGate,
+    SGate,
+    SdgGate,
+    SwapGate,
+    TGate,
+    TdgGate,
+    XGate,
+    YGate,
+    ZGate,
+    gate_from_name,
+)
+from repro.circuits.parameters import Parameter
+from repro.errors import CircuitError, ParameterError
+from repro.linalg.operators import is_unitary
+
+ALL_FIXED = [
+    IGate(),
+    XGate(),
+    YGate(),
+    ZGate(),
+    HGate(),
+    SGate(),
+    SdgGate(),
+    TGate(),
+    TdgGate(),
+    CXGate(),
+    CZGate(),
+    SwapGate(),
+    ISwapGate(),
+]
+ALL_PARAM = [RXGate(0.7), RYGate(-1.2), RZGate(2.3), RZZGate(0.5)]
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("gate", ALL_FIXED + ALL_PARAM, ids=lambda g: repr(g))
+    def test_all_matrices_unitary(self, gate):
+        assert is_unitary(gate.matrix())
+
+    @pytest.mark.parametrize("gate", ALL_FIXED + ALL_PARAM, ids=lambda g: repr(g))
+    def test_matrix_dimension_matches_qubits(self, gate):
+        dim = 2**gate.num_qubits
+        assert gate.matrix().shape == (dim, dim)
+
+    def test_x_flips(self):
+        assert np.allclose(XGate().matrix() @ [1, 0], [0, 1])
+
+    def test_h_creates_superposition(self):
+        out = HGate().matrix() @ [1, 0]
+        assert np.allclose(np.abs(out) ** 2, [0.5, 0.5])
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert np.allclose(RXGate(math.pi).matrix(), -1j * XGate().matrix())
+
+    def test_rz_pi_is_z_up_to_phase(self):
+        assert np.allclose(RZGate(math.pi).matrix(), -1j * ZGate().matrix())
+
+    def test_s_squared_is_z(self):
+        s = SGate().matrix()
+        assert np.allclose(s @ s, ZGate().matrix())
+
+    def test_t_squared_is_s(self):
+        t = TGate().matrix()
+        assert np.allclose(t @ t, SGate().matrix())
+
+    def test_cx_action_on_basis(self):
+        cx = CXGate().matrix()
+        # |10> -> |11>
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.allclose(cx @ state, np.eye(4)[3])
+
+    def test_swap_action(self):
+        swap = SwapGate().matrix()
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        assert np.allclose(swap @ state, np.eye(4)[2])
+
+    def test_iswap_phase(self):
+        out = ISwapGate().matrix() @ np.eye(4)[1]
+        assert np.allclose(out, 1j * np.eye(4)[2])
+
+    def test_rzz_diagonal(self):
+        m = RZZGate(0.8).matrix()
+        assert np.allclose(m, np.diag(np.diag(m)))
+
+
+class TestInverses:
+    @pytest.mark.parametrize("gate", ALL_FIXED + ALL_PARAM, ids=lambda g: repr(g))
+    def test_inverse_matrix(self, gate):
+        product = gate.inverse().matrix() @ gate.matrix()
+        assert np.allclose(product, np.eye(2**gate.num_qubits), atol=1e-12)
+
+    def test_s_inverse_is_sdg(self):
+        assert isinstance(SGate().inverse(), SdgGate)
+
+    def test_rx_inverse_negates_angle(self):
+        inv = RXGate(0.4).inverse()
+        assert math.isclose(inv.params[0], -0.4)
+
+
+class TestParameterization:
+    def test_symbolic_gate_is_parameterized(self):
+        theta = Parameter("theta_0")
+        assert RZGate(theta).is_parameterized()
+
+    def test_numeric_gate_not_parameterized(self):
+        assert not RZGate(0.5).is_parameterized()
+
+    def test_matrix_of_unbound_raises(self):
+        theta = Parameter("theta_0")
+        with pytest.raises(ParameterError):
+            RZGate(theta).matrix()
+
+    def test_bind_produces_numeric_gate(self):
+        theta = Parameter("theta_0")
+        bound = RZGate(2 * theta).bind({theta: 0.25})
+        assert not bound.is_parameterized()
+        assert math.isclose(bound.params[0], 0.5)
+
+    def test_partial_bind_keeps_symbolic(self):
+        a, b = Parameter("theta_0"), Parameter("theta_1")
+        bound = RZGate(a + b).bind({a: 1.0})
+        assert bound.is_parameterized()
+
+    def test_inverse_of_symbolic(self):
+        theta = Parameter("theta_0")
+        inv = RZGate(theta).inverse()
+        assert inv.params[0].coefficient(theta) == -1.0
+
+
+class TestDurations:
+    def test_table1_durations(self):
+        assert RZGate(0.1).duration_ns == 0.4
+        assert RXGate(0.1).duration_ns == 2.5
+        assert HGate().duration_ns == 1.4
+        assert CXGate().duration_ns == 3.8
+        assert SwapGate().duration_ns == 7.4
+
+    def test_unknown_gate_duration_raises(self):
+        class Mystery(Gate):
+            name = "mystery"
+
+            def matrix(self):
+                return np.eye(2)
+
+        with pytest.raises(CircuitError):
+            _ = Mystery().duration_ns
+
+
+class TestEqualityAndFactory:
+    def test_same_gate_equal(self):
+        assert RZGate(0.5) == RZGate(0.5)
+
+    def test_different_angle_unequal(self):
+        assert RZGate(0.5) != RZGate(0.6)
+
+    def test_symbolic_equality(self):
+        theta = Parameter("theta_0")
+        assert RZGate(2 * theta) == RZGate(theta + theta)
+
+    def test_gate_from_name(self):
+        assert isinstance(gate_from_name("cx"), CXGate)
+
+    def test_gate_from_name_with_params(self):
+        gate = gate_from_name("rx", [0.3])
+        assert math.isclose(gate.params[0], 0.3)
+
+    def test_gate_from_name_unknown(self):
+        with pytest.raises(CircuitError):
+            gate_from_name("frobnicate")

@@ -1,0 +1,35 @@
+"""Unit tests for circuit constructors."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import ghz_circuit, random_circuit
+from repro.errors import CircuitError
+from repro.sim.statevector import simulate
+
+
+class TestGHZ:
+    def test_state_is_ghz(self):
+        probs = simulate(ghz_circuit(4)).probabilities()
+        assert np.isclose(probs[0], 0.5)
+        assert np.isclose(probs[-1], 0.5)
+
+    def test_minimum_size(self):
+        with pytest.raises(CircuitError):
+            ghz_circuit(1)
+
+
+class TestRandomCircuit:
+    def test_gate_count(self):
+        assert len(random_circuit(3, 25, seed=0)) == 25
+
+    def test_reproducible(self):
+        assert random_circuit(3, 20, seed=5) == random_circuit(3, 20, seed=5)
+
+    def test_single_qubit_register(self):
+        qc = random_circuit(1, 10, seed=0)
+        assert all(len(i.qubits) == 1 for i in qc)
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(CircuitError):
+            random_circuit(0, 5)

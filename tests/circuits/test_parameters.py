@@ -1,0 +1,151 @@
+"""Unit tests for symbolic parameters and linear expressions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.parameters import (
+    Parameter,
+    ParameterExpression,
+    angle_parameters,
+    parameter_value,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def theta():
+    return Parameter("theta_0")
+
+
+@pytest.fixture
+def phi():
+    return Parameter("theta_1")
+
+
+class TestParameter:
+    def test_index_parsed_from_name(self):
+        assert Parameter("theta_7").index == 7
+
+    def test_explicit_index(self):
+        assert Parameter("gamma", index=3).index == 3
+
+    def test_no_digits_defaults_zero(self):
+        assert Parameter("alpha").index == 0
+
+    def test_equality_by_name_and_index(self):
+        assert Parameter("theta_1") == Parameter("theta_1")
+        assert Parameter("theta_1") != Parameter("theta_2")
+
+    def test_ordering_by_index(self):
+        params = [Parameter(f"theta_{i}") for i in (3, 1, 2)]
+        assert [p.index for p in sorted(params)] == [1, 2, 3]
+
+    def test_hashable(self, theta):
+        assert {theta: 1}[Parameter("theta_0")] == 1
+
+    def test_str(self, theta):
+        assert str(theta) == "theta_0"
+
+
+class TestExpressionArithmetic:
+    def test_negation(self, theta):
+        expr = -theta
+        assert expr.coefficient(theta) == -1.0
+
+    def test_scalar_multiplication(self, theta):
+        expr = 2.5 * theta
+        assert expr.coefficient(theta) == 2.5
+
+    def test_division(self, theta):
+        expr = theta / 2
+        assert expr.coefficient(theta) == 0.5
+
+    def test_addition_of_parameters(self, theta, phi):
+        expr = theta + phi
+        assert expr.parameters == frozenset({theta, phi})
+
+    def test_addition_with_constant(self, theta):
+        expr = theta + math.pi
+        assert math.isclose(expr.constant, math.pi)
+
+    def test_subtraction_cancels(self, theta):
+        expr = theta - theta
+        assert expr.is_constant()
+        assert expr.to_float() == 0.0
+
+    def test_rsub(self, theta):
+        expr = 1.0 - theta
+        assert expr.coefficient(theta) == -1.0
+        assert expr.constant == 1.0
+
+    def test_nonlinear_multiplication_rejected(self, theta, phi):
+        with pytest.raises(ParameterError):
+            (1.0 * theta) * (1.0 * phi)
+
+    def test_division_by_expression_rejected(self, theta, phi):
+        with pytest.raises(ParameterError):
+            (1.0 * theta) / (1.0 * phi)
+
+    def test_equality_of_equivalent_expressions(self, theta):
+        assert theta + theta == 2 * theta
+
+    def test_equality_with_scalar(self, theta):
+        assert (theta - theta + 3.0) == 3.0
+
+    def test_str_rendering(self, theta):
+        assert "theta_0" in str(2 * theta + 1)
+
+
+class TestBinding:
+    def test_full_bind(self, theta, phi):
+        expr = 2 * theta - phi + 1.0
+        bound = expr.bind({theta: 0.5, phi: 2.0})
+        assert bound.is_constant()
+        assert math.isclose(bound.to_float(), 2 * 0.5 - 2.0 + 1.0)
+
+    def test_partial_bind(self, theta, phi):
+        expr = theta + phi
+        bound = expr.bind({theta: 1.0})
+        assert bound.parameters == frozenset({phi})
+        assert math.isclose(bound.constant, 1.0)
+
+    def test_bind_ignores_absent_parameters(self, theta, phi):
+        expr = 1.0 * theta
+        bound = expr.bind({phi: 9.0})
+        assert bound.parameters == frozenset({theta})
+
+    def test_to_float_unbound_raises(self, theta):
+        with pytest.raises(ParameterError):
+            (1.0 * theta).to_float()
+
+    @given(st.floats(-10, 10), st.floats(-10, 10), st.floats(-10, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_binding_is_linear(self, a, b, value):
+        theta = Parameter("theta_0")
+        expr = a * theta + b
+        bound = expr.bind({theta: value}).to_float()
+        assert math.isclose(bound, a * value + b, abs_tol=1e-9)
+
+
+class TestHelpers:
+    def test_parameter_value_float(self):
+        assert parameter_value(1.5) == 1.5
+
+    def test_parameter_value_constant_expr(self, theta):
+        assert parameter_value(theta - theta + 2.0) == 2.0
+
+    def test_parameter_value_unbound_raises(self, theta):
+        with pytest.raises(ParameterError):
+            parameter_value(theta)
+
+    def test_angle_parameters_of_float(self):
+        assert angle_parameters(0.3) == frozenset()
+
+    def test_angle_parameters_of_parameter(self, theta):
+        assert angle_parameters(theta) == frozenset({theta})
+
+    def test_angle_parameters_of_expression(self, theta, phi):
+        assert angle_parameters(theta + 2 * phi) == frozenset({theta, phi})

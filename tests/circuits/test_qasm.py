@@ -1,0 +1,88 @@
+"""Unit tests for OpenQASM export/import."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import random_circuit
+from repro.circuits.parameters import Parameter
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.errors import CircuitError
+from repro.linalg.unitaries import unitaries_equal_up_to_phase
+from repro.sim.unitary import circuit_unitary
+
+
+class TestExport:
+    def test_header(self):
+        text = to_qasm(QuantumCircuit(3))
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+
+    def test_gate_lines(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.5, 1)
+        text = to_qasm(qc)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "rz(0.5) q[1];" in text
+
+    def test_symbolic_parameters(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).rz(2 * theta, 0)
+        text = to_qasm(qc)
+        assert "theta_0" in text
+
+
+class TestRoundTrip:
+    def test_bound_circuit_roundtrip(self):
+        qc = random_circuit(3, 30, seed=0)
+        restored = from_qasm(to_qasm(qc))
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(restored), circuit_unitary(qc)
+        )
+
+    def test_symbolic_roundtrip(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(2).h(0).rz(2 * theta, 0).cx(0, 1)
+        restored = from_qasm(to_qasm(qc))
+        assert len(restored.parameters) == 1
+        for value in (0.3, -1.2):
+            assert unitaries_equal_up_to_phase(
+                circuit_unitary(restored.bind_parameters([value])),
+                circuit_unitary(qc.bind_parameters([value])),
+            )
+
+    def test_all_gate_names_roundtrip(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).y(0).z(1).h(0).s(1).sdg(0).t(1).tdg(0)
+        qc.rx(0.1, 0).ry(0.2, 1).rz(0.3, 0)
+        qc.cx(0, 1).cz(0, 1).swap(0, 1).iswap(0, 1).rzz(0.4, 0, 1)
+        restored = from_qasm(to_qasm(qc))
+        assert len(restored) == len(qc)
+
+
+class TestImport:
+    def test_pi_expressions(self):
+        qc = from_qasm("qreg q[1];\nrz(pi/2) q[0];\n")
+        assert math.isclose(qc[0].gate.params[0], math.pi / 2)
+
+    def test_comments_and_blanks_ignored(self):
+        text = "// header\n\nqreg q[1];\nh q[0]; // gate\n"
+        assert len(from_qasm(text)) == 1
+
+    def test_measure_and_barrier_skipped(self):
+        text = "qreg q[1];\ncreg c[1];\nh q[0];\nbarrier q;\nmeasure q[0] -> c[0];\n"
+        assert len(from_qasm(text)) == 1
+
+    def test_gate_before_qreg_rejected(self):
+        with pytest.raises(CircuitError):
+            from_qasm("h q[0];")
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CircuitError):
+            from_qasm("qreg q[1];\n???;")

@@ -1,0 +1,41 @@
+"""Shared fixtures.
+
+GRAPE-heavy tests use deliberately coarse settings (0.25 ns slices, relaxed
+fidelity target, small iteration budgets) so the whole suite stays fast;
+the physics is identical, only the resolution differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
+from repro.transpile.topology import line_topology
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def two_qubit_device():
+    return GmonDevice(line_topology(2))
+
+
+@pytest.fixture
+def three_qubit_device():
+    return GmonDevice(line_topology(3))
+
+
+@pytest.fixture
+def fast_settings():
+    """Coarse GRAPE settings for quick unit tests."""
+    return GrapeSettings(dt_ns=0.25, target_fidelity=0.99)
+
+
+@pytest.fixture
+def fast_hyper():
+    return GrapeHyperparameters(learning_rate=0.05, decay_rate=0.002, max_iterations=200)

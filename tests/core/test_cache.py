@@ -1,0 +1,84 @@
+"""Unit tests for the pulse cache."""
+
+import numpy as np
+
+from repro.core.cache import (
+    CacheEntry,
+    PulseCache,
+    control_context_key,
+    unitary_fingerprint,
+)
+from repro.linalg.random import haar_random_unitary
+from repro.pulse.device import GmonDevice
+from repro.pulse.hamiltonian import build_control_set
+from repro.pulse.schedule import PulseSchedule
+from repro.transpile.topology import line_topology
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        u = haar_random_unitary(4, seed=0)
+        assert unitary_fingerprint(u) == unitary_fingerprint(u.copy())
+
+    def test_phase_invariant(self):
+        u = haar_random_unitary(4, seed=1)
+        assert unitary_fingerprint(u) == unitary_fingerprint(np.exp(0.3j) * u)
+
+    def test_different_unitaries_differ(self):
+        a = haar_random_unitary(4, seed=2)
+        b = haar_random_unitary(4, seed=3)
+        assert unitary_fingerprint(a) != unitary_fingerprint(b)
+
+    def test_small_perturbation_changes_hash(self):
+        u = np.eye(4, dtype=complex)
+        v = u.copy()
+        v[0, 0] = np.exp(0.01j)
+        assert unitary_fingerprint(u) != unitary_fingerprint(v)
+
+
+class TestContextKey:
+    def test_translation_invariant(self):
+        # Blocks on qubits (0,1) and (3,4) of a line have identical local
+        # physics: their context keys must match so pulses are shared.
+        device = GmonDevice(line_topology(6))
+        a = build_control_set(device, [0, 1])
+        b = build_control_set(device, [3, 4])
+        assert control_context_key(a, 0.2, 0.999) == control_context_key(b, 0.2, 0.999)
+
+    def test_dt_changes_key(self):
+        device = GmonDevice(line_topology(2))
+        cs = build_control_set(device, [0])
+        assert control_context_key(cs, 0.2, 0.99) != control_context_key(cs, 0.1, 0.99)
+
+
+class TestPulseCache:
+    def _entry(self):
+        sched = PulseSchedule(qubits=(0,), dt_ns=0.1, controls=np.zeros((1, 5)))
+        return CacheEntry(sched, 0.5, 0.999, True, 100)
+
+    def test_miss_then_hit(self):
+        cache = PulseCache()
+        device = GmonDevice(line_topology(2))
+        cs = build_control_set(device, [0])
+        key = cache.key(np.eye(2), cs, 0.2, 0.99)
+        assert cache.get(key) is None
+        cache.put(key, self._entry())
+        assert cache.get(key) is not None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_hit_rate(self):
+        cache = PulseCache()
+        assert cache.hit_rate == 0.0
+        device = GmonDevice(line_topology(2))
+        cs = build_control_set(device, [0])
+        key = cache.key(np.eye(2), cs, 0.2, 0.99)
+        cache.put(key, self._entry())
+        cache.get(key)
+        assert cache.hit_rate == 1.0
+
+    def test_len(self):
+        cache = PulseCache()
+        device = GmonDevice(line_topology(2))
+        cs = build_control_set(device, [0])
+        cache.put(cache.key(np.eye(2), cs, 0.2, 0.99), self._entry())
+        assert len(cache) == 1

@@ -1,0 +1,93 @@
+"""Unit tests for GRAPE hyperparameter tuning."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.core.hyperopt import (
+    HyperparameterTrial,
+    learning_rate_sweep,
+    sample_targets,
+    tune_hyperparameters,
+)
+from repro.errors import CompilationError
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape.engine import GrapeSettings
+from repro.pulse.hamiltonian import build_control_set
+from repro.transpile.topology import line_topology
+
+SETTINGS = GrapeSettings(dt_ns=0.25, target_fidelity=0.99)
+
+
+@pytest.fixture(scope="module")
+def control_set():
+    return build_control_set(GmonDevice(line_topology(2)), [0])
+
+
+@pytest.fixture(scope="module")
+def subcircuit():
+    theta = Parameter("theta_0")
+    qc = QuantumCircuit(1).h(0).rz(theta, 0).h(0)
+    return qc
+
+
+class TestSampleTargets:
+    def test_count_and_shape(self, subcircuit):
+        targets = sample_targets(subcircuit, 3, seed=0)
+        assert len(targets) == 3
+        assert all(t.shape == (2, 2) for t in targets)
+
+    def test_seeded(self, subcircuit):
+        a = sample_targets(subcircuit, 2, seed=1)
+        b = sample_targets(subcircuit, 2, seed=1)
+        assert all(np.allclose(x, y) for x, y in zip(a, b))
+
+
+class TestTuning:
+    def test_returns_best_trial(self, control_set, subcircuit):
+        targets = sample_targets(subcircuit, 2, seed=0)
+        result = tune_hyperparameters(
+            control_set,
+            targets,
+            num_steps=12,
+            settings=SETTINGS,
+            learning_rates=(0.01, 0.1),
+            decay_rates=(0.0,),
+            iteration_budget=120,
+        )
+        assert len(result.trials) == 2
+        assert result.best.learning_rate in (0.01, 0.1)
+        assert result.total_iterations > 0
+
+    def test_empty_targets_rejected(self, control_set):
+        with pytest.raises(CompilationError):
+            tune_hyperparameters(control_set, [], num_steps=10)
+
+    def test_trial_score_penalizes_nonconvergence(self):
+        good = HyperparameterTrial(0.1, 0.0, 50.0, 0.999, True)
+        bad = HyperparameterTrial(0.1, 0.0, 50.0, 0.5, False)
+        assert bad.score > good.score
+
+
+class TestLearningRateSweep:
+    def test_error_matrix_shape(self, control_set, subcircuit):
+        targets = sample_targets(subcircuit, 2, seed=3)
+        errors = learning_rate_sweep(
+            control_set, targets, num_steps=10,
+            learning_rates=(0.01, 0.05), iterations=40, settings=SETTINGS,
+        )
+        assert errors.shape == (2, 2)
+        assert np.all(errors >= 0.0) and np.all(errors <= 1.0)
+
+    def test_figure4_robustness_property(self, control_set, subcircuit):
+        # The argmin learning rate should agree across different θ values —
+        # the observation flexible partial compilation is built on.
+        targets = sample_targets(subcircuit, 3, seed=4)
+        lrs = (0.002, 0.05)
+        errors = learning_rate_sweep(
+            control_set, targets, num_steps=10, learning_rates=lrs,
+            iterations=60, settings=SETTINGS,
+        )
+        argmins = set(int(np.argmin(row)) for row in errors)
+        assert len(argmins) == 1

@@ -1,0 +1,67 @@
+"""Unit tests for parameter-monotonicity analysis."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.core.monotonic import (
+    is_parameter_grouped,
+    is_parameter_monotonic,
+    parameter_appearance_order,
+    parametrized_gate_sequence,
+)
+from repro.errors import CompilationError
+
+T = [Parameter(f"theta_{i}") for i in range(4)]
+
+
+def _circuit(order):
+    qc = QuantumCircuit(1)
+    for param in order:
+        qc.rz(param, 0)
+    return qc
+
+
+class TestMonotonicity:
+    def test_paper_positive_example(self):
+        # [θ1, θ1, θ2, θ3] is monotonic.
+        assert is_parameter_monotonic(_circuit([T[1], T[1], T[2], T[3]]))
+
+    def test_paper_negative_example(self):
+        # [θ1, θ2, θ3, θ1] is not.
+        assert not is_parameter_monotonic(_circuit([T[1], T[2], T[3], T[1]]))
+
+    def test_empty_circuit_monotonic(self):
+        assert is_parameter_monotonic(QuantumCircuit(1).h(0))
+
+    def test_transformed_angles_keep_tags(self):
+        qc = QuantumCircuit(1)
+        qc.rz(-T[0] / 2, 0)
+        qc.rz(2 * T[1], 0)
+        assert is_parameter_monotonic(qc)
+
+    def test_grouped_but_not_monotonic(self):
+        # θ2 before θ1, each grouped: grouped passes, monotonic fails.
+        qc = _circuit([T[2], T[2], T[1]])
+        assert is_parameter_grouped(qc)
+        assert not is_parameter_monotonic(qc)
+
+    def test_not_grouped(self):
+        assert not is_parameter_grouped(_circuit([T[1], T[2], T[1]]))
+
+
+class TestSequence:
+    def test_sequence_indices(self):
+        qc = QuantumCircuit(2).h(0).rz(T[0], 0).cx(0, 1).rz(T[1], 1)
+        seq = parametrized_gate_sequence(qc)
+        assert [idx for idx, _ in seq] == [1, 3]
+        assert [p.name for _, p in seq] == ["theta_0", "theta_1"]
+
+    def test_multi_parameter_gate_rejected(self):
+        qc = QuantumCircuit(1).rz(T[0] + T[1], 0)
+        with pytest.raises(CompilationError):
+            parametrized_gate_sequence(qc)
+
+    def test_appearance_order(self):
+        qc = _circuit([T[2], T[0], T[2]])
+        assert parameter_appearance_order(qc) == [T[2], T[0]]

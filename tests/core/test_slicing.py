@@ -1,0 +1,123 @@
+"""Unit tests for strict and flexible slicing (paper Figure 3)."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.core.slicing import (
+    flexible_slices,
+    parametrized_gate_fraction,
+    slice_parameter_counts,
+    strict_slices,
+)
+from repro.errors import CompilationError
+
+T0, T1, T2 = Parameter("theta_0"), Parameter("theta_1"), Parameter("theta_2")
+
+
+def figure_3a_circuit():
+    """The paper's running example: parametrized-gate sequence
+    [θ0, θ0, θ1, θ2] with fixed gates between."""
+    qc = QuantumCircuit(2, name="fig3a")
+    qc.h(0).h(1).cx(0, 1)
+    qc.rz(T0, 1)
+    qc.cx(0, 1).h(0)
+    qc.rz(T0, 0)
+    qc.cx(0, 1)
+    qc.rz(T1, 1)
+    qc.h(1).cx(0, 1)
+    qc.rz(T2, 0)
+    qc.h(0)
+    return qc
+
+
+class TestStrictSlices:
+    def test_alternation_pattern(self):
+        slices = strict_slices(figure_3a_circuit())
+        kinds = [s.kind for s in slices]
+        # Fixed, Rz(θ0), Fixed, Rz(θ0), Fixed, Rz(θ1), Fixed, Rz(θ2), Fixed
+        assert kinds == [
+            "fixed", "parametrized", "fixed", "parametrized", "fixed",
+            "parametrized", "fixed", "parametrized", "fixed",
+        ]
+
+    def test_parametrized_slices_single_gate(self):
+        for s in strict_slices(figure_3a_circuit()):
+            if s.kind == "parametrized":
+                assert s.num_gates == 1
+                assert s.parameter is not None
+
+    def test_all_gates_covered_in_order(self):
+        qc = figure_3a_circuit()
+        slices = strict_slices(qc)
+        indices = [i for s in slices for i in s.instruction_indices]
+        assert indices == list(range(len(qc)))
+
+    def test_unparametrized_circuit_single_fixed_slice(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        slices = strict_slices(qc)
+        assert len(slices) == 1
+        assert slices[0].kind == "fixed"
+
+    def test_multi_parameter_gate_rejected(self):
+        qc = QuantumCircuit(1).rz(T0 + T1, 0)
+        with pytest.raises(CompilationError):
+            strict_slices(qc)
+
+    def test_counts_helper(self):
+        counts = slice_parameter_counts(strict_slices(figure_3a_circuit()))
+        assert counts == {"fixed": 5, "parametrized": 4}
+
+
+class TestFlexibleSlices:
+    def test_one_slice_per_parameter(self):
+        slices = flexible_slices(figure_3a_circuit())
+        assert [s.parameter.name for s in slices] == ["theta_0", "theta_1", "theta_2"]
+
+    def test_prefix_joins_first_slice(self):
+        slices = flexible_slices(figure_3a_circuit())
+        assert slices[0].instruction_indices[0] == 0
+
+    def test_suffix_joins_last_slice(self):
+        qc = figure_3a_circuit()
+        slices = flexible_slices(qc)
+        assert slices[-1].instruction_indices[-1] == len(qc) - 1
+
+    def test_slices_deeper_than_strict(self):
+        qc = figure_3a_circuit()
+        strict_fixed_max = max(
+            s.num_gates for s in strict_slices(qc) if s.kind == "fixed"
+        )
+        flexible_min = min(s.num_gates for s in flexible_slices(qc))
+        assert flexible_min >= strict_fixed_max - 1  # θ0 slice has 7 gates
+
+    def test_gates_covered_in_order(self):
+        qc = figure_3a_circuit()
+        indices = [i for s in flexible_slices(qc) for i in s.instruction_indices]
+        assert indices == list(range(len(qc)))
+
+    def test_each_slice_single_parameter_dependency(self):
+        for s in flexible_slices(figure_3a_circuit()):
+            assert len(s.circuit.parameters) <= 1
+
+    def test_unparametrized_circuit(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        slices = flexible_slices(qc)
+        assert len(slices) == 1 and slices[0].kind == "fixed"
+
+    def test_empty_circuit(self):
+        assert flexible_slices(QuantumCircuit(1)) == []
+
+    def test_non_monotonic_rejected(self):
+        qc = QuantumCircuit(1).rz(T0, 0).rz(T1, 0).rz(T0, 0)
+        with pytest.raises(CompilationError):
+            flexible_slices(qc)
+
+
+class TestParametrizedFraction:
+    def test_fraction_value(self):
+        qc = QuantumCircuit(1).h(0).rz(T0, 0).h(0).h(0)
+        assert parametrized_gate_fraction(qc) == 0.25
+
+    def test_empty_circuit(self):
+        assert parametrized_gate_fraction(QuantumCircuit(1)) == 0.0

@@ -1,0 +1,99 @@
+"""Property-based tests: slicing and blocking reconstruct the circuit.
+
+The correctness backbone of partial compilation: cutting a circuit into
+slices/blocks and replaying them must reproduce the original unitary for
+every parametrization.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking.aggregate import aggregate_blocks
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.core.slicing import flexible_slices, strict_slices
+from repro.linalg.unitaries import unitaries_equal_up_to_phase
+from repro.sim.unitary import circuit_unitary
+
+
+def _random_monotone_circuit(seed: int, num_qubits: int = 3, num_params: int = 3):
+    """A random parametrized circuit with monotone parameter order."""
+    rng = np.random.default_rng(seed)
+    params = [Parameter(f"theta_{i}") for i in range(num_params)]
+    qc = QuantumCircuit(num_qubits, name=f"prop_{seed}")
+    for k, theta in enumerate(params):
+        for _ in range(int(rng.integers(1, 5))):
+            choice = rng.integers(3)
+            if choice == 0 and num_qubits >= 2:
+                a, b = rng.choice(num_qubits, size=2, replace=False)
+                qc.cx(int(a), int(b))
+            elif choice == 1:
+                qc.h(int(rng.integers(num_qubits)))
+            else:
+                qc.rx(float(rng.uniform(0, np.pi)), int(rng.integers(num_qubits)))
+        qc.rz(theta if rng.random() < 0.5 else -theta / 2, int(rng.integers(num_qubits)))
+    qc.h(int(rng.integers(num_qubits)))
+    return qc, params
+
+
+def _replay_slices(circuit, slices):
+    out = QuantumCircuit(circuit.num_qubits)
+    for piece in slices:
+        for inst in piece.circuit:
+            out.append(inst.gate, inst.qubits)
+    return out
+
+
+class TestSlicingReconstruction:
+    @given(st.integers(0, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_strict_slices_replay_exactly(self, seed):
+        circuit, params = _random_monotone_circuit(seed)
+        replay = _replay_slices(circuit, strict_slices(circuit))
+        values = list(np.random.default_rng(seed).uniform(-np.pi, np.pi, len(params)))
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(replay.bind_parameters(values)),
+            circuit_unitary(circuit.bind_parameters(values)),
+        )
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_flexible_slices_replay_exactly(self, seed):
+        circuit, params = _random_monotone_circuit(seed)
+        replay = _replay_slices(circuit, flexible_slices(circuit))
+        values = list(np.random.default_rng(seed + 1).uniform(-np.pi, np.pi, len(params)))
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(replay.bind_parameters(values)),
+            circuit_unitary(circuit.bind_parameters(values)),
+        )
+
+    @given(st.integers(0, 40), st.integers(2, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_isolated_blocking_replays_exactly(self, seed, width):
+        circuit, params = _random_monotone_circuit(seed)
+        isolate = {i for i, inst in enumerate(circuit) if inst.parameters}
+        blocked = aggregate_blocks(circuit, width, isolate=isolate)
+        values = list(np.random.default_rng(seed + 2).uniform(-np.pi, np.pi, len(params)))
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(blocked.flattened().bind_parameters(values)),
+            circuit_unitary(circuit.bind_parameters(values)),
+        )
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_isolated_blocks_are_singletons(self, seed):
+        circuit, _ = _random_monotone_circuit(seed)
+        isolate = {i for i, inst in enumerate(circuit) if inst.parameters}
+        blocked = aggregate_blocks(circuit, 3, isolate=isolate)
+        for block in blocked.blocks:
+            indices = set(block.instruction_indices)
+            if indices & isolate:
+                assert len(indices) == 1
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_flexible_slice_count_equals_parameters(self, seed):
+        circuit, params = _random_monotone_circuit(seed)
+        slices = flexible_slices(circuit)
+        assert len(slices) == len(params)

@@ -1,0 +1,110 @@
+"""Unit tests for the vectorized exponentials and Fréchet derivatives."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.linalg.expm import expm_hermitian, expm_hermitian_frechet
+from repro.linalg.operators import is_unitary, pauli_matrix
+from repro.linalg.random import random_hermitian
+
+
+class TestExpmHermitian:
+    def test_matches_scipy_single(self):
+        h = random_hermitian(4, seed=0)
+        assert np.allclose(expm_hermitian(h, 0.3), sla.expm(-0.3j * h))
+
+    def test_matches_scipy_batched(self):
+        hs = np.stack([random_hermitian(3, seed=s) for s in range(5)])
+        us = expm_hermitian(hs, 0.17)
+        for h, u in zip(hs, us):
+            assert np.allclose(u, sla.expm(-0.17j * h))
+
+    def test_output_is_unitary(self):
+        h = random_hermitian(8, seed=3)
+        assert is_unitary(expm_hermitian(h, 1.7))
+
+    def test_zero_dt_gives_identity(self):
+        h = random_hermitian(4, seed=1)
+        assert np.allclose(expm_hermitian(h, 0.0), np.eye(4))
+
+    def test_pauli_rotation(self):
+        # exp(-i (θ/2) X) = Rx(θ)
+        theta = 0.9
+        u = expm_hermitian(pauli_matrix("X"), theta / 2)
+        expected = np.array(
+            [
+                [np.cos(theta / 2), -1j * np.sin(theta / 2)],
+                [-1j * np.sin(theta / 2), np.cos(theta / 2)],
+            ]
+        )
+        assert np.allclose(u, expected)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ReproError):
+            expm_hermitian(np.ones((2, 3)), 0.1)
+
+    def test_composition_property(self):
+        h = random_hermitian(4, seed=9)
+        u1 = expm_hermitian(h, 0.2)
+        u2 = expm_hermitian(h, 0.5)
+        assert np.allclose(u1 @ u2, expm_hermitian(h, 0.7))
+
+    @given(st.floats(0.01, 2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_unitarity_over_dt(self, dt):
+        h = random_hermitian(4, seed=11)
+        assert is_unitary(expm_hermitian(h, dt))
+
+
+class TestFrechetDerivative:
+    def _finite_difference(self, h, d, dt, eps=1e-6):
+        up = sla.expm(-1j * dt * (h + eps * d))
+        um = sla.expm(-1j * dt * (h - eps * d))
+        return (up - um) / (2 * eps)
+
+    def test_matches_finite_differences(self):
+        h = random_hermitian(4, seed=5)
+        d = random_hermitian(4, seed=6)
+        u, du = expm_hermitian_frechet(h, d[None], 0.21)
+        assert np.allclose(u, sla.expm(-0.21j * h))
+        fd = self._finite_difference(h, d, 0.21)
+        assert np.allclose(du[0], fd, atol=1e-6)
+
+    def test_multiple_directions(self):
+        h = random_hermitian(3, seed=7)
+        dirs = np.stack([random_hermitian(3, seed=s) for s in (8, 9, 10)])
+        _, du = expm_hermitian_frechet(h, dirs, 0.4)
+        for k in range(3):
+            fd = self._finite_difference(h, dirs[k], 0.4)
+            assert np.allclose(du[k], fd, atol=1e-6)
+
+    def test_degenerate_eigenvalues(self):
+        # Identity Hamiltonian: all eigenvalues equal — divided differences
+        # must fall back to the analytic diagonal.
+        h = np.eye(4, dtype=complex)
+        d = random_hermitian(4, seed=12)
+        _, du = expm_hermitian_frechet(h, d[None], 0.3)
+        fd = self._finite_difference(h, d, 0.3)
+        assert np.allclose(du[0], fd, atol=1e-6)
+
+    def test_zero_direction_gives_zero(self):
+        h = random_hermitian(4, seed=13)
+        _, du = expm_hermitian_frechet(h, np.zeros((1, 4, 4)), 0.3)
+        assert np.allclose(du[0], 0.0)
+
+    def test_single_direction_2d_input(self):
+        h = random_hermitian(2, seed=14)
+        d = random_hermitian(2, seed=15)
+        _, du = expm_hermitian_frechet(h, d, 0.3)
+        assert du.shape == (1, 2, 2)
+
+    def test_linearity_in_direction(self):
+        h = random_hermitian(3, seed=16)
+        d = random_hermitian(3, seed=17)
+        _, du1 = expm_hermitian_frechet(h, d[None], 0.3)
+        _, du2 = expm_hermitian_frechet(h, (2 * d)[None], 0.3)
+        assert np.allclose(du2[0], 2 * du1[0])

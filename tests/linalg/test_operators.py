@@ -1,0 +1,187 @@
+"""Unit tests for repro.linalg.operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.linalg.operators import (
+    IDENTITY,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    annihilation_operator,
+    creation_operator,
+    embed_operator,
+    is_hermitian,
+    is_unitary,
+    kron_all,
+    number_operator,
+    pauli_matrix,
+)
+
+
+class TestPaulis:
+    def test_pauli_x_squares_to_identity(self):
+        assert np.allclose(PAULI_X @ PAULI_X, IDENTITY)
+
+    def test_pauli_y_squares_to_identity(self):
+        assert np.allclose(PAULI_Y @ PAULI_Y, IDENTITY)
+
+    def test_pauli_z_squares_to_identity(self):
+        assert np.allclose(PAULI_Z @ PAULI_Z, IDENTITY)
+
+    def test_xy_equals_iz(self):
+        assert np.allclose(PAULI_X @ PAULI_Y, 1j * PAULI_Z)
+
+    def test_paulis_anticommute(self):
+        assert np.allclose(PAULI_X @ PAULI_Z + PAULI_Z @ PAULI_X, 0)
+
+    def test_pauli_matrix_single(self):
+        assert np.allclose(pauli_matrix("X"), PAULI_X)
+
+    def test_pauli_matrix_big_endian(self):
+        # "XI" acts with X on qubit 0 (most significant).
+        expected = np.kron(PAULI_X, IDENTITY)
+        assert np.allclose(pauli_matrix("XI"), expected)
+
+    def test_pauli_matrix_lowercase(self):
+        assert np.allclose(pauli_matrix("zx"), np.kron(PAULI_Z, PAULI_X))
+
+    def test_pauli_matrix_rejects_bad_char(self):
+        with pytest.raises(ReproError):
+            pauli_matrix("XQ")
+
+    def test_pauli_matrix_rejects_empty(self):
+        with pytest.raises(ReproError):
+            pauli_matrix("")
+
+
+class TestLadderOperators:
+    def test_qubit_annihilation(self):
+        a = annihilation_operator(2)
+        assert np.allclose(a, [[0, 1], [0, 0]])
+
+    def test_qutrit_annihilation_matrix_elements(self):
+        a = annihilation_operator(3)
+        assert np.isclose(a[0, 1], 1.0)
+        assert np.isclose(a[1, 2], np.sqrt(2))
+
+    def test_creation_is_dagger(self):
+        assert np.allclose(
+            creation_operator(3), annihilation_operator(3).conj().T
+        )
+
+    def test_number_operator_diagonal(self):
+        assert np.allclose(number_operator(3), np.diag([0, 1, 2]))
+
+    def test_number_equals_adag_a(self):
+        a = annihilation_operator(4)
+        assert np.allclose(a.conj().T @ a, number_operator(4))
+
+    def test_commutator_truncation(self):
+        # [a, a†] = 1 except in the top truncated level.
+        a = annihilation_operator(3)
+        comm = a @ a.conj().T - a.conj().T @ a
+        assert np.allclose(np.diag(comm)[:2], 1.0)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ReproError):
+            annihilation_operator(1)
+
+
+class TestKron:
+    def test_kron_all_two(self):
+        assert np.allclose(kron_all([PAULI_X, PAULI_Z]), np.kron(PAULI_X, PAULI_Z))
+
+    def test_kron_all_single(self):
+        assert np.allclose(kron_all([PAULI_Y]), PAULI_Y)
+
+    def test_kron_all_empty_raises(self):
+        with pytest.raises(ReproError):
+            kron_all([])
+
+
+class TestEmbedOperator:
+    def test_embed_single_qubit_first(self):
+        full = embed_operator(PAULI_X, [0], 2)
+        assert np.allclose(full, np.kron(PAULI_X, IDENTITY))
+
+    def test_embed_single_qubit_last(self):
+        full = embed_operator(PAULI_X, [1], 2)
+        assert np.allclose(full, np.kron(IDENTITY, PAULI_X))
+
+    def test_embed_matches_pauli_matrix(self):
+        full = embed_operator(PAULI_Z, [1], 3)
+        assert np.allclose(full, pauli_matrix("IZI"))
+
+    def test_embed_two_qubit_adjacent(self):
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        full = embed_operator(cx, [0, 1], 2)
+        assert np.allclose(full, cx)
+
+    def test_embed_two_qubit_reversed_targets(self):
+        # CX with control on qubit 1, target on qubit 0.
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        full = embed_operator(cx, [1, 0], 2)
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+        )
+        assert np.allclose(full, expected)
+
+    def test_embed_two_qubit_non_adjacent(self):
+        zz = np.kron(PAULI_Z, PAULI_Z)
+        full = embed_operator(zz, [0, 2], 3)
+        assert np.allclose(full, pauli_matrix("ZIZ"))
+
+    def test_embed_qutrit(self):
+        n = number_operator(3)
+        full = embed_operator(n, [1], 2, levels=3)
+        expected = np.kron(np.eye(3), n)
+        assert np.allclose(full, expected)
+
+    def test_embed_rejects_duplicates(self):
+        with pytest.raises(ReproError):
+            embed_operator(np.eye(4), [0, 0], 2)
+
+    def test_embed_rejects_out_of_range(self):
+        with pytest.raises(ReproError):
+            embed_operator(PAULI_X, [3], 2)
+
+    def test_embed_rejects_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            embed_operator(PAULI_X, [0, 1], 3)
+
+    @given(st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_embed_preserves_hermiticity(self, target, other):
+        full = embed_operator(PAULI_Y, [target], 4)
+        assert is_hermitian(full)
+
+    def test_embedding_commutes_for_disjoint_targets(self):
+        a = embed_operator(PAULI_X, [0], 3)
+        b = embed_operator(PAULI_Z, [2], 3)
+        assert np.allclose(a @ b, b @ a)
+
+
+class TestPredicates:
+    def test_identity_is_hermitian_and_unitary(self):
+        assert is_hermitian(IDENTITY)
+        assert is_unitary(IDENTITY)
+
+    def test_pauli_is_unitary(self):
+        assert is_unitary(PAULI_Y)
+
+    def test_non_square_not_unitary(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_non_hermitian_detected(self):
+        assert not is_hermitian(np.array([[0, 1], [0, 0]], dtype=complex))
+
+    def test_scaled_identity_not_unitary(self):
+        assert not is_unitary(2 * np.eye(2))

@@ -1,0 +1,43 @@
+"""Unit tests for seeded random unitaries/states."""
+
+import numpy as np
+
+from repro.linalg.operators import is_hermitian, is_unitary
+from repro.linalg.random import haar_random_state, haar_random_unitary, random_hermitian
+
+
+class TestHaarUnitary:
+    def test_is_unitary(self):
+        assert is_unitary(haar_random_unitary(8, seed=0))
+
+    def test_seed_reproducibility(self):
+        a = haar_random_unitary(4, seed=42)
+        b = haar_random_unitary(4, seed=42)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = haar_random_unitary(4, seed=1)
+        b = haar_random_unitary(4, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_accepts_generator(self):
+        gen = np.random.default_rng(7)
+        u = haar_random_unitary(4, seed=gen)
+        assert is_unitary(u)
+
+
+class TestHaarState:
+    def test_normalized(self):
+        psi = haar_random_state(16, seed=0)
+        assert np.isclose(np.linalg.norm(psi), 1.0)
+
+    def test_reproducible(self):
+        assert np.allclose(haar_random_state(8, seed=5), haar_random_state(8, seed=5))
+
+
+class TestRandomHermitian:
+    def test_hermitian(self):
+        assert is_hermitian(random_hermitian(6, seed=0))
+
+    def test_reproducible(self):
+        assert np.allclose(random_hermitian(4, seed=3), random_hermitian(4, seed=3))

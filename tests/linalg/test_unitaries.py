@@ -1,0 +1,94 @@
+"""Unit tests for fidelity measures and unitary comparison."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.linalg.operators import pauli_matrix
+from repro.linalg.random import haar_random_unitary
+from repro.linalg.unitaries import (
+    average_gate_fidelity,
+    closest_unitary,
+    global_phase_aligned,
+    process_fidelity,
+    trace_fidelity,
+    unitaries_equal_up_to_phase,
+)
+
+
+class TestTraceFidelity:
+    def test_identical_unitaries(self):
+        u = haar_random_unitary(4, seed=0)
+        assert np.isclose(trace_fidelity(u, u), 1.0)
+
+    def test_global_phase_invariance(self):
+        u = haar_random_unitary(4, seed=1)
+        assert np.isclose(trace_fidelity(u, np.exp(0.7j) * u), 1.0)
+
+    def test_orthogonal_paulis(self):
+        assert np.isclose(trace_fidelity(pauli_matrix("X"), pauli_matrix("Z")), 0.0)
+
+    def test_range(self):
+        a = haar_random_unitary(4, seed=2)
+        b = haar_random_unitary(4, seed=3)
+        f = trace_fidelity(a, b)
+        assert 0.0 <= f <= 1.0
+
+    def test_symmetry(self):
+        a = haar_random_unitary(4, seed=4)
+        b = haar_random_unitary(4, seed=5)
+        assert np.isclose(trace_fidelity(a, b), trace_fidelity(b, a))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            trace_fidelity(np.eye(2), np.eye(4))
+
+    def test_process_fidelity_alias(self):
+        a = haar_random_unitary(2, seed=6)
+        b = haar_random_unitary(2, seed=7)
+        assert process_fidelity(a, b) == trace_fidelity(a, b)
+
+
+class TestAverageGateFidelity:
+    def test_identity_case(self):
+        assert np.isclose(average_gate_fidelity(np.eye(2), np.eye(2)), 1.0)
+
+    def test_exceeds_process_fidelity(self):
+        a = haar_random_unitary(2, seed=8)
+        b = haar_random_unitary(2, seed=9)
+        assert average_gate_fidelity(a, b) >= process_fidelity(a, b)
+
+
+class TestPhaseComparison:
+    def test_equal_up_to_phase_true(self):
+        u = haar_random_unitary(4, seed=10)
+        assert unitaries_equal_up_to_phase(u, np.exp(-1.1j) * u)
+
+    def test_equal_up_to_phase_false(self):
+        a = haar_random_unitary(4, seed=11)
+        b = haar_random_unitary(4, seed=12)
+        assert not unitaries_equal_up_to_phase(a, b)
+
+    def test_shape_mismatch_false(self):
+        assert not unitaries_equal_up_to_phase(np.eye(2), np.eye(4))
+
+    def test_phase_alignment(self):
+        u = haar_random_unitary(3, seed=13)
+        rotated = np.exp(0.4j) * u
+        aligned = global_phase_aligned(u, rotated)
+        assert np.allclose(aligned, u)
+
+    def test_align_orthogonal_returns_input(self):
+        x, z = pauli_matrix("X"), pauli_matrix("Z")
+        assert np.allclose(global_phase_aligned(x, z), z)
+
+
+class TestClosestUnitary:
+    def test_projects_to_unitary(self):
+        m = haar_random_unitary(4, seed=14) + 0.01 * np.ones((4, 4))
+        u = closest_unitary(m)
+        assert np.allclose(u @ u.conj().T, np.eye(4), atol=1e-10)
+
+    def test_fixed_point_on_unitary(self):
+        u = haar_random_unitary(4, seed=15)
+        assert np.allclose(closest_unitary(u), u)

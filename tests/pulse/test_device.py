@@ -1,0 +1,74 @@
+"""Unit tests for the gmon device model."""
+
+import math
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.pulse.device import (
+    MAX_CHARGE_AMP,
+    MAX_COUPLING_AMP,
+    MAX_FLUX_AMP,
+    ControlChannel,
+    GmonDevice,
+)
+from repro.transpile.topology import Topology, line_topology
+
+
+class TestAmplitudeBounds:
+    def test_paper_appendix_a_values(self):
+        # 2π × {0.1, 1.5, 0.05} GHz in rad/ns.
+        assert math.isclose(MAX_CHARGE_AMP, 2 * math.pi * 0.1)
+        assert math.isclose(MAX_FLUX_AMP, 2 * math.pi * 1.5)
+        assert math.isclose(MAX_COUPLING_AMP, 2 * math.pi * 0.05)
+
+    def test_flux_charge_asymmetry_is_15x(self):
+        assert math.isclose(MAX_FLUX_AMP / MAX_CHARGE_AMP, 15.0)
+
+
+class TestGmonDevice:
+    def test_grid_for_covers_width(self):
+        device = GmonDevice.grid_for(5)
+        assert device.num_qubits >= 5
+
+    def test_levels_validation(self):
+        with pytest.raises(DeviceError):
+            GmonDevice(line_topology(2), levels=4)
+
+    def test_channels_single_qubit(self):
+        device = GmonDevice(line_topology(2))
+        channels = device.channels_for([0])
+        kinds = [c.kind for c in channels]
+        assert kinds == ["charge", "flux"]
+
+    def test_channels_connected_pair(self):
+        device = GmonDevice(line_topology(2))
+        channels = device.channels_for([0, 1])
+        kinds = sorted(c.kind for c in channels)
+        assert kinds == ["charge", "charge", "coupling", "flux", "flux"]
+
+    def test_channels_bridge_disconnected_block(self):
+        # Qubits 0 and 2 are not adjacent on a 3-line; a bridging coupler is
+        # synthesized so GRAPE always has an entangling resource.
+        device = GmonDevice(line_topology(3))
+        channels = device.channels_for([0, 2])
+        couplers = [c for c in channels if c.kind == "coupling"]
+        assert len(couplers) == 1
+        assert couplers[0].qubits == (0, 2)
+
+    def test_channels_out_of_range(self):
+        device = GmonDevice(line_topology(2))
+        with pytest.raises(DeviceError):
+            device.channels_for([5])
+
+    def test_channel_names(self):
+        channel = ControlChannel("coupling", (1, 2), 0.3)
+        assert channel.name == "coupling[1,2]"
+
+    def test_channel_amplitudes_match_device(self):
+        device = GmonDevice(line_topology(2))
+        channels = device.channels_for([0, 1])
+        by_kind = {c.kind: c.max_amplitude for c in channels}
+        assert math.isclose(by_kind["charge"], device.max_charge)
+        assert math.isclose(by_kind["flux"], device.max_flux)
+        assert math.isclose(by_kind["coupling"], device.max_coupling)

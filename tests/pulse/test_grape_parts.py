@@ -1,0 +1,199 @@
+"""Unit tests for GRAPE building blocks: controls, ADAM, cost."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GrapeError
+from repro.pulse.grape.adam import AdamOptimizer
+from repro.pulse.grape.controls import clip_controls, envelope_window, initial_controls
+from repro.pulse.grape.cost import GrapeCost, RegularizationSettings
+from repro.pulse.hamiltonian import build_control_set
+from repro.pulse.device import GmonDevice
+from repro.transpile.topology import line_topology
+
+
+class TestInitialControls:
+    def test_shape(self):
+        u = initial_controls(3, 50, np.ones(3), seed=0)
+        assert u.shape == (3, 50)
+
+    def test_respects_scale(self):
+        bounds = np.array([1.0, 2.0])
+        u = initial_controls(2, 40, bounds, seed=1, scale=0.25)
+        assert np.abs(u[0]).max() <= 0.25 + 1e-12
+        assert np.abs(u[1]).max() <= 0.5 + 1e-12
+
+    def test_reproducible(self):
+        a = initial_controls(2, 30, np.ones(2), seed=3)
+        b = initial_controls(2, 30, np.ones(2), seed=3)
+        assert np.allclose(a, b)
+
+    def test_invalid_steps(self):
+        with pytest.raises(GrapeError):
+            initial_controls(1, 0, np.ones(1))
+
+
+class TestClipAndWindow:
+    def test_clip(self):
+        u = np.array([[3.0, -3.0], [0.1, 0.2]])
+        clipped = clip_controls(u, np.array([1.0, 5.0]))
+        assert np.allclose(clipped[0], [1.0, -1.0])
+        assert np.allclose(clipped[1], [0.1, 0.2])
+
+    def test_window_edges_near_zero(self):
+        w = envelope_window(50)
+        assert w[0] < 0.05 and w[-1] < 0.05
+        assert np.isclose(w[25], 1.0)
+
+    def test_window_tiny(self):
+        w = envelope_window(3)
+        assert len(w) == 3
+
+    def test_window_invalid(self):
+        with pytest.raises(GrapeError):
+            envelope_window(0)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        opt = AdamOptimizer(learning_rate=0.1)
+        x = np.array([[5.0]])
+        for _ in range(200):
+            x = opt.step(x, 2 * x)
+        assert abs(x[0, 0]) < 0.1
+
+    def test_decay_shrinks_steps(self):
+        fast = AdamOptimizer(learning_rate=0.1, decay_rate=0.0)
+        slow = AdamOptimizer(learning_rate=0.1, decay_rate=1.0)
+        x0 = np.array([[1.0]])
+        g = np.array([[1.0]])
+        for _ in range(10):
+            xf = fast.step(x0, g)
+            xs = slow.step(x0, g)
+        assert abs(1.0 - xs[0, 0]) < abs(1.0 - xf[0, 0])
+
+    def test_reset(self):
+        opt = AdamOptimizer(learning_rate=0.1)
+        opt.step(np.zeros((1, 1)), np.ones((1, 1)))
+        opt.reset()
+        assert opt._t == 0
+
+    def test_per_row_scale(self):
+        opt = AdamOptimizer(learning_rate=0.1)
+        x = np.zeros((2, 1))
+        out = opt.step(x, np.ones((2, 1)), scale=np.array([1.0, 10.0]))
+        assert abs(out[1, 0]) > abs(out[0, 0])
+
+
+class TestGrapeCost:
+    @pytest.fixture
+    def cost(self):
+        device = GmonDevice(line_topology(2))
+        cs = build_control_set(device, [0, 1])
+        target = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        return GrapeCost(cs, target, dt_ns=0.25)
+
+    def test_gradient_matches_finite_differences(self, cost):
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=(5, 8)) * 0.3
+        _, grad, _ = cost.cost_and_gradient(u)
+        eps = 1e-6
+        for _ in range(6):
+            i, j = rng.integers(5), rng.integers(8)
+            up, um = u.copy(), u.copy()
+            up[i, j] += eps
+            um[i, j] -= eps
+            cp, _, _ = cost.cost_and_gradient(up)
+            cm, _, _ = cost.cost_and_gradient(um)
+            fd = (cp - cm) / (2 * eps)
+            assert abs(fd - grad[i, j]) < 1e-5 * max(1.0, abs(fd))
+
+    def test_fidelity_bounds(self, cost):
+        u = np.zeros((5, 10))
+        f = cost.fidelity(u)
+        assert 0.0 <= f <= 1.0
+
+    def test_propagate_unitary(self, cost):
+        rng = np.random.default_rng(2)
+        u = rng.normal(size=(5, 12)) * 0.2
+        total = cost.propagate(u)
+        assert np.allclose(total @ total.conj().T, np.eye(4), atol=1e-10)
+
+    def test_cost_and_fidelity_consistent(self, cost):
+        rng = np.random.default_rng(3)
+        u = rng.normal(size=(5, 10)) * 0.2
+        c, _, f = cost.cost_and_gradient(u)
+        assert np.isclose(c, 1.0 - f)
+        assert np.isclose(f, cost.fidelity(u))
+
+    def test_wrong_target_shape(self):
+        device = GmonDevice(line_topology(2))
+        cs = build_control_set(device, [0, 1])
+        with pytest.raises(GrapeError):
+            GrapeCost(cs, np.eye(2), dt_ns=0.25)
+
+    def test_wrong_control_rows(self, cost):
+        with pytest.raises(GrapeError):
+            cost.cost_and_gradient(np.zeros((3, 10)))
+
+    def test_regularization_increases_cost(self):
+        device = GmonDevice(line_topology(2))
+        cs = build_control_set(device, [0])
+        target = np.eye(2, dtype=complex)
+        plain = GrapeCost(cs, target, dt_ns=0.25)
+        reg = GrapeCost(
+            cs,
+            target,
+            dt_ns=0.25,
+            regularization=RegularizationSettings(amplitude_weight=1.0),
+        )
+        u = np.ones((2, 10)) * 0.3
+        c_plain, _, _ = plain.cost_and_gradient(u)
+        c_reg, _, _ = reg.cost_and_gradient(u)
+        assert c_reg > c_plain
+
+    def test_regularization_gradient_finite_difference(self):
+        device = GmonDevice(line_topology(2))
+        cs = build_control_set(device, [0])
+        target = np.array([[0, 1], [1, 0]], dtype=complex)
+        cost = GrapeCost(
+            cs,
+            target,
+            dt_ns=0.25,
+            regularization=RegularizationSettings(
+                amplitude_weight=0.1, slope_weight=0.2, curvature_weight=0.05
+            ),
+        )
+        rng = np.random.default_rng(4)
+        u = rng.normal(size=(2, 9)) * 0.3
+        _, grad, _ = cost.cost_and_gradient(u)
+        eps = 1e-6
+        for _ in range(5):
+            i, j = rng.integers(2), rng.integers(9)
+            up, um = u.copy(), u.copy()
+            up[i, j] += eps
+            um[i, j] -= eps
+            cp, _, _ = cost.cost_and_gradient(up)
+            cm, _, _ = cost.cost_and_gradient(um)
+            fd = (cp - cm) / (2 * eps)
+            assert abs(fd - grad[i, j]) < 1e-4 * max(1.0, abs(fd))
+
+    def test_qutrit_cost_gradient(self):
+        device = GmonDevice(line_topology(2), levels=3)
+        cs = build_control_set(device, [0])
+        target = np.array([[0, 1], [1, 0]], dtype=complex)
+        cost = GrapeCost(cs, target, dt_ns=0.25)
+        rng = np.random.default_rng(5)
+        u = rng.normal(size=(2, 8)) * 0.3
+        _, grad, _ = cost.cost_and_gradient(u)
+        eps = 1e-6
+        i, j = 1, 3
+        up, um = u.copy(), u.copy()
+        up[i, j] += eps
+        um[i, j] -= eps
+        cp, _, _ = cost.cost_and_gradient(up)
+        cm, _, _ = cost.cost_and_gradient(um)
+        fd = (cp - cm) / (2 * eps)
+        assert abs(fd - grad[i, j]) < 1e-5 * max(1.0, abs(fd))

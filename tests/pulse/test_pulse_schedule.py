@@ -1,0 +1,83 @@
+"""Unit tests for pulse schedules and programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PulseError
+from repro.pulse.schedule import PulseProgram, PulseSchedule, lookup_schedule
+
+
+def _schedule(qubits, steps, dt=0.5):
+    return PulseSchedule(
+        qubits=qubits, dt_ns=dt, controls=np.ones((2, steps)), channel_names=("a", "b")
+    )
+
+
+class TestPulseSchedule:
+    def test_duration(self):
+        assert _schedule((0,), 10, dt=0.5).duration_ns == 5.0
+
+    def test_invalid_dt(self):
+        with pytest.raises(PulseError):
+            PulseSchedule(qubits=(0,), dt_ns=0.0, controls=np.ones((1, 4)))
+
+    def test_invalid_shape(self):
+        with pytest.raises(PulseError):
+            PulseSchedule(qubits=(0,), dt_ns=0.1, controls=np.ones(4))
+
+    def test_max_amplitude(self):
+        sched = PulseSchedule(qubits=(0,), dt_ns=0.1, controls=np.array([[1.0, -3.0]]))
+        assert sched.max_amplitude() == 3.0
+
+    def test_resample_longer(self):
+        sched = _schedule((0,), 4)
+        longer = sched.resampled(8)
+        assert longer.num_steps == 8
+        assert np.allclose(longer.controls, 1.0)
+
+    def test_resample_shorter_preserves_range(self):
+        sched = PulseSchedule(
+            qubits=(0,), dt_ns=0.1, controls=np.linspace(0, 1, 10)[None, :]
+        )
+        shorter = sched.resampled(5)
+        assert shorter.num_steps == 5
+        assert shorter.controls.min() >= 0.0 and shorter.controls.max() <= 1.0
+
+    def test_resample_invalid(self):
+        with pytest.raises(PulseError):
+            _schedule((0,), 4).resampled(0)
+
+
+class TestPulseProgram:
+    def test_disjoint_blocks_overlap(self):
+        program = PulseProgram.sequence([_schedule((0,), 10), _schedule((1,), 10)])
+        assert program.duration_ns == 5.0  # parallel
+
+    def test_shared_qubit_serializes(self):
+        program = PulseProgram.sequence([_schedule((0,), 10), _schedule((0,), 10)])
+        assert program.duration_ns == 10.0
+
+    def test_partial_overlap(self):
+        program = PulseProgram.sequence(
+            [_schedule((0, 1), 10), _schedule((1, 2), 10), _schedule((0,), 2)]
+        )
+        # Block 2 waits for block 1; block 3 (qubit 0) starts right after
+        # block 1 -> total = max(5+5, 5+1).
+        assert program.duration_ns == 10.0
+
+    def test_empty_program(self):
+        assert PulseProgram.sequence([]).duration_ns == 0.0
+
+    def test_len_and_schedules(self):
+        program = PulseProgram.sequence([_schedule((0,), 4)])
+        assert len(program) == 1
+        assert len(program.schedules) == 1
+
+
+class TestLookupSchedule:
+    def test_duration_preserved(self):
+        sched = lookup_schedule((0, 1), 3.8)
+        assert np.isclose(sched.duration_ns, 3.8)
+
+    def test_source_tag(self):
+        assert lookup_schedule((0,), 1.0).source == "lookup"

@@ -1,0 +1,83 @@
+"""Tests for end-to-end pulse verification."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import PulseError
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape import GrapeSettings, optimize_pulse
+from repro.pulse.hamiltonian import build_control_set
+from repro.pulse.schedule import PulseSchedule
+from repro.pulse.verify import propagate_schedule, verify_block
+from repro.sim.unitary import circuit_unitary
+from repro.transpile.topology import line_topology
+
+
+@pytest.fixture
+def device():
+    return GmonDevice(line_topology(2))
+
+
+class TestPropagation:
+    def test_zero_controls_give_identity(self, device):
+        sched = PulseSchedule(qubits=(0,), dt_ns=0.2, controls=np.zeros((2, 10)))
+        assert np.allclose(propagate_schedule(device, sched), np.eye(2))
+
+    def test_wrong_channel_count_rejected(self, device):
+        sched = PulseSchedule(qubits=(0, 1), dt_ns=0.2, controls=np.zeros((2, 10)))
+        with pytest.raises(PulseError):
+            propagate_schedule(device, sched)
+
+    def test_constant_flux_gives_phase(self, device):
+        # Flux drive at amplitude Ω for time T applies Rz-like phase ΩT.
+        omega, steps, dt = 1.0, 10, 0.2
+        controls = np.zeros((2, steps))
+        controls[1, :] = omega
+        sched = PulseSchedule(qubits=(0,), dt_ns=dt, controls=controls)
+        u = propagate_schedule(device, sched)
+        expected = np.diag([1.0, np.exp(-1j * omega * steps * dt)])
+        assert np.allclose(u, expected, atol=1e-9)
+
+
+class TestVerifyBlock:
+    def test_grape_pulse_verifies_against_circuit(self, device, fast_settings):
+        qc = QuantumCircuit(1).h(0)
+        control_set = build_control_set(device, [0])
+        result = optimize_pulse(
+            control_set, circuit_unitary(qc), num_steps=10, settings=fast_settings
+        )
+        assert result.converged
+        check = verify_block(device, result.schedule, qc)
+        assert check.fidelity >= fast_settings.target_fidelity - 1e-9
+
+    def test_wrong_circuit_fails_verification(self, device, fast_settings):
+        h_circuit = QuantumCircuit(1).h(0)
+        x_circuit = QuantumCircuit(1).x(0)
+        control_set = build_control_set(device, [0])
+        result = optimize_pulse(
+            control_set, circuit_unitary(h_circuit), num_steps=10,
+            settings=fast_settings,
+        )
+        check = verify_block(device, result.schedule, x_circuit)
+        assert check.fidelity < 0.9
+
+    def test_two_qubit_block(self, device, fast_settings, fast_hyper):
+        qc = QuantumCircuit(2).cx(0, 1)
+        control_set = build_control_set(device, [0, 1])
+        result = optimize_pulse(
+            control_set, circuit_unitary(qc), num_steps=20,
+            hyperparameters=fast_hyper, settings=fast_settings,
+        )
+        check = verify_block(device, result.schedule, qc)
+        assert check.fidelity == pytest.approx(result.fidelity, abs=1e-9)
+
+    def test_qutrit_projection(self, fast_settings):
+        device3 = GmonDevice(line_topology(2), levels=3)
+        qc = QuantumCircuit(1).x(0)
+        control_set = build_control_set(device3, [0])
+        result = optimize_pulse(
+            control_set, circuit_unitary(qc), num_steps=14, settings=fast_settings
+        )
+        check = verify_block(device3, result.schedule, qc)
+        assert check.fidelity == pytest.approx(result.fidelity, abs=1e-6)

@@ -1,0 +1,151 @@
+"""Tests for the classical MAXCUT baselines (GW, greedy, random)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QAOAError
+from repro.qaoa import benchmark_graph, clique_graph, cut_value
+from repro.qaoa.classical import (
+    GW_ALPHA,
+    ClassicalCutResult,
+    goemans_williamson,
+    greedy_local_search,
+    random_cut,
+    sdp_relaxation_vectors,
+)
+from repro.qaoa.maxcut import exact_maxcut
+
+
+def _graphs():
+    return [
+        ("3regular-n6", benchmark_graph("3regular", 6, seed=0)),
+        ("erdosrenyi-n6", benchmark_graph("erdosrenyi", 6, seed=0)),
+        ("3regular-n8", benchmark_graph("3regular", 8, seed=1)),
+        ("clique-n4", clique_graph(4)),
+        ("path-n5", nx.path_graph(5)),
+    ]
+
+
+class TestSDPRelaxation:
+    @pytest.mark.parametrize("name,graph", _graphs(), ids=lambda v: v if isinstance(v, str) else "")
+    def test_relaxation_upper_bounds_optimum(self, name, graph):
+        _, relaxation = sdp_relaxation_vectors(graph, seed=0)
+        assert relaxation >= exact_maxcut(graph) - 1e-6
+
+    def test_vectors_are_unit_norm(self):
+        vectors, _ = sdp_relaxation_vectors(benchmark_graph("3regular", 6), seed=0)
+        assert np.allclose(np.linalg.norm(vectors, axis=1), 1.0, atol=1e-9)
+
+    def test_relaxation_close_to_sdp_on_bipartite(self):
+        """On a bipartite graph the SDP is tight: relaxation == |E|."""
+        graph = nx.complete_bipartite_graph(3, 3)
+        _, relaxation = sdp_relaxation_vectors(graph, iterations=800, seed=0)
+        assert relaxation >= graph.number_of_edges() - 0.01
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(QAOAError):
+            sdp_relaxation_vectors(nx.empty_graph(3))
+
+
+class TestGoemansWilliamson:
+    @pytest.mark.parametrize("name,graph", _graphs(), ids=lambda v: v if isinstance(v, str) else "")
+    def test_gw_meets_approximation_guarantee(self, name, graph):
+        result = goemans_williamson(graph, num_rounds=64, seed=0)
+        optimum = exact_maxcut(graph)
+        assert result.cut >= GW_ALPHA * optimum - 1e-9
+
+    def test_gw_finds_optimum_on_small_graphs(self):
+        """With 64 hyperplanes on ≤8-node graphs the best cut is optimal."""
+        graph = benchmark_graph("3regular", 6, seed=0)
+        result = goemans_williamson(graph, num_rounds=64, seed=0)
+        assert result.cut == exact_maxcut(graph)
+
+    def test_expected_cut_ge_alpha_times_relaxation(self):
+        """E[rounded cut] ≥ α · SDP value (the GW theorem), statistically."""
+        graph = benchmark_graph("erdosrenyi", 8, seed=2)
+        result = goemans_williamson(graph, num_rounds=256, seed=0)
+        assert result.expected_cut >= GW_ALPHA * result.relaxation_value * 0.95
+
+    def test_bitstring_matches_cut(self):
+        graph = benchmark_graph("3regular", 6, seed=0)
+        result = goemans_williamson(graph, seed=0)
+        assert cut_value(graph, result.bitstring) == result.cut
+
+    def test_deterministic_for_fixed_seed(self):
+        graph = benchmark_graph("erdosrenyi", 6, seed=1)
+        a = goemans_williamson(graph, seed=9)
+        b = goemans_williamson(graph, seed=9)
+        assert a.bitstring == b.bitstring and a.cut == b.cut
+
+    def test_approximation_ratio_accessor(self):
+        graph = clique_graph(4)
+        result = goemans_williamson(graph, seed=0)
+        ratio = result.approximation_ratio(exact_maxcut(graph))
+        assert 0 < ratio <= 1.0
+
+    def test_ratio_rejects_nonpositive_optimum(self):
+        graph = clique_graph(4)
+        result = goemans_williamson(graph, seed=0)
+        with pytest.raises(QAOAError):
+            result.approximation_ratio(0)
+
+
+class TestGreedyLocalSearch:
+    @pytest.mark.parametrize("name,graph", _graphs(), ids=lambda v: v if isinstance(v, str) else "")
+    def test_half_approximation_guarantee(self, name, graph):
+        result = greedy_local_search(graph, seed=0)
+        assert result.cut >= graph.number_of_edges() / 2
+
+    def test_local_optimality(self):
+        """No single flip improves the returned assignment."""
+        graph = benchmark_graph("erdosrenyi", 8, seed=0)
+        result = greedy_local_search(graph, seed=3)
+        base = result.cut
+        for v in range(graph.number_of_nodes()):
+            flipped = list(result.bitstring)
+            flipped[v] = "1" if flipped[v] == "0" else "0"
+            assert cut_value(graph, "".join(flipped)) <= base
+
+
+class TestRandomCut:
+    def test_expected_cut_near_half_edges(self):
+        graph = benchmark_graph("erdosrenyi", 8, seed=0)
+        result = random_cut(graph, num_samples=512, seed=0)
+        expected = graph.number_of_edges() / 2
+        assert abs(result.expected_cut - expected) < 0.15 * expected
+
+    def test_best_cut_at_least_expected(self):
+        graph = benchmark_graph("3regular", 6, seed=0)
+        result = random_cut(graph, num_samples=64, seed=0)
+        assert result.cut >= result.expected_cut
+
+    def test_result_type(self):
+        graph = clique_graph(4)
+        assert isinstance(random_cut(graph, seed=0), ClassicalCutResult)
+
+
+class TestBaselineOrdering:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_gw_at_least_as_good_as_random(self, seed):
+        """GW's best cut must dominate the random baseline's best cut."""
+        graph = benchmark_graph("erdosrenyi", 8, seed=seed)
+        gw = goemans_williamson(graph, num_rounds=64, seed=seed)
+        rand = random_cut(graph, num_samples=64, seed=seed)
+        assert gw.cut >= rand.expected_cut
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.sampled_from(["3regular", "erdosrenyi"]),
+)
+def test_gw_guarantee_property(seed, kind):
+    """Property: GW respects the 0.878 guarantee on any benchmark graph."""
+    graph = benchmark_graph(kind, 6, seed=seed)
+    if graph.number_of_edges() == 0:
+        return
+    result = goemans_williamson(graph, num_rounds=32, seed=seed)
+    assert result.cut >= GW_ALPHA * exact_maxcut(graph) - 1e-9

@@ -1,0 +1,135 @@
+"""Tests for QAOA graphs, MAXCUT, circuits, and driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.monotonic import is_parameter_monotonic
+from repro.core.slicing import parametrized_gate_fraction
+from repro.errors import QAOAError
+from repro.qaoa.circuits import qaoa_circuit
+from repro.qaoa.driver import QAOADriver
+from repro.qaoa.graphs import benchmark_graph, clique_graph, graph_edges
+from repro.qaoa.maxcut import cut_value, exact_maxcut, maxcut_hamiltonian, maxcut_problem
+from repro.sim.statevector import Statevector
+from repro.transpile.passes import transpile
+from repro.circuits.dag import critical_path_ns
+
+
+class TestGraphs:
+    def test_3regular_degree(self):
+        g = benchmark_graph("3regular", 6, seed=0)
+        assert all(d == 3 for _, d in g.degree)
+
+    def test_3regular_odd_nodes_rejected(self):
+        with pytest.raises(QAOAError):
+            benchmark_graph("3regular", 5)
+
+    def test_erdos_renyi_connected(self):
+        for seed in range(5):
+            g = benchmark_graph("erdosrenyi", 6, seed=seed)
+            import networkx as nx
+
+            assert nx.is_connected(g)
+
+    def test_seeded_reproducibility(self):
+        a = benchmark_graph("3regular", 8, seed=3)
+        b = benchmark_graph("3regular", 8, seed=3)
+        assert graph_edges(a) == graph_edges(b)
+
+    def test_clique_edge_count(self):
+        assert len(graph_edges(clique_graph(4))) == 6
+
+    def test_unknown_kind(self):
+        with pytest.raises(QAOAError):
+            benchmark_graph("smallworld", 6)
+
+
+class TestMaxCut:
+    def test_cut_value_counts_edges(self):
+        g = clique_graph(3)
+        assert cut_value(g, "011") == 2
+
+    def test_cut_value_length_check(self):
+        with pytest.raises(QAOAError):
+            cut_value(clique_graph(3), "01")
+
+    def test_exact_maxcut_clique4(self):
+        # Best cut of K4: 2+2 partition cuts 4 edges.
+        assert exact_maxcut(clique_graph(4)) == 4
+
+    def test_hamiltonian_ground_energy_is_negative_maxcut(self):
+        problem = maxcut_problem("3regular", 6, seed=1)
+        assert np.isclose(
+            problem.hamiltonian.ground_state_energy(), -problem.optimal_cut
+        )
+
+    def test_hamiltonian_expectation_matches_cut(self):
+        g = clique_graph(3)
+        h = maxcut_hamiltonian(g)
+        state = Statevector.computational_basis(3, "011")
+        assert np.isclose(-h.expectation(state), cut_value(g, "011"))
+
+    def test_problem_name(self):
+        problem = maxcut_problem("erdosrenyi", 6, seed=2)
+        assert "erdosrenyi" in problem.name
+
+
+class TestQAOACircuit:
+    def test_parameter_count_is_2p(self):
+        problem = maxcut_problem("3regular", 6, seed=0)
+        for p in (1, 3):
+            qc = qaoa_circuit(problem, p)
+            assert len(qc.parameters) == 2 * p
+
+    def test_monotonic_before_and_after_transpile(self):
+        problem = maxcut_problem("erdosrenyi", 6, seed=0)
+        qc = qaoa_circuit(problem, 3)
+        assert is_parameter_monotonic(qc)
+        assert is_parameter_monotonic(transpile(qc))
+
+    def test_runtime_linear_in_p(self):
+        # Table 3 property: gate-based runtime increases linearly in p.
+        problem = maxcut_problem("3regular", 6, seed=0)
+        runtimes = [critical_path_ns(transpile(qaoa_circuit(problem, p))) for p in (1, 2, 3, 4)]
+        increments = np.diff(runtimes)
+        assert np.allclose(increments, increments[0], rtol=0.05)
+
+    def test_parametrized_fraction_higher_than_vqe(self):
+        # Paper: 15-28 % for QAOA (vs 5-8 % for VQE).
+        problem = maxcut_problem("3regular", 6, seed=0)
+        fraction = parametrized_gate_fraction(transpile(qaoa_circuit(problem, 2)))
+        assert fraction > 0.12
+
+    def test_invalid_p(self):
+        problem = maxcut_problem("3regular", 6, seed=0)
+        with pytest.raises(QAOAError):
+            qaoa_circuit(problem, 0)
+
+    def test_uniform_superposition_at_zero_parameters(self):
+        problem = maxcut_problem("3regular", 6, seed=0)
+        qc = qaoa_circuit(problem, 1).bind_parameters([0.0, 0.0])
+        from repro.sim.statevector import simulate
+
+        probs = simulate(qc).probabilities()
+        assert np.allclose(probs, 1.0 / 64.0)
+
+
+class TestQAOADriver:
+    def test_p1_beats_random_guessing(self):
+        problem = maxcut_problem("3regular", 6, seed=0)
+        result = QAOADriver(problem, p=1, max_iterations=300, seed=0, restarts=3).run()
+        # Random assignment cuts half the edges on average; Farhi's bound
+        # guarantees ≥ 0.69 of optimal at p=1 for 3-regular graphs.
+        assert result.expected_cut > 0.5 * len(problem.edges)
+        assert result.approximation_ratio >= 0.69
+
+    def test_ratio_improves_with_p(self):
+        problem = maxcut_problem("erdosrenyi", 6, seed=1)
+        r1 = QAOADriver(problem, p=1, max_iterations=100, seed=0).run()
+        r2 = QAOADriver(problem, p=2, max_iterations=200, seed=0).run()
+        assert r2.approximation_ratio >= r1.approximation_ratio - 0.05
+
+    def test_wrong_parameter_count(self):
+        problem = maxcut_problem("3regular", 6, seed=0)
+        with pytest.raises(QAOAError):
+            QAOADriver(problem, p=2).run(initial_parameters=[0.1])

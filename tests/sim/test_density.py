@@ -1,0 +1,129 @@
+"""Tests for the density-matrix noise simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import ghz_circuit, random_circuit
+from repro.errors import CircuitError, ReproError
+from repro.sim.density import (
+    DensityMatrix,
+    NoiseModel,
+    simulate_noisy,
+    success_probability_with_speedup,
+)
+from repro.sim.statevector import Statevector, simulate
+
+
+class TestNoiseModel:
+    def test_zero_duration_noiseless(self):
+        noise = NoiseModel()
+        assert noise.damping_probability(0.0) == 0.0
+        assert noise.dephasing_probability(0.0) == pytest.approx(0.0)
+
+    def test_damping_grows_with_duration(self):
+        noise = NoiseModel(t1_ns=100.0)
+        assert noise.damping_probability(50.0) < noise.damping_probability(200.0)
+
+    def test_exponential_form(self):
+        noise = NoiseModel(t1_ns=100.0, t2_ns=100.0)
+        assert noise.damping_probability(100.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_t2_bound_enforced(self):
+        with pytest.raises(ReproError):
+            NoiseModel(t1_ns=100.0, t2_ns=300.0)
+
+    def test_invalid_times(self):
+        with pytest.raises(ReproError):
+            NoiseModel(t1_ns=0.0)
+
+    def test_kraus_completeness(self):
+        noise = NoiseModel(t1_ns=50.0, t2_ns=40.0)
+        kraus = noise.kraus_operators(10.0)
+        total = sum(k.conj().T @ k for k in kraus)
+        assert np.allclose(total, np.eye(2), atol=1e-12)
+
+
+class TestDensityMatrix:
+    def test_zero_state(self):
+        rho = DensityMatrix.zero_state(2)
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_from_statevector(self):
+        state = simulate(ghz_circuit(2))
+        rho = DensityMatrix.from_statevector(state)
+        assert rho.fidelity_with_pure(state) == pytest.approx(1.0)
+
+    def test_unitary_preserves_purity(self):
+        rho = DensityMatrix.zero_state(2)
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        rho = rho.apply_unitary(h.astype(complex), (0,))
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_kraus_reduces_purity(self):
+        state = simulate(QuantumCircuit(1).h(0))
+        rho = DensityMatrix.from_statevector(state)
+        noise = NoiseModel(t1_ns=10.0, t2_ns=10.0)
+        rho = rho.apply_kraus(noise.kraus_operators(5.0), 0)
+        assert rho.purity() < 1.0
+        assert rho.trace() == pytest.approx(1.0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(CircuitError):
+            DensityMatrix(np.ones((3, 3)))
+
+
+class TestNoisySimulation:
+    def test_trace_preserved(self):
+        qc = random_circuit(3, 20, seed=0)
+        rho = simulate_noisy(qc, NoiseModel(t1_ns=1000.0, t2_ns=800.0))
+        assert rho.trace() == pytest.approx(1.0, abs=1e-9)
+
+    def test_weak_noise_high_fidelity(self):
+        qc = ghz_circuit(3)
+        rho = simulate_noisy(qc, NoiseModel(t1_ns=1e7, t2_ns=1e7))
+        assert rho.fidelity_with_pure(simulate(qc)) > 0.999
+
+    def test_strong_noise_low_fidelity(self):
+        qc = ghz_circuit(3)
+        weak = simulate_noisy(qc, NoiseModel(t1_ns=1e6, t2_ns=1e6))
+        strong = simulate_noisy(qc, NoiseModel(t1_ns=50.0, t2_ns=50.0))
+        ideal = simulate(qc)
+        assert strong.fidelity_with_pure(ideal) < weak.fidelity_with_pure(ideal)
+
+    def test_parameterized_rejected(self):
+        from repro.circuits.parameters import Parameter
+
+        qc = QuantumCircuit(1).rz(Parameter("theta_0"), 0)
+        with pytest.raises(CircuitError):
+            simulate_noisy(qc)
+
+
+class TestSpeedupAdvantage:
+    def test_speedup_improves_fidelity(self):
+        # The paper's core claim, executable: 2x shorter pulses -> higher
+        # success probability, compounding with depth.
+        qc = random_circuit(3, 40, seed=1)
+        noise = NoiseModel(t1_ns=2000.0, t2_ns=1500.0)
+        base = success_probability_with_speedup(qc, 1.0, noise)
+        fast = success_probability_with_speedup(qc, 2.0, noise)
+        assert fast > base
+
+    def test_gain_compounds_with_depth(self):
+        noise = NoiseModel(t1_ns=2000.0, t2_ns=1500.0)
+        shallow = random_circuit(2, 10, seed=2)
+        deep = random_circuit(2, 60, seed=2)
+        gain_shallow = success_probability_with_speedup(
+            shallow, 2.0, noise
+        ) / success_probability_with_speedup(shallow, 1.0, noise)
+        gain_deep = success_probability_with_speedup(
+            deep, 2.0, noise
+        ) / success_probability_with_speedup(deep, 1.0, noise)
+        assert gain_deep > gain_shallow
+
+    def test_invalid_speedup(self):
+        with pytest.raises(ReproError):
+            success_probability_with_speedup(ghz_circuit(2), 0.0)

@@ -1,0 +1,140 @@
+"""Unit tests for Pauli strings and sums."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.linalg.operators import is_hermitian, pauli_matrix
+from repro.sim.pauli import PauliString, PauliSum
+from repro.sim.statevector import Statevector, simulate
+from repro.circuits.library import random_circuit
+
+pauli_labels = st.text(alphabet="IXYZ", min_size=1, max_size=4)
+
+
+class TestPauliString:
+    def test_matrix_matches_linalg(self):
+        p = PauliString("XZY", 2.0)
+        assert np.allclose(p.matrix(), 2.0 * pauli_matrix("XZY"))
+
+    def test_invalid_label(self):
+        with pytest.raises(ReproError):
+            PauliString("AB")
+
+    def test_from_sparse(self):
+        p = PauliString.from_sparse(4, {1: "X", 3: "Z"}, 0.5)
+        assert p.label == "IXIZ"
+        assert p.coefficient == 0.5
+
+    def test_from_sparse_out_of_range(self):
+        with pytest.raises(ReproError):
+            PauliString.from_sparse(2, {5: "X"})
+
+    def test_support(self):
+        assert PauliString("IXIZ").support == (1, 3)
+
+    def test_identity_detection(self):
+        assert PauliString("III").is_identity()
+        assert not PauliString("IXI").is_identity()
+
+    def test_multiplication_phases(self):
+        xy = PauliString("X") * PauliString("Y")
+        assert xy.label == "Z"
+        assert np.isclose(xy.coefficient, 1j)
+
+    def test_multiplication_matches_matrices(self):
+        a, b = PauliString("XZ", 0.5), PauliString("YY", 2.0)
+        product = a * b
+        assert np.allclose(product.matrix(), a.matrix() @ b.matrix())
+
+    def test_width_mismatch_multiplication(self):
+        with pytest.raises(ReproError):
+            PauliString("X") * PauliString("XX")
+
+    def test_scalar_multiplication(self):
+        p = 3.0 * PauliString("Z")
+        assert np.isclose(p.coefficient, 3.0)
+
+    @given(pauli_labels, pauli_labels)
+    @settings(max_examples=25, deadline=None)
+    def test_product_phase_is_unimodular_power_of_i(self, la, lb):
+        n = max(len(la), len(lb))
+        a = PauliString(la.ljust(n, "I"))
+        b = PauliString(lb.ljust(n, "I"))
+        product = a * b
+        assert np.isclose(np.abs(product.coefficient), 1.0)
+
+    def test_expectation_on_basis_state(self):
+        zz = PauliString("ZZ")
+        assert np.isclose(
+            zz.expectation(Statevector.computational_basis(2, "01")).real, -1.0
+        )
+
+    def test_expectation_matches_matrix(self):
+        state = simulate(random_circuit(3, 20, seed=0))
+        p = PauliString("XYZ", 0.7)
+        direct = p.expectation(state)
+        via_matrix = np.vdot(state.data, p.matrix() @ state.data)
+        assert np.isclose(direct, via_matrix)
+
+    def test_expectation_width_mismatch(self):
+        with pytest.raises(ReproError):
+            PauliString("ZZ").expectation(Statevector.zero_state(3))
+
+
+class TestPauliSum:
+    def test_collects_duplicates(self):
+        s = PauliSum([PauliString("Z", 1.0), PauliString("Z", 2.0)])
+        assert len(s) == 1
+        assert np.isclose(s.coefficient("Z"), 3.0)
+
+    def test_drops_zero_terms(self):
+        s = PauliSum([PauliString("Z", 1.0), PauliString("Z", -1.0)])
+        assert len(s) == 0
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(ReproError):
+            PauliSum([PauliString("Z"), PauliString("ZZ")])
+
+    def test_addition(self):
+        s = PauliSum([PauliString("X", 1.0)]) + PauliString("Z", 2.0)
+        assert len(s) == 2
+
+    def test_subtraction(self):
+        s = PauliSum([PauliString("X", 1.0)]) - PauliString("X", 1.0)
+        assert len(s) == 0
+
+    def test_scalar_multiplication(self):
+        s = PauliSum([PauliString("X", 1.0)]) * 2.0
+        assert np.isclose(s.coefficient("X"), 2.0)
+
+    def test_sum_product_matches_matrices(self):
+        a = PauliSum([PauliString("XI", 0.5), PauliString("ZZ", 1.0)])
+        b = PauliSum([PauliString("IY", 2.0), PauliString("XX", -0.5)])
+        assert np.allclose((a * b).matrix(), a.matrix() @ b.matrix())
+
+    def test_matrix_hermitian_for_real_coeffs(self):
+        s = PauliSum([PauliString("XZ", 0.3), PauliString("YY", -1.2)])
+        assert is_hermitian(s.matrix())
+
+    def test_expectation_matches_matrix(self):
+        state = simulate(random_circuit(2, 15, seed=1))
+        s = PauliSum([PauliString("XZ", 0.3), PauliString("ZI", 0.9)])
+        assert np.isclose(
+            s.expectation(state), np.vdot(state.data, s.matrix() @ state.data).real
+        )
+
+    def test_ground_state_energy(self):
+        s = PauliSum([PauliString("Z", 1.0)])
+        assert np.isclose(s.ground_state_energy(), -1.0)
+
+    def test_empty_sum_has_no_width(self):
+        with pytest.raises(ReproError):
+            _ = PauliSum([]).num_qubits
+
+    def test_iteration_and_terms_sorted(self):
+        s = PauliSum([PauliString("Z", 1.0), PauliString("X", 1.0)])
+        labels = [t.label for t in s]
+        assert labels == sorted(labels)

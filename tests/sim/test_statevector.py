@@ -1,0 +1,113 @@
+"""Unit tests for the statevector simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import ghz_circuit, random_circuit
+from repro.errors import CircuitError
+from repro.sim.statevector import Statevector, simulate
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        state = Statevector.zero_state(3)
+        assert np.isclose(state.data[0], 1.0)
+        assert state.num_qubits == 3
+
+    def test_basis_state(self):
+        state = Statevector.computational_basis(3, "101")
+        assert np.isclose(state.data[0b101], 1.0)
+
+    def test_invalid_bitstring(self):
+        with pytest.raises(CircuitError):
+            Statevector.computational_basis(2, "012")
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(CircuitError):
+            Statevector(np.ones(3))
+
+    def test_width_check(self):
+        with pytest.raises(CircuitError):
+            Statevector(np.ones(4), num_qubits=3)
+
+
+class TestEvolution:
+    def test_x_flips_qubit(self):
+        state = simulate(QuantumCircuit(1).x(0))
+        assert np.isclose(np.abs(state.data[1]), 1.0)
+
+    def test_h_superposition(self):
+        state = simulate(QuantumCircuit(1).h(0))
+        assert np.allclose(np.abs(state.data) ** 2, [0.5, 0.5])
+
+    def test_bell_state(self):
+        state = simulate(QuantumCircuit(2).h(0).cx(0, 1))
+        probs = state.probabilities()
+        assert np.isclose(probs[0], 0.5) and np.isclose(probs[3], 0.5)
+
+    def test_big_endian_convention(self):
+        # X on qubit 0 of a 2-qubit register -> |10> (index 2).
+        state = simulate(QuantumCircuit(2).x(0))
+        assert np.isclose(np.abs(state.data[2]), 1.0)
+
+    def test_evolution_preserves_norm(self):
+        state = simulate(random_circuit(4, 50, seed=0))
+        assert np.isclose(np.linalg.norm(state.data), 1.0)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(CircuitError):
+            Statevector.zero_state(2).evolve(QuantumCircuit(3).h(0))
+
+    def test_matrix_shape_check(self):
+        with pytest.raises(CircuitError):
+            Statevector.zero_state(2).apply_matrix(np.eye(2), (0, 1))
+
+    def test_apply_on_middle_qubit(self):
+        state = Statevector.zero_state(3).apply_matrix(
+            np.array([[0, 1], [1, 0]], dtype=complex), (1,)
+        )
+        assert np.isclose(np.abs(state.data[0b010]), 1.0)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_random_circuit_normalized(self, seed):
+        state = simulate(random_circuit(3, 20, seed=seed))
+        assert np.isclose(np.linalg.norm(state.data), 1.0)
+
+
+class TestMeasurement:
+    def test_probabilities_sum_to_one(self):
+        state = simulate(random_circuit(3, 30, seed=1))
+        assert np.isclose(state.probabilities().sum(), 1.0)
+
+    def test_expectation_of_identity(self):
+        state = simulate(random_circuit(2, 10, seed=2))
+        assert np.isclose(state.expectation(np.eye(4)), 1.0)
+
+    def test_expectation_z_on_zero_state(self):
+        z = np.diag([1.0, -1.0])
+        assert np.isclose(Statevector.zero_state(1).expectation(z), 1.0)
+
+    def test_sample_counts_total(self):
+        counts = simulate(ghz_circuit(2)).sample_counts(shots=100, seed=0)
+        assert sum(counts.values()) == 100
+
+    def test_sample_counts_support(self):
+        counts = simulate(ghz_circuit(3)).sample_counts(shots=200, seed=0)
+        assert set(counts) <= {"000", "111"}
+
+    def test_fidelity_self(self):
+        state = simulate(random_circuit(3, 20, seed=3))
+        assert np.isclose(state.fidelity(state), 1.0)
+
+    def test_fidelity_orthogonal(self):
+        a = Statevector.computational_basis(2, "00")
+        b = Statevector.computational_basis(2, "11")
+        assert np.isclose(a.fidelity(b), 0.0)
+
+    def test_fidelity_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            Statevector.zero_state(1).fidelity(Statevector.zero_state(2))

@@ -1,0 +1,49 @@
+"""Unit tests for circuit→unitary construction."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import random_circuit
+from repro.circuits.parameters import Parameter
+from repro.errors import CircuitError
+from repro.linalg.operators import is_unitary
+from repro.sim.statevector import simulate
+from repro.sim.unitary import circuit_unitary
+
+
+class TestCircuitUnitary:
+    def test_empty_circuit_identity(self):
+        assert np.allclose(circuit_unitary(QuantumCircuit(2)), np.eye(4))
+
+    def test_single_gate(self):
+        qc = QuantumCircuit(1).x(0)
+        assert np.allclose(circuit_unitary(qc), [[0, 1], [1, 0]])
+
+    def test_gate_order_left_multiplication(self):
+        # h then x: matrix should be X @ H.
+        qc = QuantumCircuit(1).h(0).x(0)
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        x = np.array([[0, 1], [1, 0]])
+        assert np.allclose(circuit_unitary(qc), x @ h)
+
+    def test_unitary_consistent_with_statevector(self):
+        qc = random_circuit(3, 30, seed=4)
+        u = circuit_unitary(qc)
+        state = simulate(qc)
+        assert np.allclose(u[:, 0], state.data)
+
+    def test_always_unitary(self):
+        for seed in range(4):
+            assert is_unitary(circuit_unitary(random_circuit(3, 25, seed=seed)))
+
+    def test_parameterized_rejected(self):
+        qc = QuantumCircuit(1).rz(Parameter("theta_0"), 0)
+        with pytest.raises(CircuitError):
+            circuit_unitary(qc)
+
+    def test_inverse_gives_adjoint(self):
+        qc = random_circuit(2, 15, seed=5)
+        u = circuit_unitary(qc)
+        u_inv = circuit_unitary(qc.inverse())
+        assert np.allclose(u_inv, u.conj().T)

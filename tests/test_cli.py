@@ -1,0 +1,79 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_compile_requires_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile"])
+
+    def test_compile_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compile", "--benchmark", "vqe:H2", "--method", "qiskit"]
+            )
+
+    def test_qaoa_defaults(self):
+        args = build_parser().parse_args(["qaoa-info"])
+        assert args.kind == "3regular" and args.nodes == 6 and args.p == 1
+
+
+class TestCommands:
+    def test_molecules_lists_table2(self, capsys):
+        assert main(["molecules"]) == 0
+        out = capsys.readouterr().out
+        for molecule in ("H2", "LiH", "BeH2", "NaH", "H2O"):
+            assert molecule in out
+
+    def test_gate_table_lists_basis_durations(self, capsys):
+        assert main(["gate-table"]) == 0
+        out = capsys.readouterr().out
+        assert "rz" in out and "0.4" in out
+        assert "swap" in out and "7.4" in out
+
+    def test_qaoa_info(self, capsys):
+        assert main(["qaoa-info", "--kind", "3regular", "--nodes", "6", "--p", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal cut" in out
+        assert "gate-based runtime" in out
+
+    def test_compile_gate_method(self, capsys):
+        assert main(["compile", "--benchmark", "vqe:H2", "--method", "gate"]) == 0
+        out = capsys.readouterr().out
+        assert "pulse duration" in out
+
+    def test_compile_bad_benchmark_spec(self, capsys):
+        assert main(["compile", "--benchmark", "nonsense"]) == 2
+        assert "bad benchmark spec" in capsys.readouterr().err
+
+    def test_compile_qaoa_spec(self, capsys):
+        code = main(
+            ["compile", "--benchmark", "qaoa:erdosrenyi:6:1", "--method", "gate"]
+        )
+        assert code == 0
+        assert "qaoa:erdosrenyi:6:1" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_compile_strict_method(self, capsys):
+        code = main(
+            [
+                "compile", "--benchmark", "vqe:H2", "--method", "strict",
+                "--dt", "0.5", "--fidelity", "0.9", "--iterations", "80",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime GRAPE iterations" in out
+        # Strict partial compilation has zero runtime GRAPE iterations.
+        assert "| 0" in out.replace("|      0", "| 0")

@@ -1,0 +1,51 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least byte-compile and define a ``main``; the
+cheaper ones are executed end-to-end (the expensive GRAPE-driven studies
+are exercised through their library entry points elsewhere in the suite).
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Examples cheap enough to execute in CI (< ~1 min each).
+RUNNABLE = ["hyperparameter_study.py", "quickstart.py", "pulse_assembly_export.py"]
+
+
+def test_examples_directory_populated():
+    """The deliverable requires at least three example applications."""
+    assert len(ALL_EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard(path):
+    source = path.read_text()
+    assert '__main__' in source, f"{path.name} is not runnable as a script"
+    assert '"""' in source.split("\n\n")[0] or source.startswith(
+        ("#!", '"""')
+    ), f"{path.name} lacks a module docstring"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", RUNNABLE)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{name} produced no output"

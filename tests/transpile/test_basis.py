@@ -1,0 +1,114 @@
+"""Unit tests for basis decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import (
+    CXGate,
+    CZGate,
+    HGate,
+    IGate,
+    ISwapGate,
+    RXGate,
+    RYGate,
+    RZGate,
+    RZZGate,
+    SGate,
+    SdgGate,
+    SwapGate,
+    TGate,
+    TdgGate,
+    XGate,
+    YGate,
+    ZGate,
+)
+from repro.circuits.parameters import Parameter
+from repro.linalg.unitaries import unitaries_equal_up_to_phase
+from repro.sim.unitary import circuit_unitary
+from repro.transpile.basis import BASIS_GATES, decompose_to_basis
+
+SINGLE_GATES = [
+    XGate(),
+    YGate(),
+    ZGate(),
+    SGate(),
+    SdgGate(),
+    TGate(),
+    TdgGate(),
+    RXGate(0.7),
+    RYGate(-1.1),
+    RZGate(2.2),
+]
+DOUBLE_GATES = [
+    CXGate(),
+    CZGate(),
+    SwapGate(),
+    ISwapGate(),
+    ISwapGate().inverse(),
+    RZZGate(0.9),
+]
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("gate", SINGLE_GATES, ids=lambda g: repr(g))
+    def test_single_qubit_equivalence(self, gate):
+        qc = QuantumCircuit(1)
+        qc.append(gate, (0,))
+        decomposed = decompose_to_basis(qc)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(decomposed), circuit_unitary(qc)
+        )
+
+    @pytest.mark.parametrize("gate", DOUBLE_GATES, ids=lambda g: repr(g))
+    def test_two_qubit_equivalence(self, gate):
+        qc = QuantumCircuit(2)
+        qc.append(gate, (0, 1))
+        decomposed = decompose_to_basis(qc)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(decomposed), circuit_unitary(qc)
+        )
+
+    @pytest.mark.parametrize("gate", SINGLE_GATES + DOUBLE_GATES, ids=lambda g: repr(g))
+    def test_output_in_basis(self, gate):
+        qc = QuantumCircuit(2)
+        qc.append(gate, tuple(range(gate.num_qubits)))
+        for inst in decompose_to_basis(qc):
+            assert inst.gate.name in BASIS_GATES
+
+    def test_identity_removed(self):
+        qc = QuantumCircuit(1)
+        qc.append(IGate(), (0,))
+        assert len(decompose_to_basis(qc)) == 0
+
+    def test_swap_expansion(self):
+        qc = QuantumCircuit(2).swap(0, 1)
+        expanded = decompose_to_basis(qc, expand_swap=True)
+        assert all(i.gate.name == "cx" for i in expanded)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(expanded), circuit_unitary(qc)
+        )
+
+    def test_rzz_keeps_symbolic_parameter(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(2).rzz(2 * theta, 0, 1)
+        decomposed = decompose_to_basis(qc)
+        rz_gates = [i for i in decomposed if i.gate.name == "rz"]
+        assert len(rz_gates) == 1
+        assert rz_gates[0].gate.params[0].coefficient(theta) == 2.0
+
+    def test_ry_keeps_symbolic_parameter(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).ry(theta, 0)
+        decomposed = decompose_to_basis(qc)
+        rx_gates = [i for i in decomposed if i.gate.name == "rx"]
+        assert len(rx_gates) == 1
+        assert rx_gates[0].gate.parameters == frozenset({theta})
+
+    def test_composite_circuit(self):
+        qc = QuantumCircuit(3)
+        qc.ry(0.4, 0).cz(0, 1).iswap(1, 2).t(2).y(0)
+        decomposed = decompose_to_basis(qc)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(decomposed), circuit_unitary(qc)
+        )

@@ -1,0 +1,282 @@
+"""Tests for the Cartan (KAK) decomposition."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import CXGate, CZGate, ISwapGate, SwapGate
+from repro.errors import TranspileError
+from repro.linalg import haar_random_unitary, unitaries_equal_up_to_phase
+from repro.transpile.kak import (
+    MAGIC,
+    KAKDecomposition,
+    canonical_matrix,
+    cx_count_for_coordinates,
+    decompose_su2_tensor,
+    kak_decompose,
+    makhlin_invariants,
+    weyl_coordinates,
+    zyz_angles,
+)
+
+PI_4 = math.pi / 4
+
+
+def _rand_su2(rng):
+    return haar_random_unitary(2, seed=rng)
+
+
+def _rz(phi):
+    return np.diag([np.exp(-0.5j * phi), np.exp(0.5j * phi)])
+
+
+def _ry(theta):
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+class TestMagicBasis:
+    def test_magic_basis_is_unitary(self):
+        assert np.allclose(MAGIC @ MAGIC.conj().T, np.eye(4))
+
+    @pytest.mark.parametrize("axis", ["x", "y", "z"])
+    def test_pauli_pairs_diagonal_in_magic_basis(self, axis):
+        paulis = {
+            "x": np.array([[0, 1], [1, 0]], dtype=complex),
+            "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "z": np.diag([1.0, -1.0]).astype(complex),
+        }
+        pp = np.kron(paulis[axis], paulis[axis])
+        d = MAGIC.conj().T @ pp @ MAGIC
+        assert np.abs(d - np.diag(np.diag(d))).max() < 1e-12
+
+
+class TestCanonicalMatrix:
+    def test_zero_coordinates_is_identity(self):
+        assert np.allclose(canonical_matrix(0, 0, 0), np.eye(4))
+
+    def test_matches_expm(self):
+        from scipy.linalg import expm
+
+        x, y, z = 0.3, -0.7, 1.1
+        paulis = {
+            "x": np.array([[0, 1], [1, 0]], dtype=complex),
+            "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "z": np.diag([1.0, -1.0]).astype(complex),
+        }
+        h = (
+            x * np.kron(paulis["x"], paulis["x"])
+            + y * np.kron(paulis["y"], paulis["y"])
+            + z * np.kron(paulis["z"], paulis["z"])
+        )
+        assert np.allclose(canonical_matrix(x, y, z), expm(1j * h))
+
+    def test_canonical_matrices_commute(self):
+        a = canonical_matrix(0.2, 0.1, 0.05)
+        b = canonical_matrix(-0.4, 0.9, 0.3)
+        assert np.allclose(a @ b, b @ a)
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reconstruction(self, seed):
+        rng = np.random.default_rng(seed)
+        u = _rand_su2(rng)
+        alpha, beta, gamma, delta = zyz_angles(u)
+        rebuilt = np.exp(1j * alpha) * (_rz(beta) @ _ry(gamma) @ _rz(delta))
+        assert np.allclose(rebuilt, u, atol=1e-9)
+
+    def test_identity(self):
+        alpha, beta, gamma, delta = zyz_angles(np.eye(2))
+        rebuilt = np.exp(1j * alpha) * (_rz(beta) @ _ry(gamma) @ _rz(delta))
+        assert np.allclose(rebuilt, np.eye(2))
+
+    def test_diagonal_gate(self):
+        u = np.diag([1.0, 1j])
+        alpha, beta, gamma, delta = zyz_angles(u)
+        rebuilt = np.exp(1j * alpha) * (_rz(beta) @ _ry(gamma) @ _rz(delta))
+        assert np.allclose(rebuilt, u, atol=1e-9)
+
+    def test_antidiagonal_gate(self):
+        u = np.array([[0, 1], [1, 0]], dtype=complex)
+        alpha, beta, gamma, delta = zyz_angles(u)
+        rebuilt = np.exp(1j * alpha) * (_rz(beta) @ _ry(gamma) @ _rz(delta))
+        assert np.allclose(rebuilt, u, atol=1e-9)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(TranspileError):
+            zyz_angles(np.eye(4))
+
+
+class TestTensorSplit:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_tensor_product(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = _rand_su2(rng), _rand_su2(rng)
+        phase, a2, b2 = decompose_su2_tensor(np.kron(a, b))
+        assert np.allclose(
+            np.exp(1j * phase) * np.kron(a2, b2), np.kron(a, b), atol=1e-9
+        )
+
+    def test_su2_normalization(self):
+        rng = np.random.default_rng(11)
+        _, a, b = decompose_su2_tensor(np.kron(_rand_su2(rng), _rand_su2(rng)))
+        assert abs(np.linalg.det(a) - 1) < 1e-9
+        assert abs(np.linalg.det(b) - 1) < 1e-9
+
+    def test_rejects_entangling(self):
+        with pytest.raises(TranspileError):
+            decompose_su2_tensor(CXGate().matrix())
+
+
+class TestKAKReconstruction:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_unitary_roundtrip(self, seed):
+        u = haar_random_unitary(4, seed=np.random.default_rng(seed))
+        d = kak_decompose(u)
+        assert np.abs(d.unitary() - u).max() < 1e-7
+
+    @pytest.mark.parametrize(
+        "gate", [CXGate(), CZGate(), SwapGate(), ISwapGate()], ids=lambda g: g.name
+    )
+    def test_named_gate_roundtrip(self, gate):
+        u = gate.matrix()
+        d = kak_decompose(u)
+        assert np.abs(d.unitary() - u).max() < 1e-7
+
+    def test_identity_roundtrip(self):
+        d = kak_decompose(np.eye(4, dtype=complex))
+        assert np.abs(d.unitary() - np.eye(4)).max() < 1e-8
+        assert cx_count_for_coordinates(d.coordinates) == 0
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(TranspileError):
+            kak_decompose(np.ones((4, 4)))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(TranspileError):
+            kak_decompose(np.eye(2))
+
+
+class TestWeylChamber:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_coordinates_in_chamber(self, seed):
+        u = haar_random_unitary(4, seed=np.random.default_rng(100 + seed))
+        x, y, z = weyl_coordinates(u)
+        assert x <= PI_4 + 1e-7
+        assert x >= y >= abs(z) - 1e-9
+        if abs(x - PI_4) < 1e-7:
+            # At the x = π/4 face the mirror classes coincide and z is
+            # normalized non-negative.
+            assert z >= -1e-9
+
+    def test_cx_coordinates(self):
+        x, y, z = weyl_coordinates(CXGate().matrix())
+        assert abs(x - PI_4) < 1e-7 and abs(y) < 1e-7 and abs(z) < 1e-7
+
+    def test_cz_locally_equivalent_to_cx(self):
+        cx = weyl_coordinates(CXGate().matrix())
+        cz = weyl_coordinates(CZGate().matrix())
+        assert np.allclose(cx, cz, atol=1e-7)
+
+    def test_swap_coordinates(self):
+        coords = weyl_coordinates(SwapGate().matrix())
+        assert np.allclose(coords, (PI_4, PI_4, PI_4), atol=1e-7)
+
+    def test_iswap_coordinates(self):
+        coords = weyl_coordinates(ISwapGate().matrix())
+        assert np.allclose(coords, (PI_4, PI_4, 0.0), atol=1e-7)
+
+    def test_local_gates_have_zero_coordinates(self):
+        rng = np.random.default_rng(5)
+        u = np.kron(_rand_su2(rng), _rand_su2(rng))
+        assert np.allclose(weyl_coordinates(u), (0, 0, 0), atol=1e-7)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_local_invariance(self, seed):
+        """Dressing with single-qubit gates never moves the Weyl point."""
+        rng = np.random.default_rng(200 + seed)
+        u = haar_random_unitary(4, seed=rng)
+        dressed = (
+            np.kron(_rand_su2(rng), _rand_su2(rng))
+            @ u
+            @ np.kron(_rand_su2(rng), _rand_su2(rng))
+        )
+        assert np.allclose(
+            weyl_coordinates(u), weyl_coordinates(dressed), atol=1e-6
+        )
+
+
+class TestMakhlinInvariants:
+    def test_cx_invariants(self):
+        g1r, g1i, g2 = makhlin_invariants(CXGate().matrix())
+        assert abs(g1r) < 1e-9 and abs(g1i) < 1e-9 and abs(g2 - 1) < 1e-9
+
+    def test_identity_invariants(self):
+        g1r, g1i, g2 = makhlin_invariants(np.eye(4))
+        assert abs(g1r - 1) < 1e-9 and abs(g1i) < 1e-9 and abs(g2 - 3) < 1e-9
+
+    def test_swap_invariants(self):
+        g1r, g1i, g2 = makhlin_invariants(SwapGate().matrix())
+        assert abs(g1r + 1) < 1e-9 and abs(g2 + 3) < 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_invariance_under_locals(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        u = haar_random_unitary(4, seed=rng)
+        dressed = (
+            np.kron(_rand_su2(rng), _rand_su2(rng))
+            @ u
+            @ np.kron(_rand_su2(rng), _rand_su2(rng))
+        )
+        assert np.allclose(
+            makhlin_invariants(u), makhlin_invariants(dressed), atol=1e-7
+        )
+
+    def test_mirror_classes_distinguished(self):
+        a = makhlin_invariants(canonical_matrix(0.3, 0.2, 0.1))
+        b = makhlin_invariants(canonical_matrix(0.3, 0.2, -0.1))
+        assert not np.allclose(a, b, atol=1e-9)
+
+
+class TestCXCount:
+    def test_identity_class(self):
+        assert cx_count_for_coordinates((0, 0, 0)) == 0
+
+    def test_cx_class(self):
+        assert cx_count_for_coordinates((PI_4, 0, 0)) == 1
+
+    def test_two_cx_class(self):
+        assert cx_count_for_coordinates((0.3, 0.2, 0)) == 2
+
+    def test_generic_class(self):
+        assert cx_count_for_coordinates((0.3, 0.2, 0.1)) == 3
+
+    def test_swap_needs_three(self):
+        assert cx_count_for_coordinates((PI_4, PI_4, PI_4)) == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_kak_roundtrip_property(seed):
+    """Property: decompose → reconstruct is the identity for any unitary."""
+    u = haar_random_unitary(4, seed=np.random.default_rng(seed))
+    d = kak_decompose(u)
+    assert isinstance(d, KAKDecomposition)
+    assert np.abs(d.unitary() - u).max() < 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(min_value=-3.0, max_value=3.0),
+    st.floats(min_value=-3.0, max_value=3.0),
+    st.floats(min_value=-3.0, max_value=3.0),
+)
+def test_canonical_gate_coordinates_roundtrip(x, y, z):
+    """Property: K(x,y,z) decomposes to chamber coordinates that rebuild it."""
+    u = canonical_matrix(x, y, z)
+    d = kak_decompose(u)
+    assert np.abs(d.unitary() - u).max() < 1e-6

@@ -1,0 +1,178 @@
+"""Unit tests for peephole optimization passes."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import random_circuit
+from repro.circuits.parameters import Parameter
+from repro.linalg.unitaries import unitaries_equal_up_to_phase
+from repro.sim.unitary import circuit_unitary
+from repro.transpile.optimize import (
+    cancel_adjacent_inverses,
+    merge_rotations,
+    optimize_circuit,
+    parametrized_rx_to_rz,
+    remove_zero_rotations,
+)
+
+
+class TestMergeRotations:
+    def test_same_axis_merges(self):
+        qc = QuantumCircuit(1).rx(0.3, 0).rx(0.4, 0)
+        merged = merge_rotations(qc)
+        assert len(merged) == 1
+        assert math.isclose(merged[0].gate.params[0], 0.7)
+
+    def test_different_axes_do_not_merge(self):
+        qc = QuantumCircuit(1).rx(0.3, 0).rz(0.4, 0)
+        assert len(merge_rotations(qc)) == 2
+
+    def test_interposed_gate_blocks_merge(self):
+        qc = QuantumCircuit(1).rx(0.3, 0).h(0).rx(0.4, 0)
+        assert len(merge_rotations(qc)) == 3
+
+    def test_two_qubit_gate_blocks_merge(self):
+        qc = QuantumCircuit(2).rz(0.3, 0).cx(0, 1).rz(0.4, 0)
+        assert len(merge_rotations(qc)) == 3
+
+    def test_merge_to_zero_removes(self):
+        qc = QuantumCircuit(1).rz(0.5, 0).rz(-0.5, 0)
+        assert len(merge_rotations(qc)) == 0
+
+    def test_merge_across_other_qubits_preserves_order(self):
+        # Pending rotations must not drift past later gates in list order.
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(2)
+        qc.rz(theta, 0)
+        qc.h(1)
+        qc.rz(0.3, 1)
+        merged = merge_rotations(qc)
+        names = [(i.gate.name, i.qubits) for i in merged]
+        assert names == [("rz", (0,)), ("h", (1,)), ("rz", (1,))]
+
+    def test_symbolic_merge(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).rz(theta, 0).rz(-theta / 2, 0).rz(1.0, 0)
+        merged = merge_rotations(qc)
+        assert len(merged) == 1
+        expr = merged[0].gate.params[0]
+        assert math.isclose(expr.coefficient(theta), 0.5)
+        assert math.isclose(expr.constant, 1.0)
+
+    def test_preserves_unitary(self):
+        qc = random_circuit(3, 40, seed=0)
+        merged = merge_rotations(qc)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(merged), circuit_unitary(qc)
+        )
+
+
+class TestCancelInverses:
+    def test_cx_pair_cancels(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_h_pair_cancels(self):
+        qc = QuantumCircuit(1).h(0).h(0)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_rz_opposite_angles_cancel(self):
+        qc = QuantumCircuit(1).rz(0.4, 0).rz(-0.4, 0)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_cx_different_direction_kept(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        assert len(cancel_adjacent_inverses(qc)) == 2
+
+    def test_swap_qubit_order_irrelevant(self):
+        qc = QuantumCircuit(2).swap(0, 1).swap(1, 0)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_cascading_cancellation(self):
+        qc = QuantumCircuit(1).h(0).x(0).x(0).h(0)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_blocked_by_other_qubit_gate(self):
+        qc = QuantumCircuit(2).cx(0, 1).h(0).cx(0, 1)
+        assert len(cancel_adjacent_inverses(qc)) == 3
+
+    def test_symbolic_cancellation(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).rz(theta, 0).rz(-1.0 * theta, 0)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_preserves_unitary(self):
+        qc = random_circuit(3, 40, seed=1)
+        out = cancel_adjacent_inverses(qc)
+        assert unitaries_equal_up_to_phase(circuit_unitary(out), circuit_unitary(qc))
+
+
+class TestRemoveZeroRotations:
+    def test_zero_angle_removed(self):
+        qc = QuantumCircuit(1).rz(0.0, 0)
+        assert len(remove_zero_rotations(qc)) == 0
+
+    def test_two_pi_removed(self):
+        qc = QuantumCircuit(1).rx(2 * math.pi, 0)
+        assert len(remove_zero_rotations(qc)) == 0
+
+    def test_nonzero_kept(self):
+        qc = QuantumCircuit(1).rz(0.1, 0)
+        assert len(remove_zero_rotations(qc)) == 1
+
+    def test_symbolic_kept_even_if_could_be_zero(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).rz(theta, 0)
+        assert len(remove_zero_rotations(qc)) == 1
+
+    def test_identity_gate_removed(self):
+        qc = QuantumCircuit(1).i(0)
+        assert len(remove_zero_rotations(qc)) == 0
+
+
+class TestRxToRz:
+    def test_parametrized_rx_rewritten(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).rx(2 * theta, 0)
+        out = parametrized_rx_to_rz(qc)
+        assert [i.gate.name for i in out] == ["h", "rz", "h"]
+
+    def test_rewrite_preserves_unitary(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).rx(2 * theta, 0)
+        out = parametrized_rx_to_rz(qc)
+        for value in (0.3, -1.1, 2.5):
+            assert unitaries_equal_up_to_phase(
+                circuit_unitary(out.bind_parameters([value])),
+                circuit_unitary(qc.bind_parameters([value])),
+            )
+
+    def test_constant_rx_untouched(self):
+        qc = QuantumCircuit(1).rx(0.5, 0)
+        out = parametrized_rx_to_rz(qc)
+        assert [i.gate.name for i in out] == ["rx"]
+
+
+class TestOptimizeCircuit:
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_preserves_unitary_property(self, seed):
+        qc = random_circuit(3, 30, seed=seed)
+        out = optimize_circuit(qc)
+        assert unitaries_equal_up_to_phase(circuit_unitary(out), circuit_unitary(qc))
+
+    def test_never_grows(self):
+        for seed in range(5):
+            qc = random_circuit(4, 50, seed=seed)
+            assert len(optimize_circuit(qc)) <= len(qc)
+
+    def test_idempotent(self):
+        qc = random_circuit(3, 40, seed=9)
+        once = optimize_circuit(qc)
+        twice = optimize_circuit(once)
+        assert once == twice

@@ -1,0 +1,117 @@
+"""Unit tests for the pass manager and default pipeline."""
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import random_circuit
+from repro.circuits.parameters import Parameter
+from repro.linalg.unitaries import unitaries_equal_up_to_phase
+from repro.sim.unitary import circuit_unitary
+from repro.transpile.basis import BASIS_GATES
+from repro.transpile.passes import PassManager, default_pass_manager, transpile
+from repro.transpile.topology import line_topology
+
+
+class TestPassManager:
+    def test_runs_in_order(self):
+        order = []
+
+        def make_pass(tag):
+            def pass_(qc):
+                order.append(tag)
+                return qc
+
+            return pass_
+
+        manager = PassManager([make_pass("a")]).append(make_pass("b"))
+        manager.run(QuantumCircuit(1))
+        assert order == ["a", "b"]
+
+
+class TestDefaultPipeline:
+    def test_output_in_basis(self):
+        qc = QuantumCircuit(2).ry(0.3, 0).cz(0, 1).t(1)
+        out = transpile(qc)
+        assert all(i.gate.name in BASIS_GATES for i in out)
+
+    def test_unitary_preserved_without_routing(self):
+        qc = random_circuit(3, 30, seed=0)
+        out = transpile(qc)
+        assert unitaries_equal_up_to_phase(circuit_unitary(out), circuit_unitary(qc))
+
+    def test_parametrized_gates_become_rz(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).rx(2 * theta, 0)
+        out = transpile(qc)
+        parametrized = [i for i in out if i.parameters]
+        assert all(i.gate.name == "rz" for i in parametrized)
+
+    def test_rz_only_disabled_keeps_rx(self):
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(1).rx(2 * theta, 0)
+        out = transpile(qc, rz_only_parameters=False)
+        assert any(i.gate.name == "rx" and i.parameters for i in out)
+
+    def test_routing_respects_topology(self):
+        topo = line_topology(4)
+        qc = random_circuit(4, 25, seed=1)
+        out = transpile(qc, topology=topo)
+        for inst in out:
+            if len(inst.qubits) == 2:
+                assert topo.are_adjacent(*inst.qubits)
+
+    def test_parametrized_count_preserved(self):
+        theta = [Parameter(f"theta_{i}") for i in range(3)]
+        qc = QuantumCircuit(2)
+        for i, t in enumerate(theta):
+            qc.cx(0, 1)
+            qc.rz(t, i % 2)
+        out = transpile(qc)
+        assert set(p.name for p in out.parameters) == {t.name for t in theta}
+
+
+class TestResynthesisOption:
+    """The opt-in KAK resynthesis stage of the default pipeline."""
+
+    def test_resynthesize_flag_preserves_semantics(self):
+        import numpy as np
+
+        from repro.linalg.unitaries import unitaries_equal_up_to_phase
+        from repro.sim.unitary import circuit_unitary
+
+        rng = np.random.default_rng(0)
+        circuit = QuantumCircuit(2)
+        for _ in range(4):
+            circuit.rz(rng.uniform(-3, 3), 0)
+            circuit.cx(0, 1)
+            circuit.rx(rng.uniform(-3, 3), 1)
+        plain = transpile(circuit)
+        resynth = transpile(circuit, resynthesize=True)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(resynth), circuit_unitary(plain), atol=1e-6
+        )
+
+    def test_resynthesize_never_regresses_runtime(self):
+        import numpy as np
+
+        from repro.transpile.schedule import asap_schedule
+
+        rng = np.random.default_rng(1)
+        circuit = QuantumCircuit(2)
+        for _ in range(6):
+            circuit.rz(rng.uniform(-3, 3), 0)
+            circuit.cx(0, 1)
+        plain = asap_schedule(transpile(circuit)).duration_ns
+        resynth = asap_schedule(transpile(circuit, resynthesize=True)).duration_ns
+        assert resynth <= plain + 1e-9
+
+    def test_resynthesize_keeps_parameters(self):
+        from repro.circuits.parameters import Parameter
+
+        theta = Parameter("t")
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.rz(theta, 1)
+        circuit.cx(0, 1)
+        out = transpile(circuit, resynthesize=True)
+        assert theta in set(out.parameters)

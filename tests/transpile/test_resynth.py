@@ -1,0 +1,203 @@
+"""Tests for two-qubit block resynthesis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.linalg import haar_random_unitary, unitaries_equal_up_to_phase
+from repro.sim.unitary import circuit_unitary
+from repro.transpile.kak import canonical_matrix, weyl_coordinates
+from repro.transpile.resynth import (
+    canonical_gate_circuit,
+    resynthesize_two_qubit_runs,
+    two_qubit_circuit,
+)
+
+PI_4 = math.pi / 4
+
+
+def _cx_count(circuit: QuantumCircuit) -> int:
+    return circuit.count_ops().get("cx", 0)
+
+
+class TestCanonicalGateCircuit:
+    def test_identity_class_is_empty(self):
+        assert len(canonical_gate_circuit(0, 0, 0)) == 0
+
+    def test_cx_class_single_cx(self):
+        circuit = canonical_gate_circuit(PI_4, 0, 0)
+        assert _cx_count(circuit) == 1
+
+    def test_two_cx_class(self):
+        circuit = canonical_gate_circuit(0.3, 0.2, 0)
+        assert _cx_count(circuit) == 2
+        # The emitted circuit must be locally equivalent to K(x, y, 0).
+        got = weyl_coordinates(circuit_unitary(circuit))
+        want = weyl_coordinates(canonical_matrix(0.3, 0.2, 0))
+        assert np.allclose(got, want, atol=1e-7)
+
+    @pytest.mark.parametrize(
+        "coords",
+        [(0.3, 0.2, 0.1), (PI_4, PI_4, PI_4), (0.7, 0.5, -0.3), (0.78, 0.1, 0.05)],
+    )
+    def test_three_cx_class_locally_equivalent(self, coords):
+        circuit = canonical_gate_circuit(*coords)
+        assert _cx_count(circuit) == 3
+        got = weyl_coordinates(circuit_unitary(circuit))
+        want = weyl_coordinates(canonical_matrix(*coords))
+        assert np.allclose(got, want, atol=1e-6)
+
+
+class TestTwoQubitCircuit:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_unitary_synthesis(self, seed):
+        u = haar_random_unitary(4, seed=seed)
+        circuit = two_qubit_circuit(u)
+        assert unitaries_equal_up_to_phase(circuit_unitary(circuit), u, atol=1e-6)
+        assert _cx_count(circuit) <= 3
+
+    def test_local_unitary_needs_no_cx(self):
+        rng = np.random.default_rng(0)
+        u = np.kron(haar_random_unitary(2, seed=rng), haar_random_unitary(2, seed=rng))
+        circuit = two_qubit_circuit(u)
+        assert _cx_count(circuit) == 0
+        assert unitaries_equal_up_to_phase(circuit_unitary(circuit), u, atol=1e-6)
+
+    def test_cx_needs_one_cx(self):
+        from repro.circuits.gates import CXGate
+
+        circuit = two_qubit_circuit(CXGate().matrix())
+        assert _cx_count(circuit) == 1
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(circuit), CXGate().matrix(), atol=1e-6
+        )
+
+    def test_swap_needs_three_cx(self):
+        from repro.circuits.gates import SwapGate
+
+        circuit = two_qubit_circuit(SwapGate().matrix())
+        assert _cx_count(circuit) == 3
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(circuit), SwapGate().matrix(), atol=1e-6
+        )
+
+    def test_controlled_phase_needs_two_cx(self):
+        # diag(1,1,1,e^{iθ}) for generic θ sits in the 2-CX class.
+        u = np.diag([1, 1, 1, np.exp(0.7j)]).astype(complex)
+        circuit = two_qubit_circuit(u)
+        assert _cx_count(circuit) == 2
+        assert unitaries_equal_up_to_phase(circuit_unitary(circuit), u, atol=1e-6)
+
+
+class TestResynthesisPass:
+    def _random_two_qubit_run(self, seed, n_cx=4):
+        rng = np.random.default_rng(seed)
+        circuit = QuantumCircuit(2)
+        for _ in range(n_cx):
+            circuit.rz(rng.uniform(-3, 3), 0)
+            circuit.rx(rng.uniform(-3, 3), 1)
+            circuit.cx(0, 1)
+        circuit.rz(rng.uniform(-3, 3), 1)
+        return circuit
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_preserves_unitary(self, seed):
+        circuit = self._random_two_qubit_run(seed)
+        out = resynthesize_two_qubit_runs(circuit)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(out), circuit_unitary(circuit), atol=1e-6
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_reduces_cx_count_on_long_runs(self, seed):
+        circuit = self._random_two_qubit_run(seed, n_cx=5)
+        out = resynthesize_two_qubit_runs(circuit)
+        assert _cx_count(out) <= 3
+
+    def test_leaves_single_cx_alone(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        out = resynthesize_two_qubit_runs(circuit)
+        assert out.count_ops() == circuit.count_ops()
+
+    def test_skips_parameterized_runs(self):
+        theta = Parameter("theta")
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.rz(theta, 1)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        out = resynthesize_two_qubit_runs(circuit)
+        # The run contains an unbound parameter: it must survive verbatim.
+        assert out.count_ops().get("cx") == 3
+        assert theta in set(out.parameters)
+
+    def test_multi_pair_circuit_preserved(self):
+        rng = np.random.default_rng(42)
+        circuit = QuantumCircuit(3)
+        for _ in range(3):
+            circuit.rz(rng.uniform(-3, 3), 0)
+            circuit.cx(0, 1)
+            circuit.rx(rng.uniform(-3, 3), 1)
+            circuit.cx(0, 1)
+        for _ in range(3):
+            circuit.cx(1, 2)
+            circuit.rz(rng.uniform(-3, 3), 2)
+            circuit.cx(1, 2)
+        out = resynthesize_two_qubit_runs(circuit)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(out), circuit_unitary(circuit), atol=1e-6
+        )
+
+    def test_interleaved_pairs_preserved(self):
+        rng = np.random.default_rng(7)
+        circuit = QuantumCircuit(4)
+        for _ in range(4):
+            circuit.cx(0, 1)
+            circuit.cx(2, 3)
+            circuit.rx(rng.uniform(-3, 3), 1)
+            circuit.ry(rng.uniform(-3, 3), 3)
+        out = resynthesize_two_qubit_runs(circuit)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(out), circuit_unitary(circuit), atol=1e-6
+        )
+
+    def test_empty_circuit(self):
+        out = resynthesize_two_qubit_runs(QuantumCircuit(2))
+        assert len(out) == 0
+
+    def test_single_qubit_only_circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.rz(0.3, 1)
+        out = resynthesize_two_qubit_runs(circuit)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(out), circuit_unitary(circuit), atol=1e-9
+        )
+
+    def test_never_increases_duration(self):
+        from repro.transpile.basis import decompose_to_basis
+        from repro.transpile.schedule import asap_schedule
+
+        for seed in range(4):
+            circuit = decompose_to_basis(self._random_two_qubit_run(seed, n_cx=6))
+            out = resynthesize_two_qubit_runs(circuit)
+            before = asap_schedule(decompose_to_basis(circuit)).duration_ns
+            after = asap_schedule(decompose_to_basis(out)).duration_ns
+            assert after <= before + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_synthesis_roundtrip_property(seed):
+    """Property: synthesis realizes any 4x4 unitary with at most 3 CX."""
+    u = haar_random_unitary(4, seed=seed)
+    circuit = two_qubit_circuit(u)
+    assert circuit.count_ops().get("cx", 0) <= 3
+    assert unitaries_equal_up_to_phase(circuit_unitary(circuit), u, atol=1e-6)

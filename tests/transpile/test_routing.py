@@ -1,0 +1,97 @@
+"""Unit tests for SWAP-insertion routing."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import random_circuit
+from repro.errors import TranspileError
+from repro.linalg.unitaries import unitaries_equal_up_to_phase
+from repro.sim.unitary import circuit_unitary
+from repro.transpile.routing import route_circuit
+from repro.transpile.topology import full_topology, grid_topology, line_topology
+
+
+def _undo_final_layout(routed, final_layout, width):
+    """Append SWAP-free relabeling so routed unitary is comparable."""
+    circuit = routed.copy()
+    # Sort qubits back: repeatedly swap physical positions until layout is
+    # identity on the logical qubits.
+    layout = dict(final_layout)
+    for logical in sorted(layout):
+        current = layout[logical]
+        if current != logical:
+            circuit.swap(current, logical)
+            # Track the displaced logical qubit, if any.
+            for other, pos in layout.items():
+                if pos == logical:
+                    layout[other] = current
+                    break
+            layout[logical] = logical
+    return circuit
+
+
+class TestRouting:
+    def test_adjacent_gates_untouched(self):
+        qc = QuantumCircuit(3).cx(0, 1).cx(1, 2)
+        result = route_circuit(qc, line_topology(3))
+        assert result.swap_count == 0
+
+    def test_distant_gate_gets_swaps(self):
+        qc = QuantumCircuit(4).cx(0, 3)
+        result = route_circuit(qc, line_topology(4))
+        assert result.swap_count == 2
+
+    def test_all_two_qubit_gates_adjacent_after_routing(self):
+        topo = line_topology(5)
+        qc = random_circuit(5, 40, seed=0)
+        result = route_circuit(qc, topo)
+        for inst in result.circuit:
+            if len(inst.qubits) == 2:
+                assert topo.are_adjacent(*inst.qubits)
+
+    def test_routing_on_grid(self):
+        topo = grid_topology(2, 3)
+        qc = random_circuit(6, 40, seed=1)
+        result = route_circuit(qc, topo)
+        for inst in result.circuit:
+            if len(inst.qubits) == 2:
+                assert topo.are_adjacent(*inst.qubits)
+
+    def test_full_topology_never_swaps(self):
+        qc = random_circuit(5, 40, seed=2)
+        result = route_circuit(qc, full_topology(5))
+        assert result.swap_count == 0
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(TranspileError):
+            route_circuit(QuantumCircuit(5), line_topology(3))
+
+    def test_routed_semantics_preserved(self):
+        # After undoing the final layout permutation, the routed circuit must
+        # implement the original unitary.
+        qc = random_circuit(4, 25, seed=3)
+        result = route_circuit(qc, line_topology(4))
+        restored = _undo_final_layout(result.circuit, result.final_layout, 4)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(restored), circuit_unitary(qc)
+        )
+
+    def test_custom_initial_layout(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        result = route_circuit(qc, line_topology(3), initial_layout={0: 2, 1: 1})
+        assert result.circuit[0].qubits == (2, 1)
+
+    def test_duplicate_layout_rejected(self):
+        with pytest.raises(TranspileError):
+            route_circuit(
+                QuantumCircuit(2).cx(0, 1), line_topology(3), initial_layout={0: 1, 1: 1}
+            )
+
+    def test_final_layout_tracks_swaps(self):
+        qc = QuantumCircuit(3).cx(0, 2)
+        result = route_circuit(qc, line_topology(3))
+        # One swap happened; layout must be a permutation.
+        assert sorted(result.final_layout.values()) != [] and len(
+            set(result.final_layout.values())
+        ) == len(result.final_layout)

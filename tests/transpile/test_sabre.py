@@ -1,0 +1,205 @@
+"""Tests for the SABRE-style lookahead router and new topologies."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.errors import DeviceError, TranspileError
+from repro.linalg.unitaries import unitaries_equal_up_to_phase
+from repro.sim.unitary import circuit_unitary
+from repro.transpile import (
+    grid_topology,
+    heavy_hex_topology,
+    line_topology,
+    full_topology,
+    ring_topology,
+    route_circuit,
+    sabre_route,
+)
+from repro.circuits.gates import SwapGate
+
+
+def _undo_final_layout(routed, final_layout, width):
+    """Append SWAPs relabeling physical back to logical for comparison."""
+    circuit = routed.copy()
+    current = dict(final_layout)  # logical -> physical
+    for logical in range(width):
+        physical = current[logical]
+        if physical != logical:
+            circuit.append(SwapGate(), (logical, physical))
+            # Update bookkeeping: whatever logical qubit sat at `logical`
+            # has moved to `physical`.
+            for other, p in current.items():
+                if p == logical:
+                    current[other] = physical
+                    break
+            current[logical] = logical
+    return circuit
+
+
+def _random_circuit(num_qubits, num_gates, seed):
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        if rng.uniform() < 0.4:
+            circuit.rx(rng.uniform(-3, 3), int(rng.integers(num_qubits)))
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+    return circuit
+
+
+class TestNewTopologies:
+    def test_ring_degree_two(self):
+        topo = ring_topology(8)
+        assert all(len(topo.neighbors(q)) == 2 for q in range(8))
+
+    def test_ring_wraps_around(self):
+        topo = ring_topology(5)
+        assert topo.are_adjacent(0, 4)
+        assert topo.distance(0, 3) == 2  # shorter the wrap-around way
+
+    def test_ring_too_small_rejected(self):
+        with pytest.raises(DeviceError):
+            ring_topology(2)
+
+    def test_heavy_hex_connected(self):
+        topo = heavy_hex_topology(2, 2)
+        assert nx.is_connected(topo.graph)
+
+    def test_heavy_hex_max_degree_three(self):
+        """The defining property: no qubit couples to more than 3 others."""
+        topo = heavy_hex_topology(2, 3)
+        assert max(dict(topo.graph.degree()).values()) == 3
+
+    def test_heavy_hex_has_degree_two_bridge_qubits(self):
+        topo = heavy_hex_topology(1, 2)
+        degrees = [d for _, d in topo.graph.degree()]
+        assert degrees.count(2) >= topo.num_qubits / 3
+
+    def test_heavy_hex_rejects_bad_dimensions(self):
+        with pytest.raises(DeviceError):
+            heavy_hex_topology(0, 1)
+
+
+class TestSabreRouting:
+    def test_adjacent_gates_untouched(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        result = sabre_route(circuit, line_topology(3))
+        assert result.swap_count == 0
+
+    def test_all_gates_adjacent_after_routing(self):
+        circuit = _random_circuit(5, 30, seed=0)
+        topo = line_topology(5)
+        result = sabre_route(circuit, topo)
+        for inst in result.circuit:
+            if len(inst.qubits) == 2:
+                assert topo.are_adjacent(*inst.qubits)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_semantics_preserved(self, seed):
+        circuit = _random_circuit(4, 14, seed=seed)
+        topo = line_topology(4)
+        result = sabre_route(circuit, topo)
+        restored = _undo_final_layout(result.circuit, result.final_layout, 4)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(restored), circuit_unitary(circuit), atol=1e-7
+        )
+
+    def test_full_topology_never_swaps(self):
+        circuit = _random_circuit(5, 25, seed=1)
+        result = sabre_route(circuit, full_topology(5))
+        assert result.swap_count == 0
+
+    def test_routing_on_heavy_hex(self):
+        circuit = _random_circuit(6, 20, seed=2)
+        topo = heavy_hex_topology(1, 2)
+        result = sabre_route(circuit, topo)
+        for inst in result.circuit:
+            if len(inst.qubits) == 2:
+                assert topo.are_adjacent(*inst.qubits)
+
+    def test_routing_on_ring(self):
+        circuit = _random_circuit(6, 20, seed=3)
+        topo = ring_topology(6)
+        result = sabre_route(circuit, topo)
+        for inst in result.circuit:
+            if len(inst.qubits) == 2:
+                assert topo.are_adjacent(*inst.qubits)
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(TranspileError):
+            sabre_route(QuantumCircuit(4), line_topology(3))
+
+    def test_duplicate_layout_rejected(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        with pytest.raises(TranspileError):
+            sabre_route(circuit, line_topology(3), initial_layout={0: 1, 1: 1})
+
+    def test_custom_initial_layout_respected(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        result = sabre_route(
+            circuit, line_topology(4), initial_layout={0: 2, 1: 3}
+        )
+        assert result.initial_layout == {0: 2, 1: 3}
+        first = next(iter(result.circuit))
+        assert set(first.qubits) == {2, 3}
+
+    def test_preserves_gate_counts_modulo_swaps(self):
+        circuit = _random_circuit(5, 20, seed=4)
+        result = sabre_route(circuit, line_topology(5))
+        original = circuit.count_ops()
+        routed = result.circuit.count_ops()
+        inserted_swaps = routed.get("swap", 0) - original.get("swap", 0)
+        assert inserted_swaps == result.swap_count
+        for name, count in original.items():
+            if name != "swap":
+                assert routed[name] == count
+
+
+class TestSabreVsGreedy:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sabre_never_pathologically_worse(self, seed):
+        """Lookahead may differ per instance but must stay within 2x greedy."""
+        circuit = _random_circuit(6, 40, seed=seed)
+        topo = line_topology(6)
+        greedy = route_circuit(circuit, topo).swap_count
+        sabre = sabre_route(circuit, topo).swap_count
+        assert sabre <= 2 * greedy + 2
+
+    def test_sabre_wins_on_lookahead_pattern(self):
+        """A pattern where the greedy walk direction is short-sighted:
+        aggregate swap count over interleaved far pairs."""
+        circuit = QuantumCircuit(6)
+        for _ in range(4):
+            circuit.cx(0, 5)
+            circuit.cx(1, 4)
+        topo = line_topology(6)
+        greedy = route_circuit(circuit, topo).swap_count
+        sabre = sabre_route(circuit, topo).swap_count
+        assert sabre <= greedy
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=4, max_value=6),
+)
+def test_sabre_valid_routing_property(seed, width):
+    """Property: routing is always topology-valid and swap-accounted."""
+    circuit = _random_circuit(width, 18, seed=seed)
+    topo = grid_topology(2, (width + 1) // 2)
+    result = sabre_route(circuit, topo)
+    for inst in result.circuit:
+        if len(inst.qubits) == 2:
+            assert topo.are_adjacent(*inst.qubits)
+    assert result.circuit.count_ops().get("swap", 0) >= result.swap_count - (
+        circuit.count_ops().get("swap", 0)
+    )

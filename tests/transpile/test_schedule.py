@@ -1,0 +1,52 @@
+"""Unit tests for ASAP scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import critical_path_ns
+from repro.circuits.library import random_circuit
+from repro.errors import TranspileError
+from repro.transpile.schedule import asap_schedule, gate_duration_ns
+
+
+class TestAsapSchedule:
+    def test_duration_matches_critical_path(self):
+        for seed in range(4):
+            qc = random_circuit(4, 30, seed=seed)
+            assert np.isclose(asap_schedule(qc).duration_ns, critical_path_ns(qc))
+
+    def test_parallel_gates_same_start(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        sched = asap_schedule(qc)
+        starts = [e.start_ns for e in sched.entries]
+        assert starts == [0.0, 0.0]
+
+    def test_dependent_gate_starts_after(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        sched = asap_schedule(qc)
+        assert np.isclose(sched.entries[1].start_ns, 1.4)
+
+    def test_no_qubit_overlap(self):
+        qc = random_circuit(3, 40, seed=7)
+        sched = asap_schedule(qc)
+        for q in range(3):
+            timeline = sched.qubit_timeline(q)
+            for a, b in zip(timeline, timeline[1:]):
+                assert b.start_ns >= a.end_ns - 1e-12
+
+    def test_empty_schedule(self):
+        sched = asap_schedule(QuantumCircuit(2))
+        assert sched.duration_ns == 0.0
+        assert len(sched) == 0
+
+    def test_parallelism_metric(self):
+        qc = QuantumCircuit(2).rx(0.1, 0).rx(0.1, 1)
+        assert np.isclose(asap_schedule(qc).parallelism(), 2.0)
+
+    def test_gate_duration_lookup(self):
+        assert gate_duration_ns("cx") == 3.8
+
+    def test_unknown_gate_duration(self):
+        with pytest.raises(TranspileError):
+            gate_duration_ns("nonsense")

@@ -1,0 +1,75 @@
+"""Unit tests for device topologies."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.transpile.topology import (
+    Topology,
+    full_topology,
+    grid_topology,
+    line_topology,
+    nearly_square_grid,
+)
+
+
+class TestLine:
+    def test_edge_count(self):
+        assert len(line_topology(5).edges) == 4
+
+    def test_adjacency(self):
+        topo = line_topology(4)
+        assert topo.are_adjacent(1, 2)
+        assert not topo.are_adjacent(0, 3)
+
+    def test_distance(self):
+        assert line_topology(5).distance(0, 4) == 4
+
+    def test_shortest_path_endpoints(self):
+        path = line_topology(4).shortest_path(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+
+
+class TestGrid:
+    def test_2x3_edge_count(self):
+        # 2 rows x 3 cols: 2*2 vertical + 3*1... rows*(cols-1) + cols*(rows-1)
+        assert len(grid_topology(2, 3).edges) == 2 * 2 + 3 * 1
+
+    def test_grid_neighbors(self):
+        topo = grid_topology(2, 2)
+        assert set(topo.neighbors(0)) == {1, 2}
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(DeviceError):
+            grid_topology(0, 3)
+
+    def test_nearly_square_covers(self):
+        for n in (2, 5, 7, 10):
+            assert nearly_square_grid(n).num_qubits >= n
+
+
+class TestCustom:
+    def test_invalid_edge_rejected(self):
+        with pytest.raises(DeviceError):
+            Topology(2, [(0, 2)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DeviceError):
+            Topology(2, [(1, 1)])
+
+    def test_subgraph_edges(self):
+        topo = line_topology(5)
+        assert topo.subgraph_edges([1, 2, 4]) == ((1, 2),)
+
+    def test_connected_subset(self):
+        topo = line_topology(5)
+        assert topo.is_connected_subset([1, 2, 3])
+        assert not topo.is_connected_subset([0, 2])
+
+    def test_disconnected_distance_raises(self):
+        topo = Topology(4, [(0, 1), (2, 3)])
+        with pytest.raises(DeviceError):
+            topo.distance(0, 3)
+
+    def test_full_topology_all_pairs(self):
+        topo = full_topology(4)
+        assert len(topo.edges) == 6

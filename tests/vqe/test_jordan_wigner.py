@@ -1,0 +1,91 @@
+"""Unit tests for the Jordan-Wigner transform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VQEError
+from repro.linalg.operators import is_hermitian
+from repro.vqe.fermion import FermionOperator, FermionTerm
+from repro.vqe.jordan_wigner import jordan_wigner, jordan_wigner_ladder
+
+
+def _dense_ladder(mode, creation, n):
+    """Reference dense ladder operator via occupation-number basis."""
+    dim = 2**n
+    out = np.zeros((dim, dim), dtype=complex)
+    for state in range(dim):
+        # Big-endian: bit of `mode` is at position (n-1-mode).
+        bit = (state >> (n - 1 - mode)) & 1
+        if creation and bit == 0:
+            target = state | (1 << (n - 1 - mode))
+        elif not creation and bit == 1:
+            target = state & ~(1 << (n - 1 - mode))
+        else:
+            continue
+        # JW sign: parity of occupied modes BEFORE this one.
+        parity = bin(state >> (n - mode)).count("1")
+        out[target, state] = (-1.0) ** parity
+    return out
+
+
+class TestLadderOperators:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    @pytest.mark.parametrize("creation", [True, False])
+    def test_matches_dense_reference(self, mode, creation):
+        n = 3
+        pauli = jordan_wigner_ladder(mode, creation, n)
+        assert np.allclose(pauli.matrix(), _dense_ladder(mode, creation, n))
+
+    def test_mode_out_of_range(self):
+        with pytest.raises(VQEError):
+            jordan_wigner_ladder(3, True, 3)
+
+    def test_anticommutation(self):
+        # {a_0, a†_1} = 0 and {a_0, a†_0} = 1.
+        n = 2
+        a0 = jordan_wigner_ladder(0, False, n).matrix()
+        a0d = jordan_wigner_ladder(0, True, n).matrix()
+        a1d = jordan_wigner_ladder(1, True, n).matrix()
+        assert np.allclose(a0 @ a1d + a1d @ a0, 0.0)
+        assert np.allclose(a0 @ a0d + a0d @ a0, np.eye(4))
+
+    def test_nilpotency(self):
+        a = jordan_wigner_ladder(1, False, 3).matrix()
+        assert np.allclose(a @ a, 0.0)
+
+
+class TestOperatorTransform:
+    def test_number_operator(self):
+        # a†_1 a_1 -> (I - Z_1)/2.
+        op = FermionOperator(
+            [FermionTerm(((1, True), (1, False)))]
+        )
+        matrix = jordan_wigner(op, 2).matrix()
+        expected = np.diag([0, 1, 0, 1]).astype(complex)
+        assert np.allclose(matrix, expected)
+
+    def test_excitation_matches_dense(self):
+        op = FermionOperator.single_excitation(0, 2)
+        matrix = jordan_wigner(op, 3).matrix()
+        expected = _dense_ladder(2, True, 3) @ _dense_ladder(0, False, 3)
+        assert np.allclose(matrix, expected)
+
+    def test_anti_hermitian_generator(self):
+        op = FermionOperator.single_excitation(0, 1).anti_hermitian_part()
+        matrix = jordan_wigner(op, 2).matrix()
+        assert np.allclose(matrix, -matrix.conj().T)
+
+    def test_double_excitation_anti_hermitian(self):
+        op = FermionOperator.double_excitation((0, 1), (2, 3)).anti_hermitian_part()
+        matrix = jordan_wigner(op, 4).matrix()
+        assert np.allclose(matrix, -matrix.conj().T)
+
+    def test_width_validation(self):
+        op = FermionOperator.single_excitation(0, 5)
+        with pytest.raises(VQEError):
+            jordan_wigner(op, 3)
+
+    def test_hermitian_combination(self):
+        op = FermionOperator.single_excitation(0, 1)
+        herm = op + op.dagger()
+        assert is_hermitian(jordan_wigner(herm, 2).matrix())

@@ -1,0 +1,154 @@
+"""Unit tests for Pauli evolution synthesis, UCCSD, and molecules."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.monotonic import is_parameter_monotonic
+from repro.core.slicing import parametrized_gate_fraction
+from repro.errors import VQEError
+from repro.linalg.operators import pauli_matrix
+from repro.linalg.unitaries import unitaries_equal_up_to_phase
+from repro.sim.pauli import PauliString, PauliSum
+from repro.sim.unitary import circuit_unitary
+from repro.transpile.passes import transpile
+from repro.vqe.fermion import FermionOperator
+from repro.vqe.jordan_wigner import jordan_wigner
+from repro.vqe.molecules import MOLECULES, get_molecule, list_molecules
+from repro.vqe.pauli_evolution import pauli_evolution_circuit, pauli_sum_evolution
+from repro.vqe.uccsd import Excitation, generate_excitations, uccsd_ansatz
+
+
+class TestPauliEvolution:
+    @pytest.mark.parametrize("label", ["Z", "X", "Y", "ZZ", "XY", "ZXY", "YIZ"])
+    def test_matches_dense_exponential(self, label):
+        theta = 0.81
+        qc = pauli_evolution_circuit(PauliString(label), theta)
+        expected = sla.expm(-1j * theta / 2 * pauli_matrix(label))
+        assert unitaries_equal_up_to_phase(circuit_unitary(qc), expected)
+
+    def test_identity_pauli_appends_nothing(self):
+        qc = QuantumCircuit(2)
+        pauli_evolution_circuit(PauliString("II"), 0.5, qc)
+        assert len(qc) == 0
+
+    def test_single_rz_per_evolution(self):
+        qc = pauli_evolution_circuit(PauliString("XYZ"), 0.5)
+        assert qc.count_ops()["rz"] == 1
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(VQEError):
+            pauli_evolution_circuit(PauliString("XX"), 0.1, QuantumCircuit(3))
+
+    def test_sum_evolution_commuting_terms_exact(self):
+        h = PauliSum([PauliString("XX", 0.4), PauliString("YY", 0.4)])
+        qc = pauli_sum_evolution(h, 0.7)
+        expected = sla.expm(-1j * 0.7 * h.matrix())
+        assert unitaries_equal_up_to_phase(circuit_unitary(qc), expected)
+
+    def test_sum_evolution_complex_coeff_rejected(self):
+        h = PauliSum([PauliString("X", 1j)])
+        with pytest.raises(VQEError):
+            pauli_sum_evolution(h, 0.3)
+
+
+class TestExcitationGeneration:
+    def test_standard_singles_first(self):
+        exc = generate_excitations(4, 2, 3)
+        assert exc[0].tier == 1
+
+    def test_deterministic(self):
+        a = generate_excitations(6, 4, 10)
+        b = generate_excitations(6, 4, 10)
+        assert a == b
+
+    def test_no_duplicates(self):
+        exc = generate_excitations(8, 4, 26)
+        keys = set()
+        for e in exc:
+            key = (e.kind, e.modes)
+            assert key not in keys
+            keys.add(key)
+
+    def test_count_exhaustion_raises(self):
+        with pytest.raises(VQEError):
+            generate_excitations(2, 1, 100)
+
+    def test_invalid_electrons(self):
+        with pytest.raises(VQEError):
+            generate_excitations(2, 5, 1)
+
+    def test_excitation_operators_anti_hermitian(self):
+        for exc in generate_excitations(4, 2, 8):
+            matrix = jordan_wigner(exc.operator(), 4).matrix()
+            assert np.allclose(matrix, -matrix.conj().T)
+
+
+class TestUccsdAnsatz:
+    def test_single_excitation_unitary(self):
+        op = FermionOperator.single_excitation(0, 2).anti_hermitian_part()
+        dense = sla.expm(0.61 * jordan_wigner(op, 3).matrix())
+        qc = uccsd_ansatz(3, 1, 1, include_reference_state=False)
+        bound = qc.bind_parameters([0.61])
+        assert unitaries_equal_up_to_phase(circuit_unitary(bound), dense)
+
+    def test_reference_state_prepends_x(self):
+        qc = uccsd_ansatz(4, 2, 1)
+        assert [i.gate.name for i in qc.instructions[:2]] == ["x", "x"]
+
+    def test_parameter_count(self):
+        qc = uccsd_ansatz(4, 2, 8)
+        assert len(qc.parameters) == 8
+
+    def test_parameter_monotonicity(self):
+        qc = uccsd_ansatz(6, 4, 12)
+        assert is_parameter_monotonic(qc)
+
+    def test_monotonicity_survives_transpilation(self):
+        qc = transpile(uccsd_ansatz(4, 2, 8))
+        assert is_parameter_monotonic(qc)
+
+    def test_zero_angles_give_reference_state(self):
+        qc = uccsd_ansatz(4, 2, 4)
+        bound = qc.bind_parameters([0.0] * 4)
+        from repro.sim.statevector import Statevector, simulate
+
+        state = simulate(bound)
+        expected = Statevector.computational_basis(4, "1100")
+        assert np.isclose(state.fidelity(expected), 1.0)
+
+
+class TestMoleculeRegistry:
+    def test_all_paper_molecules_present(self):
+        assert set(list_molecules()) == {"H2", "LiH", "BeH2", "NaH", "H2O"}
+
+    @pytest.mark.parametrize("name,width,params", [
+        ("H2", 2, 3), ("LiH", 4, 8), ("BeH2", 6, 26), ("NaH", 8, 24), ("H2O", 10, 92),
+    ])
+    def test_table2_widths_and_params(self, name, width, params):
+        spec = get_molecule(name)
+        assert spec.num_qubits == width
+        assert spec.num_parameters == params
+
+    def test_case_insensitive_lookup(self):
+        assert get_molecule("lih").name == "LiH"
+
+    def test_unknown_molecule(self):
+        with pytest.raises(VQEError):
+            get_molecule("XeF6")
+
+    @pytest.mark.parametrize("name", ["H2", "LiH"])
+    def test_ansatz_parameter_counts(self, name):
+        spec = get_molecule(name)
+        qc = spec.ansatz()
+        assert len(qc.parameters) == spec.num_parameters
+        assert qc.num_qubits == spec.num_qubits
+
+    def test_rz_fraction_small_for_vqe(self):
+        # Paper: Rz(θ) gates are 5-8 % of VQE circuits (ours lands close).
+        qc = transpile(get_molecule("BeH2").ansatz())
+        fraction = parametrized_gate_fraction(qc)
+        assert 0.03 <= fraction <= 0.15
