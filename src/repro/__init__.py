@@ -17,8 +17,26 @@ Quickstart::
     print(result.pulse_duration_ns)
 """
 
-from repro import analysis, blocking, circuits, core, linalg, pulse, qaoa, sim, transpile, vqe
-from repro.config import available_presets, get_preset, set_preset
+from repro import (
+    analysis,
+    blocking,
+    circuits,
+    core,
+    linalg,
+    pipeline,
+    pulse,
+    qaoa,
+    sim,
+    transpile,
+    vqe,
+)
+from repro.config import (
+    available_presets,
+    get_pipeline_config,
+    get_preset,
+    set_pipeline_config,
+    set_preset,
+)
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
@@ -30,10 +48,13 @@ __all__ = [
     "blocking",
     "circuits",
     "core",
+    "get_pipeline_config",
     "get_preset",
     "linalg",
+    "pipeline",
     "pulse",
     "qaoa",
+    "set_pipeline_config",
     "set_preset",
     "sim",
     "transpile",

@@ -8,6 +8,10 @@ Small utilities for poking at the reproduction without writing a script:
 * ``qaoa-info`` — circuit statistics for one QAOA MAXCUT benchmark.
 * ``compile`` — run one benchmark through a chosen compilation strategy at
   a random parametrization and report pulse duration + runtime latency.
+  ``--executor``/``--jobs`` parallelize the independent per-block GRAPE
+  searches; ``--cache-dir`` persists GRAPE results on disk so a second
+  invocation starts warm (pulse-cache telemetry is printed either way).
+* ``cache-stats`` — inspect a persistent pulse-cache directory.
 
 Every command prints plain text and returns a process exit code, so the
 module is equally usable from tests (``main([...])``) and the shell.
@@ -102,9 +106,12 @@ def _cmd_compile(args) -> int:
         FlexiblePartialCompiler,
         FullGrapeCompiler,
         GateBasedCompiler,
+        PersistentPulseCache,
         StrictPartialCompiler,
         default_device_for,
+        default_pulse_cache,
     )
+    from repro.pipeline import resolve_executor
     from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
 
     try:
@@ -118,6 +125,19 @@ def _cmd_compile(args) -> int:
     rng = np.random.default_rng(args.seed)
     values = list(rng.uniform(-np.pi / 2, np.pi / 2, size=len(circuit.parameters)))
     device = default_device_for(circuit)
+    # --cache-dir wins; otherwise honor REPRO_CACHE_DIR via the config.
+    cache = (
+        PersistentPulseCache(args.cache_dir)
+        if args.cache_dir
+        else default_pulse_cache()
+    )
+    executor = resolve_executor(args.executor, args.jobs)
+    if args.jobs and executor.name == "serial":
+        print(
+            "note: --jobs has no effect with the serial executor; "
+            "pass --executor thread|process",
+            file=sys.stderr,
+        )
 
     if args.method == "gate":
         compiler = GateBasedCompiler()
@@ -129,8 +149,10 @@ def _cmd_compile(args) -> int:
             settings=settings,
             hyperparameters=hyper,
             max_block_width=args.block_width,
+            cache=cache,
+            executor=executor,
         )
-        compiled = compiler.compile_parametrized(circuit, values)
+        compiled = compiler.compile_parametrized(circuit, values, use_cache=True)
         precompute = "0 s (all work at runtime)"
     elif args.method == "strict":
         compiler = StrictPartialCompiler.precompile(
@@ -139,6 +161,8 @@ def _cmd_compile(args) -> int:
             settings=settings,
             hyperparameters=hyper,
             max_block_width=args.block_width,
+            cache=cache,
+            executor=executor,
         )
         compiled = compiler.compile(values)
         precompute = f"{compiler.report.wall_time_s:.1f} s"
@@ -149,11 +173,14 @@ def _cmd_compile(args) -> int:
             settings=settings,
             hyperparameters=hyper,
             max_block_width=args.block_width,
+            cache=cache,
             tuning_samples=1,
+            executor=executor,
         )
         compiled = compiler.compile(values)
         precompute = f"{compiler.report.wall_time_s:.1f} s"
 
+    stats = cache.stats()
     rows = [
         ("benchmark", args.benchmark),
         ("method", args.method),
@@ -162,8 +189,38 @@ def _cmd_compile(args) -> int:
         ("runtime latency (s)", f"{compiled.runtime_latency_s:.3f}"),
         ("runtime GRAPE iterations", compiled.runtime_iterations),
         ("precompute", precompute),
+        ("executor", executor.name),
+        ("cache backend", stats["backend"]),
+        # Block-level hits travel back from executor workers with the
+        # outcomes, so they stay accurate even under the process pool
+        # (whose workers mutate forked cache copies, not this one).
+        ("block cache hits", compiled.cache_hits),
+        ("cache hits / misses", f"{stats['hits']} / {stats['misses']}"),
     ]
+    if "disk_hits" in stats:
+        rows.append(("cache disk hits", stats["disk_hits"]))
+        rows.append(("cache persisted entries", stats["persisted_entries"]))
     print(format_table(("property", "value"), rows, title="compile result"))
+    return 0
+
+
+def _cmd_cache_stats(args) -> int:
+    from pathlib import Path
+
+    from repro.core import PersistentPulseCache
+
+    if not Path(args.dir).is_dir():
+        print(f"error: no cache directory at {args.dir}", file=sys.stderr)
+        return 2
+    cache = PersistentPulseCache(args.dir)
+    entries = cache.persisted_count()
+    size = cache.persisted_bytes()
+    rows = [
+        ("directory", str(cache.directory)),
+        ("persisted entries", entries),
+        ("size (KiB)", f"{size / 1024:.1f}"),
+    ]
+    print(format_table(("property", "value"), rows, title="persistent pulse cache"))
     return 0
 
 
@@ -205,7 +262,30 @@ def build_parser() -> argparse.ArgumentParser:
     compile_.add_argument("--iterations", type=int, default=150)
     compile_.add_argument("--block-width", type=int, default=2)
     compile_.add_argument("--seed", type=int, default=0)
+    from repro.config import EXECUTOR_CHOICES
+
+    compile_.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default=None,
+        help="dispatch of independent per-block GRAPE searches "
+        "(default: REPRO_EXECUTOR or serial)",
+    )
+    compile_.add_argument(
+        "--jobs", type=int, default=None, help="worker count for parallel executors"
+    )
+    compile_.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist GRAPE pulses here; a second run starts warm",
+    )
     compile_.set_defaults(func=_cmd_compile)
+
+    cache_ = sub.add_parser(
+        "cache-stats", help="inspect a persistent pulse-cache directory"
+    )
+    cache_.add_argument("--dir", required=True, help="cache directory to inspect")
+    cache_.set_defaults(func=_cmd_cache_stats)
     return parser
 
 

@@ -130,3 +130,104 @@ def set_preset(name: str) -> Preset:
     preset = get_preset(name)
     _active_preset_name = preset.name
     return preset
+
+
+#: Executor names understood by the compilation pipeline.
+EXECUTOR_CHOICES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Execution settings for the :mod:`repro.pipeline` subsystem.
+
+    Attributes
+    ----------
+    executor:
+        How independent per-block GRAPE searches are dispatched:
+        ``"serial"`` (default), ``"thread"`` (ThreadPoolExecutor), or
+        ``"process"`` (ProcessPoolExecutor; pair it with ``cache_dir`` so
+        worker results persist across processes).
+    max_workers:
+        Worker count for the parallel executors; ``None`` means
+        ``os.cpu_count()``.
+    cache_dir:
+        Directory for the persistent pulse cache.  ``None`` keeps the cache
+        purely in memory (the seed behavior); a path makes every GRAPE
+        result durable across processes and sessions.
+    """
+
+    executor: str = "serial"
+    max_workers: int | None = None
+    cache_dir: str | None = None
+
+    def __post_init__(self):
+        if self.executor not in EXECUTOR_CHOICES:
+            raise ReproError(
+                f"unknown executor {self.executor!r}; available: {EXECUTOR_CHOICES}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {self.max_workers}")
+
+
+def _pipeline_config_from_env() -> PipelineConfig:
+    """Read pipeline settings from the environment, tolerantly.
+
+    This runs at import time, so malformed values must not make
+    ``import repro`` crash: they fall back to defaults with a warning.
+    """
+    import warnings
+
+    executor = os.environ.get("REPRO_EXECUTOR", "serial")
+    if executor not in EXECUTOR_CHOICES:
+        warnings.warn(
+            f"ignoring REPRO_EXECUTOR={executor!r}; available: {EXECUTOR_CHOICES}",
+            stacklevel=2,
+        )
+        executor = "serial"
+    workers_raw = os.environ.get("REPRO_MAX_WORKERS")
+    workers = None
+    if workers_raw:
+        try:
+            workers = int(workers_raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring REPRO_MAX_WORKERS={workers_raw!r} (not an integer)",
+                stacklevel=2,
+            )
+        else:
+            if workers < 1:
+                warnings.warn(
+                    f"ignoring REPRO_MAX_WORKERS={workers} (must be >= 1)",
+                    stacklevel=2,
+                )
+                workers = None
+    return PipelineConfig(
+        executor=executor,
+        max_workers=workers,
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+    )
+
+
+_pipeline_config = _pipeline_config_from_env()
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET = object()
+
+
+def get_pipeline_config() -> PipelineConfig:
+    """The active pipeline execution settings."""
+    return _pipeline_config
+
+
+def set_pipeline_config(
+    executor=_UNSET, max_workers=_UNSET, cache_dir=_UNSET
+) -> PipelineConfig:
+    """Update the active pipeline settings (unpassed fields keep their value)."""
+    global _pipeline_config
+    current = _pipeline_config
+    _pipeline_config = PipelineConfig(
+        executor=current.executor if executor is _UNSET else executor,
+        max_workers=current.max_workers if max_workers is _UNSET else max_workers,
+        cache_dir=current.cache_dir if cache_dir is _UNSET else cache_dir,
+    )
+    return _pipeline_config

@@ -9,9 +9,20 @@ Four compilers share one interface shape:
   Rz(θ); zero runtime latency (section 6).
 * :class:`FlexiblePartialCompiler` — single-θ slices, precomputed
   hyperparameters, short tuned GRAPE at runtime (section 7).
+
+All four are thin strategy configurations of the shared
+:class:`repro.pipeline.CompilationPipeline`; independent per-block GRAPE
+searches dispatch through its pluggable block executor, and GRAPE results
+land in a :class:`PulseCache` (optionally the on-disk
+:class:`PersistentPulseCache`, see ``REPRO_CACHE_DIR``).
 """
 
-from repro.core.cache import PulseCache, unitary_fingerprint
+from repro.core.cache import (
+    PersistentPulseCache,
+    PulseCache,
+    default_pulse_cache,
+    unitary_fingerprint,
+)
 from repro.core.compiler import BlockPulseCompiler, default_device_for
 from repro.core.flexible import FlexiblePartialCompiler
 from repro.core.full_grape import FullGrapeCompiler
@@ -69,8 +80,10 @@ __all__ = [
     "GateBasedCompiler",
     "HyperparameterTrial",
     "LatencyComparison",
+    "PersistentPulseCache",
     "PrecompileReport",
     "PulseCache",
+    "default_pulse_cache",
     "StrictPartialCompiler",
     "TuningResult",
     "default_device_for",

@@ -6,12 +6,32 @@ a phase-canonical hash of the target unitary plus the physical context
 (channel layout, time step, fidelity target).  Strict partial compilation's
 "zero runtime latency" and the tractability of the benchmark harness both
 rest on this cache.
+
+Two backends are provided:
+
+* :class:`PulseCache` — in-memory, thread-safe, with hit/miss/timing
+  telemetry.  This is the seed behavior and remains the default.
+* :class:`PersistentPulseCache` — additionally mirrors every entry to an
+  on-disk directory, fingerprint-keyed, so a *second process* (or a later
+  session) starts warm.  Writes are atomic (temp file + ``os.replace``),
+  which makes the directory safe under concurrent writers — including the
+  process-pool block executor of :mod:`repro.pipeline`.
+
+:func:`default_pulse_cache` picks the backend from the active
+:class:`repro.config.PipelineConfig` (``cache_dir`` setting /
+``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+import os
+import pickle
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -57,13 +77,36 @@ class CacheEntry:
     iterations: int
 
 
-@dataclass
 class PulseCache:
-    """In-memory cache of minimum-time GRAPE results."""
+    """In-memory cache of minimum-time GRAPE results.
 
-    _entries: dict = field(default_factory=dict)
-    hits: int = 0
-    misses: int = 0
+    Thread-safe: the pipeline's thread executor compiles independent blocks
+    concurrently, and every block consults this cache.  Counters and the
+    entry dict are guarded by one lock; lookup/store wall time is accumulated
+    so cache overhead shows up in pipeline telemetry rather than hiding in
+    GRAPE time.
+    """
+
+    backend = "memory"
+
+    def __init__(self):
+        self._entries: dict = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.lookup_time_s = 0.0
+        self.store_time_s = 0.0
+
+    # The lock cannot cross process boundaries (the process-pool executor
+    # pickles the block compiler, cache included); recreate it on unpickle.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def key(self, unitary: np.ndarray, control_set: ControlSet, dt_ns: float, target_fidelity: float) -> tuple:
         """Cache key: phase-canonical unitary fingerprint + physical context."""
@@ -74,16 +117,45 @@ class PulseCache:
 
     def get(self, key: tuple) -> CacheEntry | None:
         """Look up ``key``, counting the hit or miss."""
-        entry = self._entries.get(key)
+        start = time.perf_counter()
+        with self._lock:
+            entry = self._entries.get(key)
+        from_disk = False
         if entry is None:
-            self.misses += 1
-        else:
-            self.hits += 1
+            # Slow-tier I/O happens outside the lock so concurrent block
+            # threads don't serialize on the filesystem.
+            entry = self._load_fallback(key)
+            from_disk = entry is not None
+        with self._lock:
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                if from_disk:
+                    self._entries[key] = entry
+            self.lookup_time_s += time.perf_counter() - start
         return entry
 
     def put(self, key: tuple, entry: CacheEntry) -> None:
         """Store ``entry`` under ``key`` (overwrites)."""
-        self._entries[key] = entry
+        start = time.perf_counter()
+        with self._lock:
+            self._entries[key] = entry
+        # Durable writes are atomic (temp + replace), so they need no lock.
+        self._persist(key, entry)
+        with self._lock:
+            self.store_time_s += time.perf_counter() - start
+
+    def _load_fallback(self, key: tuple) -> CacheEntry | None:
+        """Second-chance lookup for subclasses with a slower tier.
+
+        Runs outside the cache lock; implementations must only touch their
+        own thread-safe state.
+        """
+        return None
+
+    def _persist(self, key: tuple, entry: CacheEntry) -> None:
+        """Durable store hook for subclasses (runs outside the cache lock)."""
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -93,3 +165,133 @@ class PulseCache:
         """Fraction of lookups served from cache (0.0 when untouched)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Telemetry snapshot: counts, rates, and time spent in the cache."""
+        return {
+            "backend": self.backend,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "lookup_time_s": round(self.lookup_time_s, 6),
+            "store_time_s": round(self.store_time_s, 6),
+        }
+
+
+def _key_filename(key: tuple) -> str:
+    """Deterministic, collision-resistant filename for a cache key.
+
+    The key is ``(unitary_fingerprint_hex, context_tuple)`` where the
+    context is built from primitives with stable ``repr``; hashing that repr
+    gives processes with different memory layouts the same filename.
+    """
+    fingerprint, context = key
+    context_digest = hashlib.sha256(repr(context).encode()).hexdigest()[:16]
+    return f"{fingerprint[:40]}-{context_digest}.pulse"
+
+
+class PersistentPulseCache(PulseCache):
+    """Pulse cache with an on-disk tier under ``directory``.
+
+    Every ``put`` writes a pickle of the entry atomically next to keeping it
+    in memory; a miss in memory falls through to disk (counted in
+    ``disk_hits``), so a cold process pointed at a warm directory resumes
+    with zero GRAPE work for previously seen blocks.  Unreadable files —
+    truncated by a crash or written by an incompatible version — are treated
+    as misses and counted in ``disk_errors``.
+    """
+
+    backend = "disk"
+
+    def __init__(self, directory: str | os.PathLike):
+        super().__init__()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.disk_hits = 0
+        self.disk_errors = 0
+
+    def _path(self, key: tuple) -> Path:
+        return self.directory / _key_filename(key)
+
+    def _load_fallback(self, key: tuple) -> CacheEntry | None:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            with self._lock:
+                self.disk_errors += 1
+            return None
+        if not isinstance(entry, CacheEntry):
+            with self._lock:
+                self.disk_errors += 1
+            return None
+        with self._lock:
+            self.disk_hits += 1
+        return entry
+
+    def __getstate__(self) -> dict:
+        # The disk tier is the durable source of truth, so the memory tier
+        # need not travel with the pickle — process-pool workers re-read
+        # entries from disk on demand.  Shipping it would cost
+        # O(tasks × cache size) serialization per parallel map.
+        state = super().__getstate__()
+        state["_entries"] = {}
+        return state
+
+    def _persist(self, key: tuple, entry: CacheEntry) -> None:
+        path = self._path(key)
+        # Unique temp name per writer + atomic rename: concurrent writers
+        # (threads or processes) race benignly — last replace wins, readers
+        # never observe a partial file.
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            with self._lock:
+                self.disk_errors += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def persisted_count(self) -> int:
+        """Number of entries currently durable on disk."""
+        return sum(1 for _ in self.directory.glob("*.pulse"))
+
+    def persisted_bytes(self) -> int:
+        """Total size of the on-disk tier."""
+        return sum(p.stat().st_size for p in self.directory.glob("*.pulse"))
+
+    def stats(self) -> dict:
+        data = super().stats()
+        data.update(
+            {
+                "directory": str(self.directory),
+                "disk_hits": self.disk_hits,
+                "disk_errors": self.disk_errors,
+                "persisted_entries": self.persisted_count(),
+            }
+        )
+        return data
+
+
+def default_pulse_cache() -> PulseCache:
+    """The cache backend selected by the active pipeline configuration.
+
+    With ``cache_dir`` unset (the default) this is the seed's in-memory
+    cache; with a directory configured (``REPRO_CACHE_DIR`` or
+    :func:`repro.config.set_pipeline_config`), GRAPE results persist across
+    processes.
+    """
+    from repro.config import get_pipeline_config
+
+    cache_dir = get_pipeline_config().cache_dir
+    if cache_dir:
+        return PersistentPulseCache(cache_dir)
+    return PulseCache()

@@ -14,19 +14,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.blocking.aggregate import aggregate_blocks
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import critical_path_ns
-from repro.config import get_preset
-from repro.core.cache import CacheEntry, PulseCache
+from repro.core.cache import CacheEntry, PulseCache, default_pulse_cache
 from repro.errors import CompilationError
+from repro.pipeline.executors import resolve_executor
+from repro.pipeline.stages import lookup_program
 from repro.pulse.device import GmonDevice
 from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
 from repro.pulse.grape.time_search import minimum_time_pulse
 from repro.pulse.hamiltonian import build_control_set
 from repro.pulse.schedule import PulseSchedule, lookup_schedule
 from repro.sim.unitary import circuit_unitary
-from repro.transpile.schedule import asap_schedule
 
 
 @dataclass
@@ -55,16 +54,13 @@ class BlockPulseCompiler:
         self.device = device
         self.settings = settings or GrapeSettings()
         self.hyperparameters = hyperparameters or GrapeHyperparameters()
-        self.cache = cache if cache is not None else PulseCache()
+        self.cache = cache if cache is not None else default_pulse_cache()
 
     def gate_based_schedules(self, circuit: QuantumCircuit) -> list:
         """Per-gate lookup pulses for ``circuit`` (the gate-based model)."""
-        scheduled = asap_schedule(circuit)
-        return [
-            lookup_schedule(e.instruction.qubits, e.duration_ns)
-            for e in scheduled.entries
-            if e.duration_ns > 0
-        ]
+        from repro.pipeline.stages import lookup_schedules
+
+        return lookup_schedules(circuit)
 
     def compile_block(
         self,
@@ -179,19 +175,33 @@ class BlockPulseCompiler:
         )
 
     def compile_circuit_blocks(
-        self, circuit: QuantumCircuit, max_width: int | None = None
+        self, circuit: QuantumCircuit, max_width: int | None = None, executor=None
     ) -> tuple:
         """Aggregate ``circuit`` into blocks and compile each.
 
-        Returns ``(outcomes, blocked)``.
+        A convenience wrapper over the pipeline's blocking + pulse stages.
+        ``executor`` dispatches the independent per-block GRAPE searches
+        (an executor name or :class:`~repro.pipeline.executors.BlockExecutor`;
+        ``None`` uses the configured default).  Returns ``(outcomes, blocked)``
+        with outcomes in block order regardless of executor.
         """
-        width = max_width if max_width is not None else get_preset().max_block_qubits
-        blocked = aggregate_blocks(circuit, width)
-        outcomes = []
-        for block in blocked.blocks:
-            sub, device_qubits = blocked.local_circuit(block)
-            outcomes.append(self.compile_block(sub, device_qubits))
-        return outcomes, blocked
+        from functools import partial
+
+        from repro.pipeline.pipeline import CompilationPipeline
+        from repro.pipeline.stages import BlockingStage, PulseStage
+        from repro.pipeline.strategies import compile_fixed_block
+
+        context = CompilationPipeline(
+            [
+                BlockingStage(max_width),
+                PulseStage(
+                    partial(compile_fixed_block, self),
+                    executor=resolve_executor(executor),
+                ),
+            ],
+            name="blocks",
+        ).run(circuit)
+        return context.block_results, context.blocked[0]
 
 
 def default_device_for(circuit: QuantumCircuit) -> GmonDevice:
@@ -209,12 +219,4 @@ def gate_based_program(circuit: QuantumCircuit):
     overhead eats the GRAPE gains, compilers fall back to this program
     (the paper's no-delay blocking criterion, section 5.2).
     """
-    from repro.pulse.schedule import PulseProgram, lookup_schedule
-
-    scheduled = asap_schedule(circuit)
-    schedules = [
-        lookup_schedule(e.instruction.qubits, e.duration_ns)
-        for e in scheduled.entries
-        if e.duration_ns > 0
-    ]
-    return PulseProgram.sequence(schedules)
+    return lookup_program(circuit)

@@ -8,25 +8,40 @@ learning rate + decay), the working pulse duration, and a warm-start pulse
 are precomputed.  At run time a single short GRAPE run per parametrized
 block — tuned hyperparameters, warm start, no binary search — recovers full
 GRAPE's pulse duration at a small fraction of its latency.
+
+Both phases route through the :mod:`repro.pipeline` machinery: the
+precompute phase is the ``block(θ-slices) → pulse`` pipeline with a tuning
+handler for parametrized tasks, and the runtime phase maps the per-θ GRAPE
+refinements over the plan through the same pluggable block executor, so
+independent θ-blocks compile concurrently.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 import numpy as np
 
-from repro.blocking.aggregate import aggregate_blocks
 from repro.circuits.circuit import QuantumCircuit
-from repro.config import get_preset
-from repro.core.cache import PulseCache
+from repro.circuits.dag import critical_path_ns
+from repro.core.cache import PulseCache, default_pulse_cache
 from repro.core.compiler import BlockPulseCompiler, default_device_for, gate_based_program
-from repro.core.hyperopt import TuningResult, sample_targets, tune_hyperparameters
+from repro.core.hyperopt import (
+    DEFAULT_DECAY_RATES,
+    DEFAULT_LEARNING_RATES,
+    TuningResult,
+    sample_targets,
+    tune_hyperparameters,
+)
 from repro.core.results import CompiledPulse, PrecompileReport
 from repro.core.slicing import flexible_slices
 from repro.errors import CompilationError
+from repro.pipeline.executors import resolve_executor
+from repro.pipeline.stages import BlockTask
+from repro.pipeline.strategies import flexible_precompile_pipeline
 from repro.pulse.device import GmonDevice
 from repro.pulse.grape.engine import (
     GrapeHyperparameters,
@@ -37,7 +52,6 @@ from repro.pulse.grape.time_search import minimum_time_pulse
 from repro.pulse.hamiltonian import ControlSet, build_control_set
 from repro.pulse.schedule import PulseProgram, PulseSchedule, lookup_schedule
 from repro.sim.unitary import circuit_unitary
-from repro.circuits.dag import critical_path_ns
 
 
 @dataclass
@@ -57,6 +71,137 @@ class _ParametrizedEntry:
     warm_start: np.ndarray  # controls from the tuning sample
     gate_based_ns: float
     tuning: TuningResult
+    probe_iterations: int = 0  # minimum-time probe cost (precompute phase)
+
+
+def _tune_parametrized_block(
+    device: GmonDevice,
+    settings: GrapeSettings,
+    hyperparameters: GrapeHyperparameters | None,
+    tuning_samples: int,
+    lr_grid: tuple,
+    decay_grid: tuple,
+    seed: int,
+    tuning_strategy: str,
+    task: BlockTask,
+) -> _ParametrizedEntry:
+    """Precompute phase for one single-θ block (picklable pulse handler).
+
+    Establishes the working pulse duration with a minimum-time probe on the
+    first sample target, then tunes the optimizer hyperparameters over the
+    sample angles (paper section 7.2).
+    """
+    sub = task.subcircuit
+    dt = settings.resolved_dt()
+    control_set = build_control_set(device, task.device_qubits)
+    gate_ns = critical_path_ns(sub)
+    # Seed on the per-slice block index so the sampled angles match the
+    # pre-pipeline numerics and stay stable under earlier-slice changes.
+    targets = sample_targets(sub, tuning_samples, seed=seed + task.local_index)
+    probe = minimum_time_pulse(
+        control_set,
+        targets[0],
+        upper_bound_ns=max(gate_ns, dt),
+        hyperparameters=hyperparameters,
+        settings=settings,
+    )
+    if probe.converged and probe.duration_ns <= gate_ns:
+        num_steps = probe.schedule.num_steps
+        warm = probe.schedule.controls
+    else:
+        num_steps = max(1, int(round(gate_ns / dt)))
+        warm = np.zeros((control_set.num_controls, num_steps))
+    if tuning_strategy == "grid":
+        tuning = tune_hyperparameters(
+            control_set,
+            targets,
+            num_steps,
+            settings=settings,
+            learning_rates=lr_grid,
+            decay_rates=decay_grid,
+        )
+    else:
+        from repro.core.search import tune_with_strategy
+
+        tuning = tune_with_strategy(
+            tuning_strategy,
+            control_set,
+            targets,
+            num_steps,
+            settings=settings,
+            seed=seed + task.local_index,
+        )
+    return _ParametrizedEntry(
+        subcircuit=sub,
+        device_qubits=tuple(task.device_qubits),
+        control_set=control_set,
+        hyperparameters=tuning.best,
+        num_steps=num_steps,
+        warm_start=warm,
+        gate_based_ns=gate_ns,
+        tuning=tuning,
+        probe_iterations=probe.total_iterations,
+    )
+
+
+def _compile_runtime_entry(
+    settings: GrapeSettings, values: dict, entry
+) -> tuple:
+    """Runtime work for one plan entry (picklable executor task).
+
+    Returns ``(schedule, iterations, used_block_fallback)``.  Fixed entries
+    pass through; parametrized entries run one tuned warm-started GRAPE,
+    with a single growth escalation toward the gate-based bound before
+    falling back to lookup pulses.
+    """
+    if isinstance(entry, _FixedEntry):
+        return (entry.schedule, 0, False)
+    bound = entry.subcircuit.bind_parameters(values)
+    target = circuit_unitary(bound)
+    iterations = 0
+    result = optimize_pulse(
+        entry.control_set,
+        target,
+        entry.num_steps,
+        entry.hyperparameters,
+        settings,
+        initial=entry.warm_start,
+    )
+    iterations += result.iterations
+    if not result.converged:
+        # One escalation: grow the pulse toward the gate-based bound.
+        dt = settings.resolved_dt()
+        grow_steps = max(
+            entry.num_steps + 1,
+            min(
+                int(round(entry.gate_based_ns / dt)),
+                int(round(entry.num_steps * 1.25)) + 1,
+            ),
+        )
+        retry = optimize_pulse(
+            entry.control_set,
+            target,
+            grow_steps,
+            entry.hyperparameters,
+            settings,
+            initial=result.schedule.resampled(grow_steps).controls,
+        )
+        iterations += retry.iterations
+        result = retry
+    if result.converged:
+        schedule = PulseSchedule(
+            qubits=entry.device_qubits,
+            dt_ns=result.schedule.dt_ns,
+            controls=result.schedule.controls,
+            channel_names=result.schedule.channel_names,
+            source="flexible",
+        )
+        return (schedule, iterations, False)
+    # Guaranteed-correct fallback: lookup pulses for the block.
+    schedule = lookup_schedule(
+        entry.device_qubits, entry.gate_based_ns, source="fallback"
+    )
+    return (schedule, iterations, True)
 
 
 class FlexiblePartialCompiler:
@@ -71,12 +216,14 @@ class FlexiblePartialCompiler:
         plan: list,
         report: PrecompileReport,
         settings: GrapeSettings,
+        executor=None,
     ):
         self.circuit = circuit
         self.device = device
         self._plan = plan
         self.report = report
         self.settings = settings
+        self.executor = executor
         self.parameters = circuit.parameters
 
     # -- precompute phase ----------------------------------------------------
@@ -94,105 +241,58 @@ class FlexiblePartialCompiler:
         decay_rates: tuple | None = None,
         seed: int = 11,
         tuning_strategy: str = "grid",
+        executor=None,
     ) -> "FlexiblePartialCompiler":
         """Slice, precompile fixed blocks, and tune parametrized blocks.
 
         ``tuning_strategy`` selects the hyperparameter tuner: "grid" (the
         default exhaustive sweep), or one of the budget-aware strategies in
         :mod:`repro.core.search` ("random", "halving", "rbf").
+        ``executor`` parallelizes the per-block work — both the Fixed-block
+        GRAPE searches and the per-θ tuning runs are independent.
         """
         device = device or default_device_for(circuit)
         settings = settings or GrapeSettings()
-        width = (
-            max_block_width
-            if max_block_width is not None
-            else get_preset().max_block_qubits
-        )
         block_compiler = BlockPulseCompiler(
-            device, settings, hyperparameters, cache or PulseCache()
+            device,
+            settings,
+            hyperparameters,
+            cache if cache is not None else default_pulse_cache(),
         )
-        dt = settings.resolved_dt()
-
+        tuner = partial(
+            _tune_parametrized_block,
+            device,
+            settings,
+            hyperparameters,
+            tuning_samples,
+            learning_rates or DEFAULT_LEARNING_RATES,
+            decay_rates or DEFAULT_DECAY_RATES,
+            seed,
+            tuning_strategy,
+        )
+        pipeline = flexible_precompile_pipeline(
+            block_compiler, tuner, flexible_slices, max_block_width, executor
+        )
         start = time.perf_counter()
+        context = pipeline.run(circuit)
         iterations = 0
         fixed_blocks = 0
         param_blocks = 0
         cache_hits = 0
         hyperopt_trials = 0
         plan: list = []
-
-        from repro.core.hyperopt import DEFAULT_DECAY_RATES, DEFAULT_LEARNING_RATES
-
-        lr_grid = learning_rates or DEFAULT_LEARNING_RATES
-        decay_grid = decay_rates or DEFAULT_DECAY_RATES
-
-        for piece in flexible_slices(circuit):
-            blocked = aggregate_blocks(piece.circuit, width)
-            for block in blocked.blocks:
-                sub, device_qubits = blocked.local_circuit(block)
-                if not sub.is_parameterized():
-                    outcome = block_compiler.compile_block(sub, device_qubits)
-                    iterations += outcome.iterations
-                    fixed_blocks += 1
-                    cache_hits += int(outcome.cache_hit)
-                    plan.append(_FixedEntry(outcome.schedule))
-                    continue
-
-                # Parametrized block: tune hyperparameters on sample angles.
+        for task, result in zip(context.tasks, context.block_results):
+            if task.kind == "parametrized":
                 param_blocks += 1
-                control_set = build_control_set(device, device_qubits)
-                gate_ns = critical_path_ns(sub)
-                targets = sample_targets(sub, tuning_samples, seed=seed + block.index)
-                # Establish the working duration with one minimum-time search
-                # on the first sample (warm-started probes inside).
-                probe = minimum_time_pulse(
-                    control_set,
-                    targets[0],
-                    upper_bound_ns=max(gate_ns, dt),
-                    hyperparameters=hyperparameters,
-                    settings=settings,
-                )
-                iterations += probe.total_iterations
-                if probe.converged and probe.duration_ns <= gate_ns:
-                    num_steps = probe.schedule.num_steps
-                    warm = probe.schedule.controls
-                else:
-                    num_steps = max(1, int(round(gate_ns / dt)))
-                    warm = np.zeros((control_set.num_controls, num_steps))
-                if tuning_strategy == "grid":
-                    tuning = tune_hyperparameters(
-                        control_set,
-                        targets,
-                        num_steps,
-                        settings=settings,
-                        learning_rates=lr_grid,
-                        decay_rates=decay_grid,
-                    )
-                else:
-                    from repro.core.search import tune_with_strategy
-
-                    tuning = tune_with_strategy(
-                        tuning_strategy,
-                        control_set,
-                        targets,
-                        num_steps,
-                        settings=settings,
-                        seed=seed + block.index,
-                    )
-                iterations += tuning.total_iterations
-                hyperopt_trials += len(tuning.trials)
-                plan.append(
-                    _ParametrizedEntry(
-                        subcircuit=sub,
-                        device_qubits=tuple(device_qubits),
-                        control_set=control_set,
-                        hyperparameters=tuning.best,
-                        num_steps=num_steps,
-                        warm_start=warm,
-                        gate_based_ns=gate_ns,
-                        tuning=tuning,
-                    )
-                )
+                iterations += result.probe_iterations
+                iterations += result.tuning.total_iterations
+                hyperopt_trials += len(result.tuning.trials)
+                plan.append(result)
+            else:
+                iterations += result.iterations
+                fixed_blocks += 1
+                cache_hits += int(result.cache_hit)
+                plan.append(_FixedEntry(result.schedule))
         report = PrecompileReport(
             method=cls.method,
             wall_time_s=time.perf_counter() - start,
@@ -201,12 +301,20 @@ class FlexiblePartialCompiler:
             parametrized_blocks=param_blocks,
             cache_hits=cache_hits,
             hyperopt_trials=hyperopt_trials,
+            executor=context.executor_info.get("executor", "serial"),
+            cache_stats=block_compiler.cache.stats(),
+            metadata={"stage_timings": context.stage_timing_dict()},
         )
-        return cls(circuit, device, plan, report, settings)
+        return cls(circuit, device, plan, report, settings, executor=executor)
 
     # -- runtime --------------------------------------------------------------
     def compile(self, values: Sequence[float] | dict) -> CompiledPulse:
-        """One variational iteration: short tuned GRAPE per θ-block."""
+        """One variational iteration: short tuned GRAPE per θ-block.
+
+        The per-θ refinements are independent, so they run through the
+        compiler's block executor — the runtime analogue of parallel block
+        precompilation.
+        """
         if not isinstance(values, dict):
             values = dict(zip(self.parameters, values))
         missing = [p.name for p in self.parameters if p not in values]
@@ -214,62 +322,11 @@ class FlexiblePartialCompiler:
             raise CompilationError(f"missing values for parameters {missing}")
 
         start = time.perf_counter()
-        iterations = 0
-        fallbacks = 0
-        schedules = []
-        for entry in self._plan:
-            if isinstance(entry, _FixedEntry):
-                schedules.append(entry.schedule)
-                continue
-            bound = entry.subcircuit.bind_parameters(values)
-            target = circuit_unitary(bound)
-            result = optimize_pulse(
-                entry.control_set,
-                target,
-                entry.num_steps,
-                entry.hyperparameters,
-                self.settings,
-                initial=entry.warm_start,
-            )
-            iterations += result.iterations
-            if not result.converged:
-                # One escalation: grow the pulse toward the gate-based bound.
-                dt = self.settings.resolved_dt()
-                grow_steps = max(
-                    entry.num_steps + 1,
-                    min(
-                        int(round(entry.gate_based_ns / dt)),
-                        int(round(entry.num_steps * 1.25)) + 1,
-                    ),
-                )
-                retry = optimize_pulse(
-                    entry.control_set,
-                    target,
-                    grow_steps,
-                    entry.hyperparameters,
-                    self.settings,
-                    initial=result.schedule.resampled(grow_steps).controls,
-                )
-                iterations += retry.iterations
-                result = retry
-            if result.converged:
-                schedules.append(
-                    PulseSchedule(
-                        qubits=entry.device_qubits,
-                        dt_ns=result.schedule.dt_ns,
-                        controls=result.schedule.controls,
-                        channel_names=result.schedule.channel_names,
-                        source="flexible",
-                    )
-                )
-            else:
-                # Guaranteed-correct fallback: lookup pulses for the block.
-                fallbacks += 1
-                schedules.append(
-                    lookup_schedule(
-                        entry.device_qubits, entry.gate_based_ns, source="fallback"
-                    )
-                )
+        worker = partial(_compile_runtime_entry, self.settings, values)
+        results = resolve_executor(self.executor).map(worker, self._plan)
+        schedules = [schedule for schedule, _, _ in results]
+        iterations = sum(iters for _, iters, _ in results)
+        fallbacks = sum(1 for _, _, fell_back in results if fell_back)
         program = PulseProgram.sequence(schedules)
         # Strictly-better guarantee: never exceed the lookup-table baseline.
         used_fallback = False

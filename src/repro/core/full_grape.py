@@ -4,6 +4,13 @@ The whole bound circuit is blocked into ≤4-qubit subcircuits, each compiled
 with the minimum-time GRAPE search.  This gives the best pulse durations but
 pays the full compilation latency at *every* variational iteration — the
 problem partial compilation solves.
+
+Structurally the compiler is a configuration of the shared
+:class:`~repro.pipeline.pipeline.CompilationPipeline`:
+``bind → block → pulse → assemble+fallback``, with the per-block GRAPE
+searches dispatched through a pluggable
+:class:`~repro.pipeline.executors.BlockExecutor` — they are independent, so
+``executor="thread"`` / ``"process"`` compiles blocks concurrently.
 """
 
 from __future__ import annotations
@@ -12,13 +19,12 @@ import time
 from typing import Sequence
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.cache import PulseCache
-from repro.core.compiler import BlockPulseCompiler, default_device_for, gate_based_program
+from repro.core.cache import PulseCache, default_pulse_cache
+from repro.core.compiler import BlockPulseCompiler, default_device_for
 from repro.core.results import CompiledPulse
-from repro.errors import CompilationError
+from repro.pipeline.strategies import full_grape_pipeline
 from repro.pulse.device import GmonDevice
 from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
-from repro.pulse.schedule import PulseProgram
 
 
 class FullGrapeCompiler:
@@ -33,12 +39,14 @@ class FullGrapeCompiler:
         hyperparameters: GrapeHyperparameters | None = None,
         max_block_width: int | None = None,
         cache: PulseCache | None = None,
+        executor=None,
     ):
         self.device = device
         self.settings = settings or GrapeSettings()
         self.hyperparameters = hyperparameters or GrapeHyperparameters()
         self.max_block_width = max_block_width
-        self.cache = cache if cache is not None else PulseCache()
+        self.cache = cache if cache is not None else default_pulse_cache()
+        self.executor = executor
 
     def compile(self, circuit: QuantumCircuit, use_cache: bool = True) -> CompiledPulse:
         """Compile a fully bound circuit with GRAPE on every block.
@@ -46,42 +54,36 @@ class FullGrapeCompiler:
         With ``use_cache=False`` every block is re-optimized from scratch —
         the honest out-of-the-box latency the paper measures for full GRAPE.
         """
-        if circuit.is_parameterized():
-            raise CompilationError("bind parameters before compiling")
         device = self.device or default_device_for(circuit)
         cache = self.cache if use_cache else PulseCache()
         block_compiler = BlockPulseCompiler(
             device, self.settings, self.hyperparameters, cache
         )
-        start = time.perf_counter()
-        outcomes, blocked = block_compiler.compile_circuit_blocks(
-            circuit, self.max_block_width
+        pipeline = full_grape_pipeline(
+            block_compiler, self.max_block_width, self.executor
         )
-        program = PulseProgram.sequence([o.schedule for o in outcomes])
-        # Strictly-better guarantee: blocked pulses are atomic, so in rare
-        # tightly-scheduled circuits the block program can lose slack; never
-        # report worse than the lookup-table baseline (paper section 5.2).
-        used_fallback = False
-        baseline = gate_based_program(circuit)
-        if baseline.duration_ns < program.duration_ns:
-            program = baseline
-            used_fallback = True
+        start = time.perf_counter()
+        context = pipeline.run(circuit)
         elapsed = time.perf_counter() - start
+        outcomes = context.block_results
         return CompiledPulse(
             method=self.method,
-            program=program,
-            pulse_duration_ns=program.duration_ns,
+            program=context.program,
+            pulse_duration_ns=context.program.duration_ns,
             runtime_latency_s=elapsed,
             runtime_iterations=sum(o.iterations for o in outcomes),
             blocks_compiled=len(outcomes),
             cache_hits=sum(1 for o in outcomes if o.cache_hit),
             metadata={
-                "program_fallback": used_fallback,
-                "blocks": len(blocked),
+                "program_fallback": context.used_fallback,
+                "blocks": context.metadata["blocks"],
                 "grape_blocks": sum(1 for o in outcomes if o.used_grape),
                 "fallback_blocks": sum(
                     1 for o in outcomes if not o.used_grape and o.iterations > 0
                 ),
+                "executor": context.executor_info,
+                "stage_timings": context.stage_timing_dict(),
+                "cache": cache.stats(),
             },
         )
 

@@ -46,6 +46,11 @@ class PrecompileReport:
     This is the work the paper describes as "executed as pre-computation
     step prior to executing the variational algorithm" — it is *not* part of
     the per-iteration latency.
+
+    ``executor`` names the block executor that dispatched the independent
+    per-block GRAPE searches, and ``cache_stats`` is the pulse cache's
+    telemetry snapshot (hits, misses, disk tier, time spent) taken at the
+    end of the phase.
     """
 
     method: str
@@ -55,6 +60,8 @@ class PrecompileReport:
     parametrized_blocks: int = 0
     cache_hits: int = 0
     hyperopt_trials: int = 0
+    executor: str = "serial"
+    cache_stats: dict = field(default_factory=dict)
     metadata: dict = field(default_factory=dict)
 
 

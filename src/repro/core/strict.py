@@ -6,6 +6,12 @@ with lookup pulses for the parameter-dependent ``Rz(θᵢ)`` gates.  Runtime
 compilation latency is therefore the same as gate-based compilation —
 essentially zero — while the Fixed blocks run at GRAPE speed, so strict
 partial compilation is *strictly better* than gate-based compilation.
+
+The precompute phase is a configuration of the shared
+:class:`~repro.pipeline.pipeline.CompilationPipeline`:
+``block(isolate θ) → pulse``, where Fixed blocks flow through the pluggable
+block executor (they are independent GRAPE searches) and each isolated
+``Rz(θ)`` maps straight to a lookup-pulse plan entry.
 """
 
 from __future__ import annotations
@@ -13,18 +19,23 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-import numpy as np
-
-from repro.blocking.aggregate import aggregate_blocks
 from repro.circuits.circuit import QuantumCircuit
-from repro.config import GATE_DURATIONS_NS, get_preset
-from repro.core.cache import PulseCache
+from repro.config import GATE_DURATIONS_NS
+from repro.core.cache import PulseCache, default_pulse_cache
 from repro.core.compiler import BlockPulseCompiler, default_device_for, gate_based_program
 from repro.core.results import CompiledPulse, PrecompileReport
 from repro.errors import CompilationError
+from repro.pipeline.stages import BlockTask
+from repro.pipeline.strategies import strict_precompile_pipeline
 from repro.pulse.device import GmonDevice
 from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
 from repro.pulse.schedule import PulseProgram, lookup_schedule
+
+
+def _lookup_plan_entry(task: BlockTask) -> tuple:
+    """Runtime plan slot for one isolated ``Rz(θ)`` (picklable handler)."""
+    inst = task.instruction
+    return ("lookup", inst.qubits, inst.gate.name, inst.gate.params[0])
 
 
 class StrictPartialCompiler:
@@ -41,7 +52,7 @@ class StrictPartialCompiler:
     ):
         self.circuit = circuit
         self.device = device
-        self._plan = plan  # entries: ("pulse", schedule) | ("rz", qubit, expr)
+        self._plan = plan  # entries: ("pulse", schedule) | ("lookup", qubits, gate, expr)
         self.report = report
         self.parameters = circuit.parameters
 
@@ -55,55 +66,44 @@ class StrictPartialCompiler:
         hyperparameters: GrapeHyperparameters | None = None,
         max_block_width: int | None = None,
         cache: PulseCache | None = None,
+        executor=None,
     ) -> "StrictPartialCompiler":
         """Slice ``circuit`` and GRAPE-precompile every Fixed block.
 
         This is the pre-computation phase; its cost is recorded in
         :attr:`report` and is *not* charged to runtime compilation.
+        ``executor`` parallelizes the independent Fixed-block GRAPE
+        searches (name or executor instance; ``None`` = configured default).
         """
         device = device or default_device_for(circuit)
-        width = (
-            max_block_width
-            if max_block_width is not None
-            else get_preset().max_block_qubits
-        )
         block_compiler = BlockPulseCompiler(
-            device, settings, hyperparameters, cache or PulseCache()
+            device,
+            settings,
+            hyperparameters,
+            cache if cache is not None else default_pulse_cache(),
         )
-        start = time.perf_counter()
-        iterations = 0
-        blocks_done = 0
-        cache_hits = 0
-        plan: list[tuple] = []
         # Parametrized gates become isolated singleton blocks; the Fixed
         # gates between them aggregate into maximal parametrization-
         # independent subcircuits with per-qubit barriers (the DAG-aware
         # reading of the paper's Figure 3b, which avoids serializing
         # unrelated qubits across an Rz(θ)).
-        parametrized = {
-            idx for idx, inst in enumerate(circuit) if inst.parameters
-        }
-        for idx in parametrized:
-            params = circuit[idx].parameters
-            if len(params) > 1:
-                names = sorted(p.name for p in params)
-                raise CompilationError(
-                    f"gate {circuit[idx]!r} depends on several parameters {names}"
-                )
-        blocked = aggregate_blocks(circuit, width, isolate=parametrized)
-        for block in blocked.blocks:
-            if block.instruction_indices[0] in parametrized:
-                inst = circuit[block.instruction_indices[0]]
-                plan.append(
-                    ("lookup", inst.qubits, inst.gate.name, inst.gate.params[0])
-                )
+        pipeline = strict_precompile_pipeline(
+            block_compiler, _lookup_plan_entry, max_block_width, executor
+        )
+        start = time.perf_counter()
+        context = pipeline.run(circuit)
+        iterations = 0
+        blocks_done = 0
+        cache_hits = 0
+        plan: list[tuple] = []
+        for task, result in zip(context.tasks, context.block_results):
+            if task.kind == "parametrized":
+                plan.append(result)
                 continue
-            sub, device_qubits = blocked.local_circuit(block)
-            outcome = block_compiler.compile_block(sub, device_qubits)
-            iterations += outcome.iterations
+            iterations += result.iterations
             blocks_done += 1
-            cache_hits += int(outcome.cache_hit)
-            plan.append(("pulse", outcome.schedule))
+            cache_hits += int(result.cache_hit)
+            plan.append(("pulse", result.schedule))
         report = PrecompileReport(
             method=cls.method,
             wall_time_s=time.perf_counter() - start,
@@ -111,7 +111,12 @@ class StrictPartialCompiler:
             blocks_precompiled=blocks_done,
             parametrized_blocks=sum(1 for p in plan if p[0] == "lookup"),
             cache_hits=cache_hits,
-            metadata={"blocks": len(blocked)},
+            executor=context.executor_info.get("executor", "serial"),
+            cache_stats=block_compiler.cache.stats(),
+            metadata={
+                "blocks": context.metadata["blocks"],
+                "stage_timings": context.stage_timing_dict(),
+            },
         )
         return cls(circuit, device, plan, report)
 

@@ -41,6 +41,12 @@ class BlockingError(ReproError):
     """Raised when circuit blocking produces an invalid partition."""
 
 
+class PipelineError(ReproError):
+    """Raised for invalid pipeline configurations: unknown executors,
+    mis-ordered stages, or a stage reading context a prior stage never
+    produced."""
+
+
 class CompilationError(ReproError):
     """Raised by the partial-compilation engines for invalid inputs, such as
     binding the wrong number of parameters at run time."""

@@ -1,0 +1,63 @@
+"""Unified compilation pipeline (transpile → block → pulse → assemble).
+
+The four compilation strategies of the paper share one staged flow; this
+package makes that flow explicit and declarative, in the spirit of Cirq's
+transformer framework:
+
+* :mod:`repro.pipeline.executors` — pluggable dispatch of independent
+  per-block GRAPE searches: serial, thread pool, or process pool.
+* :mod:`repro.pipeline.stages` — composable :class:`Stage` objects carrying
+  a :class:`PipelineContext` from circuit to pulse program.
+* :mod:`repro.pipeline.pipeline` — :class:`CompilationPipeline`, an ordered
+  stage list with per-stage wall-time telemetry.
+* :mod:`repro.pipeline.strategies` — the four declarative pipeline
+  configurations behind ``repro.core``'s compiler classes.
+"""
+
+from repro.pipeline.executors import (
+    BlockExecutor,
+    ProcessPoolBlockExecutor,
+    SerialExecutor,
+    ThreadPoolBlockExecutor,
+    resolve_executor,
+)
+from repro.pipeline.pipeline import CompilationPipeline
+from repro.pipeline.stages import (
+    AssembleStage,
+    BindStage,
+    BlockingStage,
+    BlockTask,
+    GateScheduleStage,
+    PipelineContext,
+    PulseStage,
+    Stage,
+    TranspileStage,
+)
+from repro.pipeline.strategies import (
+    flexible_precompile_pipeline,
+    full_grape_pipeline,
+    gate_based_pipeline,
+    strict_precompile_pipeline,
+)
+
+__all__ = [
+    "AssembleStage",
+    "BindStage",
+    "BlockExecutor",
+    "BlockTask",
+    "BlockingStage",
+    "CompilationPipeline",
+    "GateScheduleStage",
+    "PipelineContext",
+    "ProcessPoolBlockExecutor",
+    "PulseStage",
+    "SerialExecutor",
+    "Stage",
+    "ThreadPoolBlockExecutor",
+    "TranspileStage",
+    "flexible_precompile_pipeline",
+    "full_grape_pipeline",
+    "gate_based_pipeline",
+    "resolve_executor",
+    "strict_precompile_pipeline",
+]

@@ -1,0 +1,150 @@
+"""Pluggable executors for independent per-block work.
+
+Blocking partitions a circuit into subcircuits whose GRAPE searches share
+nothing but the pulse cache, so they parallelize embarrassingly.  The
+executors here expose exactly one operation — order-preserving ``map`` —
+which keeps the pipeline deterministic: results come back aligned with
+their tasks regardless of completion order.
+
+Choosing an executor
+--------------------
+``serial``
+    The seed behavior; zero overhead, best for one block or tiny budgets.
+``thread``
+    ``concurrent.futures.ThreadPoolExecutor``.  Shares the in-memory pulse
+    cache; speedup is bounded by how much of GRAPE's time the BLAS layer
+    spends outside the GIL.
+``process``
+    ``concurrent.futures.ProcessPoolExecutor`` (fork start method where
+    available).  True CPU parallelism; the submitted callables and their
+    results must be picklable, and in-memory cache writes made by workers
+    stay in the workers — pair this executor with a persistent cache
+    directory (``REPRO_CACHE_DIR``) so GRAPE results survive the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable
+
+from repro.config import EXECUTOR_CHOICES, get_pipeline_config
+from repro.errors import PipelineError
+
+#: Per-worker deserialized task function (set by the pool initializer).
+_process_worker_fn = None
+
+
+def _init_process_worker(payload: bytes) -> None:
+    """Deserialize the mapped function once per worker process.
+
+    Mapping the function itself would re-pickle it (and everything it
+    closes over — e.g. a block compiler with its cache) once per task;
+    routing it through the pool initializer ships it once per worker.
+    """
+    global _process_worker_fn
+    _process_worker_fn = pickle.loads(payload)
+
+
+def _run_process_item(item):
+    return _process_worker_fn(item)
+
+
+class BlockExecutor:
+    """Order-preserving map over independent block tasks."""
+
+    name = "abstract"
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item, returning results in input order."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Telemetry fragment identifying this executor."""
+        return {"executor": self.name}
+
+
+class SerialExecutor(BlockExecutor):
+    """In-line execution — the seed behavior and the fallback everywhere."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+
+class _PoolBlockExecutor(BlockExecutor):
+    """Shared sizing logic for the pool-backed executors."""
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is None:
+            max_workers = get_pipeline_config().max_workers
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def describe(self) -> dict:
+        return {"executor": self.name, "max_workers": self.max_workers}
+
+    def _workers_for(self, count: int) -> int:
+        return max(1, min(self.max_workers, count))
+
+
+class ThreadPoolBlockExecutor(_PoolBlockExecutor):
+    """Thread-pool dispatch sharing one in-memory pulse cache."""
+
+    name = "thread"
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self._workers_for(len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessPoolBlockExecutor(_PoolBlockExecutor):
+    """Process-pool dispatch for GIL-free parallel GRAPE."""
+
+    name = "process"
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        # Fork (where available) inherits the loaded numpy state instead of
+        # re-importing it per worker; spawn platforms fall back to default.
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=self._workers_for(len(items)),
+            mp_context=context,
+            initializer=_init_process_worker,
+            initargs=(pickle.dumps(fn),),
+        ) as pool:
+            return list(pool.map(_run_process_item, items))
+
+
+def resolve_executor(
+    spec: str | BlockExecutor | None = None, max_workers: int | None = None
+) -> BlockExecutor:
+    """Turn an executor spec into an executor instance.
+
+    ``spec`` may be an executor instance (returned as-is), one of the names
+    in :data:`repro.config.EXECUTOR_CHOICES`, or ``None`` to use the active
+    pipeline configuration (``REPRO_EXECUTOR``, default serial).
+    """
+    if isinstance(spec, BlockExecutor):
+        return spec
+    if spec is None:
+        spec = get_pipeline_config().executor
+    if spec == "serial":
+        return SerialExecutor()
+    if spec == "thread":
+        return ThreadPoolBlockExecutor(max_workers)
+    if spec == "process":
+        return ProcessPoolBlockExecutor(max_workers)
+    raise PipelineError(
+        f"unknown executor {spec!r}; available: {EXECUTOR_CHOICES}"
+    )

@@ -1,0 +1,181 @@
+"""Block-executor contracts: ordering, equivalence, and configuration."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.config import set_pipeline_config
+from repro.core import FullGrapeCompiler, PulseCache
+from repro.errors import PipelineError
+from repro.pipeline import (
+    ProcessPoolBlockExecutor,
+    SerialExecutor,
+    ThreadPoolBlockExecutor,
+    resolve_executor,
+)
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
+from repro.transpile.topology import line_topology
+
+SETTINGS = GrapeSettings(dt_ns=0.25, target_fidelity=0.99)
+HYPER = GrapeHyperparameters(learning_rate=0.05, decay_rate=0.002, max_iterations=200)
+
+
+def _square(x):
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+def _tile_circuit(num_qubits: int = 4) -> QuantumCircuit:
+    """Disjoint 2-qubit tiles — one independent GRAPE block each."""
+    circuit = QuantumCircuit(num_qubits, name="tiles")
+    for q in range(0, num_qubits - 1, 2):
+        circuit.h(q)
+        circuit.cx(q, q + 1)
+        circuit.rz(0.2 + 0.3 * q, q + 1)
+    return circuit
+
+
+def _compile(executor, num_qubits=4):
+    compiler = FullGrapeCompiler(
+        device=GmonDevice(line_topology(num_qubits)),
+        settings=SETTINGS,
+        hyperparameters=HYPER,
+        max_block_width=2,
+        cache=PulseCache(),
+        executor=executor,
+    )
+    return compiler.compile(_tile_circuit(num_qubits))
+
+
+class TestResolveExecutor:
+    def test_names(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("thread"), ThreadPoolBlockExecutor)
+        assert isinstance(resolve_executor("process"), ProcessPoolBlockExecutor)
+
+    def test_instance_passthrough(self):
+        executor = ThreadPoolBlockExecutor(max_workers=3)
+        assert resolve_executor(executor) is executor
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(PipelineError):
+            resolve_executor("gpu")
+
+    def test_default_follows_config(self):
+        original = set_pipeline_config()
+        try:
+            set_pipeline_config(executor="thread", max_workers=2)
+            resolved = resolve_executor(None)
+            assert isinstance(resolved, ThreadPoolBlockExecutor)
+            assert resolved.max_workers == 2
+        finally:
+            set_pipeline_config(
+                executor=original.executor, max_workers=original.max_workers
+            )
+
+    def test_explicit_workers_override(self):
+        assert ThreadPoolBlockExecutor(max_workers=5).max_workers == 5
+
+
+class TestMapContract:
+    @pytest.mark.parametrize("executor_name", ["serial", "thread", "process"])
+    def test_order_preserved(self, executor_name):
+        executor = resolve_executor(executor_name, max_workers=2)
+        assert executor.map(_square, range(7)) == [x * x for x in range(7)]
+
+    def test_empty_items(self):
+        for name in ("serial", "thread", "process"):
+            assert resolve_executor(name).map(_square, []) == []
+
+    def test_describe_reports_workers(self):
+        info = ThreadPoolBlockExecutor(max_workers=4).describe()
+        assert info == {"executor": "thread", "max_workers": 4}
+        assert SerialExecutor().describe() == {"executor": "serial"}
+
+
+class TestExecutorEquivalence:
+    """Serial and parallel block compilation must be indistinguishable."""
+
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return _compile("serial")
+
+    def test_thread_matches_serial(self, serial_result):
+        threaded = _compile(ThreadPoolBlockExecutor(max_workers=2))
+        assert threaded.blocks_compiled == serial_result.blocks_compiled
+        assert np.isclose(
+            threaded.pulse_duration_ns, serial_result.pulse_duration_ns
+        )
+        for ours, theirs in zip(
+            threaded.program.schedules, serial_result.program.schedules
+        ):
+            assert ours.qubits == theirs.qubits
+            np.testing.assert_allclose(ours.controls, theirs.controls)
+
+    def test_process_matches_serial(self, serial_result):
+        pooled = _compile(ProcessPoolBlockExecutor(max_workers=2))
+        assert pooled.blocks_compiled == serial_result.blocks_compiled
+        assert np.isclose(pooled.pulse_duration_ns, serial_result.pulse_duration_ns)
+        for ours, theirs in zip(
+            pooled.program.schedules, serial_result.program.schedules
+        ):
+            np.testing.assert_allclose(ours.controls, theirs.controls)
+
+    def test_executor_recorded_in_metadata(self):
+        result = _compile(ThreadPoolBlockExecutor(max_workers=2))
+        assert result.metadata["executor"] == {"executor": "thread", "max_workers": 2}
+
+
+class TestBlockCompilerConvenience:
+    def test_compile_circuit_blocks_routes_through_pipeline(self):
+        from repro.core.compiler import BlockPulseCompiler
+
+        compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+        )
+        circuit = _tile_circuit(4)
+        outcomes, blocked = compiler.compile_circuit_blocks(
+            circuit, max_width=2, executor=ThreadPoolBlockExecutor(max_workers=2)
+        )
+        assert len(outcomes) == len(blocked.blocks) == 2
+        assert all(o.schedule is not None for o in outcomes)
+        serial_outcomes, _ = BlockPulseCompiler(
+            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+        ).compile_circuit_blocks(circuit, max_width=2)
+        for ours, theirs in zip(outcomes, serial_outcomes):
+            assert np.isclose(ours.duration_ns, theirs.duration_ns)
+
+
+class TestPartialCompilerExecutors:
+    """The partial-compilation precompute phases parallelize identically."""
+
+    def test_strict_precompile_thread_matches_serial(self):
+        from repro.circuits.parameters import Parameter
+        from repro.core import StrictPartialCompiler
+
+        theta = Parameter("theta_0")
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        qc.rz(theta, 1)
+        qc.cx(0, 1)
+        device = GmonDevice(line_topology(2))
+
+        def build(executor):
+            return StrictPartialCompiler.precompile(
+                qc,
+                device=device,
+                settings=SETTINGS,
+                hyperparameters=HYPER,
+                max_block_width=2,
+                cache=PulseCache(),
+                executor=executor,
+            )
+
+        serial = build("serial")
+        threaded = build(ThreadPoolBlockExecutor(max_workers=2))
+        assert threaded.report.executor == "thread"
+        assert serial.report.blocks_precompiled == threaded.report.blocks_precompiled
+        assert np.isclose(
+            serial.compile([0.4]).pulse_duration_ns,
+            threaded.compile([0.4]).pulse_duration_ns,
+        )
