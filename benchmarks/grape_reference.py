@@ -1,0 +1,95 @@
+"""The frozen pre-rewrite GRAPE kernel and its fixed-seed fixtures.
+
+This module is the single copy of the seed's ``cost_and_gradient``
+implementation, kept verbatim after the vectorized-kernel rewrite.  Two
+consumers depend on it staying identical:
+
+* ``tests/pulse/test_grape_kernel_regression.py`` pins the live kernel to
+  this oracle (≤1e-10);
+* ``benchmarks/run_benchmarks.py`` times the live kernel against it and
+  records the speedup in ``BENCH_grape_kernel.json``.
+
+Do not "improve" this code — its whole value is that it does not move.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.expm import _divided_differences
+from repro.linalg.random import haar_random_unitary
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape.cost import GrapeCost
+from repro.pulse.hamiltonian import build_control_set
+from repro.transpile.topology import line_topology
+
+
+def reference_cost_and_gradient(cost: GrapeCost, controls: np.ndarray) -> tuple:
+    """The seed (pre-rewrite) kernel, evaluated on a live ``GrapeCost``."""
+    ops = cost.control_set.operators
+    n_controls, n_steps = controls.shape
+    dt = cost.dt_ns
+    dim = cost.control_set.dim
+    drift = cost.control_set.drift
+
+    hams = drift[None, :, :] + np.einsum("ck,cij->kij", controls, ops, optimize=True)
+    eigvals, eigvecs = np.linalg.eigh(hams)
+    phases = np.exp(-1j * dt * eigvals)
+    props = np.einsum(
+        "kij,kj,klj->kil", eigvecs, phases, eigvecs.conj(), optimize=True
+    )
+    forward = np.empty((n_steps + 1, dim, dim), dtype=complex)
+    forward[0] = np.eye(dim)
+    for k in range(n_steps):
+        forward[k + 1] = props[k] @ forward[k]
+    backward = np.empty((n_steps, dim, dim), dtype=complex)
+    backward[n_steps - 1] = np.eye(dim)
+    for k in range(n_steps - 2, -1, -1):
+        backward[k] = backward[k + 1] @ props[k + 1]
+    total = forward[n_steps]
+    e_dag = cost._target_embedded.conj().T
+    overlap = np.trace(e_dag @ total) / cost._dim_comp
+    fidelity = float(np.abs(overlap) ** 2)
+    g_mats = np.einsum(
+        "kij,jl,klm->kim", forward[:-1], e_dag, backward, optimize=True
+    )
+    gammas = np.empty((n_steps, dim, dim), dtype=complex)
+    for k in range(n_steps):
+        gammas[k] = _divided_differences(eigvals[k], phases[k], dt)
+    g_eig = np.einsum(
+        "kji,kjl,klm->kim", eigvecs.conj(), g_mats, eigvecs, optimize=True
+    )
+    ops_eig = np.einsum(
+        "kji,cjl,klm->ckim", eigvecs.conj(), ops, eigvecs, optimize=True
+    )
+    mask = np.transpose(g_eig, (0, 2, 1)) * gammas
+    overlap_grad = (
+        np.einsum("kij,ckij->ck", mask, ops_eig, optimize=True) / cost._dim_comp
+    )
+    grad_fidelity = 2.0 * np.real(np.conj(overlap) * overlap_grad)
+    reg_cost, reg_grad = cost._regularization_terms(controls)
+    return 1.0 - fidelity + reg_cost, -grad_fidelity + reg_grad, fidelity
+
+
+def kernel_fixture(
+    n_qubits: int,
+    levels: int,
+    n_steps: int,
+    seed: int = 42,
+    regularization=None,
+) -> tuple:
+    """A fixed-seed ``(GrapeCost, controls)`` pair for oracle comparisons.
+
+    Seeds 7 (target) and 42 (controls) are pinned: the regression test's
+    golden numbers were recorded against exactly this construction.
+    """
+    device = GmonDevice(line_topology(n_qubits), levels=levels)
+    control_set = build_control_set(device, tuple(range(n_qubits)))
+    target = haar_random_unitary(2**n_qubits, seed=7)
+    cost = GrapeCost(control_set, target, dt_ns=0.2, regularization=regularization)
+    rng = np.random.default_rng(seed)
+    controls = (
+        rng.normal(scale=0.3, size=(control_set.num_controls, n_steps))
+        * control_set.max_amplitudes[:, None]
+    )
+    return cost, controls

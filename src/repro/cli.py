@@ -139,46 +139,52 @@ def _cmd_compile(args) -> int:
             file=sys.stderr,
         )
 
-    if args.method == "gate":
-        compiler = GateBasedCompiler()
-        compiled = compiler.compile_parametrized(circuit, values)
-        precompute = "0 s (lookup table)"
-    elif args.method == "grape":
-        compiler = FullGrapeCompiler(
-            device=device,
-            settings=settings,
-            hyperparameters=hyper,
-            max_block_width=args.block_width,
-            cache=cache,
-            executor=executor,
-        )
-        compiled = compiler.compile_parametrized(circuit, values, use_cache=True)
-        precompute = "0 s (all work at runtime)"
-    elif args.method == "strict":
-        compiler = StrictPartialCompiler.precompile(
-            circuit,
-            device=device,
-            settings=settings,
-            hyperparameters=hyper,
-            max_block_width=args.block_width,
-            cache=cache,
-            executor=executor,
-        )
-        compiled = compiler.compile(values)
-        precompute = f"{compiler.report.wall_time_s:.1f} s"
-    else:  # flexible
-        compiler = FlexiblePartialCompiler.precompile(
-            circuit,
-            device=device,
-            settings=settings,
-            hyperparameters=hyper,
-            max_block_width=args.block_width,
-            cache=cache,
-            tuning_samples=1,
-            executor=executor,
-        )
-        compiled = compiler.compile(values)
-        precompute = f"{compiler.report.wall_time_s:.1f} s"
+    try:
+        if args.method == "gate":
+            compiler = GateBasedCompiler()
+            compiled = compiler.compile_parametrized(circuit, values)
+            precompute = "0 s (lookup table)"
+        elif args.method == "grape":
+            compiler = FullGrapeCompiler(
+                device=device,
+                settings=settings,
+                hyperparameters=hyper,
+                max_block_width=args.block_width,
+                cache=cache,
+                executor=executor,
+            )
+            compiled = compiler.compile_parametrized(circuit, values, use_cache=True)
+            precompute = "0 s (all work at runtime)"
+        elif args.method == "strict":
+            compiler = StrictPartialCompiler.precompile(
+                circuit,
+                device=device,
+                settings=settings,
+                hyperparameters=hyper,
+                max_block_width=args.block_width,
+                cache=cache,
+                executor=executor,
+            )
+            compiled = compiler.compile(values)
+            precompute = f"{compiler.report.wall_time_s:.1f} s"
+        else:  # flexible
+            compiler = FlexiblePartialCompiler.precompile(
+                circuit,
+                device=device,
+                settings=settings,
+                hyperparameters=hyper,
+                max_block_width=args.block_width,
+                cache=cache,
+                tuning_samples=1,
+                executor=executor,
+            )
+            compiled = compiler.compile(values)
+            precompute = f"{compiler.report.wall_time_s:.1f} s"
+    finally:
+        # Persistent-pool executors hold live workers; release them even if
+        # the compile failed (harmless no-op for the stateless executors).
+        if hasattr(executor, "close"):
+            executor.close()
 
     stats = cache.stats()
     rows = [
@@ -219,6 +225,7 @@ def _cmd_cache_stats(args) -> int:
         ("directory", str(cache.directory)),
         ("persisted entries", entries),
         ("size (KiB)", f"{size / 1024:.1f}"),
+        ("schema version", cache.stats()["schema_version"]),
     ]
     print(format_table(("property", "value"), rows, title="persistent pulse cache"))
     return 0
@@ -268,8 +275,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         choices=EXECUTOR_CHOICES,
         default=None,
-        help="dispatch of independent per-block GRAPE searches "
-        "(default: REPRO_EXECUTOR or serial)",
+        help="dispatch of independent per-block GRAPE searches; the "
+        "*-persistent variants keep one worker pool warm across every "
+        "map of the run (default: REPRO_EXECUTOR or serial)",
     )
     compile_.add_argument(
         "--jobs", type=int, default=None, help="worker count for parallel executors"

@@ -132,8 +132,16 @@ def set_preset(name: str) -> Preset:
     return preset
 
 
-#: Executor names understood by the compilation pipeline.
-EXECUTOR_CHOICES = ("serial", "thread", "process")
+#: Executor names understood by the compilation pipeline.  The
+#: ``*-persistent`` variants keep one worker pool alive across every
+#: ``map`` call of a pipeline run instead of re-creating it per call.
+EXECUTOR_CHOICES = (
+    "serial",
+    "thread",
+    "process",
+    "thread-persistent",
+    "process-persistent",
+)
 
 
 @dataclass(frozen=True)
@@ -144,9 +152,11 @@ class PipelineConfig:
     ----------
     executor:
         How independent per-block GRAPE searches are dispatched:
-        ``"serial"`` (default), ``"thread"`` (ThreadPoolExecutor), or
+        ``"serial"`` (default), ``"thread"`` (ThreadPoolExecutor),
         ``"process"`` (ProcessPoolExecutor; pair it with ``cache_dir`` so
-        worker results persist across processes).
+        worker results persist across processes), or the
+        ``"thread-persistent"`` / ``"process-persistent"`` variants that
+        amortize one long-lived pool across every map of a pipeline run.
     max_workers:
         Worker count for the parallel executors; ``None`` means
         ``os.cpu_count()``.

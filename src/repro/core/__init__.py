@@ -18,6 +18,7 @@ land in a :class:`PulseCache` (optionally the on-disk
 """
 
 from repro.core.cache import (
+    CACHE_SCHEMA_VERSION,
     PersistentPulseCache,
     PulseCache,
     default_pulse_cache,
@@ -73,6 +74,7 @@ __all__ = [
     "random_search",
     "SearchSpace",
     "BlockPulseCompiler",
+    "CACHE_SCHEMA_VERSION",
     "CircuitSlice",
     "CompiledPulse",
     "FlexiblePartialCompiler",

@@ -179,6 +179,15 @@ class PulseCache:
         }
 
 
+#: Version tag embedded in every persisted cache entry.  Bump this whenever
+#: the on-disk format (or the meaning of a :class:`CacheEntry` field)
+#: changes: readers treat any other version as a graceful miss — counted in
+#: ``schema_mismatches``, recomputed and overwritten in place — instead of
+#: surfacing format drift as ``disk_errors``.  Version 1 is the original
+#: bare-``CacheEntry`` pickle, which predates the tag.
+CACHE_SCHEMA_VERSION = 2
+
+
 def _key_filename(key: tuple) -> str:
     """Deterministic, collision-resistant filename for a cache key.
 
@@ -197,9 +206,12 @@ class PersistentPulseCache(PulseCache):
     Every ``put`` writes a pickle of the entry atomically next to keeping it
     in memory; a miss in memory falls through to disk (counted in
     ``disk_hits``), so a cold process pointed at a warm directory resumes
-    with zero GRAPE work for previously seen blocks.  Unreadable files —
-    truncated by a crash or written by an incompatible version — are treated
-    as misses and counted in ``disk_errors``.
+    with zero GRAPE work for previously seen blocks.  Entries carry a
+    schema tag (:data:`CACHE_SCHEMA_VERSION`); files written by another
+    format version are invalidated gracefully — a counted miss in
+    ``schema_mismatches`` that GRAPE recomputes and overwrites — while
+    genuinely unreadable files (truncated by a crash, foreign junk) are
+    treated as misses and counted in ``disk_errors``.
     """
 
     backend = "disk"
@@ -210,6 +222,7 @@ class PersistentPulseCache(PulseCache):
         self.directory.mkdir(parents=True, exist_ok=True)
         self.disk_hits = 0
         self.disk_errors = 0
+        self.schema_mismatches = 0
 
     def _path(self, key: tuple) -> Path:
         return self.directory / _key_filename(key)
@@ -218,16 +231,29 @@ class PersistentPulseCache(PulseCache):
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
-                entry = pickle.load(fh)
+                payload = pickle.load(fh)
         except FileNotFoundError:
             return None
         except Exception:
             with self._lock:
                 self.disk_errors += 1
             return None
-        if not isinstance(entry, CacheEntry):
+        if isinstance(payload, CacheEntry):
+            # Legacy v1 file (bare entry, no schema tag): stale format,
+            # invalidate gracefully.
+            with self._lock:
+                self.schema_mismatches += 1
+            return None
+        if not isinstance(payload, dict):
             with self._lock:
                 self.disk_errors += 1
+            return None
+        entry = payload.get("entry")
+        if payload.get("schema_version") != CACHE_SCHEMA_VERSION or not isinstance(
+            entry, CacheEntry
+        ):
+            with self._lock:
+                self.schema_mismatches += 1
             return None
         with self._lock:
             self.disk_hits += 1
@@ -248,9 +274,10 @@ class PersistentPulseCache(PulseCache):
         # (threads or processes) race benignly — last replace wins, readers
         # never observe a partial file.
         tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+        payload = {"schema_version": CACHE_SCHEMA_VERSION, "entry": entry}
         try:
             with open(tmp, "wb") as fh:
-                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except OSError:
             with self._lock:
@@ -275,6 +302,8 @@ class PersistentPulseCache(PulseCache):
                 "directory": str(self.directory),
                 "disk_hits": self.disk_hits,
                 "disk_errors": self.disk_errors,
+                "schema_version": CACHE_SCHEMA_VERSION,
+                "schema_mismatches": self.schema_mismatches,
                 "persisted_entries": self.persisted_count(),
             }
         )

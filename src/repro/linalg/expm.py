@@ -21,6 +21,47 @@ import numpy as np
 from repro.errors import ReproError
 
 
+def expm_hermitian_factorized(
+    hamiltonians: np.ndarray, dt: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Diagonalize and exponentiate one or a stack of Hermitian matrices.
+
+    This is the single propagator code path shared by
+    :func:`expm_hermitian` and the GRAPE kernel
+    (:meth:`repro.pulse.grape.cost.GrapeCost.cost_and_gradient`): callers
+    that also need the eigendecomposition — e.g. for the Fréchet gradient
+    in the per-step eigenbasis — get it without a second ``eigh``.
+
+    Parameters
+    ----------
+    hamiltonians:
+        Array of shape ``(d, d)`` or ``(n, d, d)``; each matrix must be
+        Hermitian.
+    dt:
+        Time-step scale factor.
+
+    Returns
+    -------
+    tuple
+        ``(eigvals, eigvecs, phases, unitaries)`` where ``phases`` is
+        ``exp(-1j dt eigvals)`` and ``unitaries = V diag(phases) V†``,
+        all batched over the leading shape of the input.
+    """
+    h = np.asarray(hamiltonians, dtype=complex)
+    if h.ndim < 2 or h.shape[-1] != h.shape[-2]:
+        raise ReproError(f"expected square matrices, got shape {h.shape}")
+    eigvals, eigvecs = np.linalg.eigh(h)
+    phases = np.exp(-1j * dt * eigvals)
+    # V diag(phases) V† as two GEMM-shaped ops: scale columns, then one
+    # batched matmul (faster than a 3-operand einsum for stacked inputs).
+    # Conjugate the contiguous array and transpose as a view so BLAS takes
+    # the transpose flag instead of numpy materializing a strided copy.
+    unitaries = (eigvecs * phases[..., None, :]) @ np.swapaxes(
+        eigvecs.conj(), -1, -2
+    )
+    return eigvals, eigvecs, phases, unitaries
+
+
 def expm_hermitian(hamiltonians: np.ndarray, dt: float) -> np.ndarray:
     """Compute ``exp(-1j * dt * H)`` for one or a stack of Hermitian ``H``.
 
@@ -37,15 +78,7 @@ def expm_hermitian(hamiltonians: np.ndarray, dt: float) -> np.ndarray:
     numpy.ndarray
         Unitaries with the same leading shape as the input.
     """
-    h = np.asarray(hamiltonians, dtype=complex)
-    if h.ndim < 2 or h.shape[-1] != h.shape[-2]:
-        raise ReproError(f"expected square matrices, got shape {h.shape}")
-    eigvals, eigvecs = np.linalg.eigh(h)
-    phases = np.exp(-1j * dt * eigvals)
-    # V diag(phases) V†, batched.
-    return np.einsum(
-        "...ij,...j,...kj->...ik", eigvecs, phases, eigvecs.conj(), optimize=True
-    )
+    return expm_hermitian_factorized(hamiltonians, dt)[3]
 
 
 def expm_hermitian_frechet(
@@ -91,18 +124,30 @@ def expm_hermitian_frechet(
 
 
 def _divided_differences(eigvals: np.ndarray, phases: np.ndarray, dt: float) -> np.ndarray:
-    """Loewner matrix of divided differences for ``f(x) = exp(-1j dt x)``.
+    """Loewner matrices of divided differences for ``f(x) = exp(-1j dt x)``.
 
     Off-diagonal: ``(f(λ_i) - f(λ_j)) / (λ_i - λ_j)``; diagonal (and nearly
     degenerate pairs): ``f'(λ) = -1j dt f(λ)``.
+
+    Accepts a single spectrum ``(d,)`` or a stack ``(..., d)`` — the GRAPE
+    kernel batches every time slice of a pulse through one call — and
+    returns matrices of shape ``(..., d, d)``.
     """
-    diff = eigvals[:, None] - eigvals[None, :]
-    num = phases[:, None] - phases[None, :]
-    # Mask near-degenerate pairs where the quotient is numerically unstable.
+    eigvals = np.asarray(eigvals)
+    phases = np.asarray(phases)
+    diff = eigvals[..., :, None] - eigvals[..., None, :]
+    gamma = phases[..., :, None] - phases[..., None, :]
+    # Mask near-degenerate pairs where the quotient is numerically unstable,
+    # then divide and patch in place — this runs once per GRAPE iteration on
+    # an (n_steps, d, d) stack, so avoiding np.where temporaries matters.
     degenerate = np.abs(diff) < 1e-12
-    safe = np.where(degenerate, 1.0, diff)
-    gamma = num / safe
-    derivative_diag = -1j * dt * phases
+    np.copyto(diff, 1.0, where=degenerate)
+    gamma /= diff
     # Broadcast f'(λ_i) onto degenerate pairs (exact in the limit λ_i -> λ_j).
-    gamma = np.where(degenerate, derivative_diag[:, None], gamma)
+    derivative_diag = -1j * dt * phases
+    np.copyto(
+        gamma,
+        np.broadcast_to(derivative_diag[..., :, None], gamma.shape),
+        where=degenerate,
+    )
     return gamma

@@ -1,0 +1,13 @@
+"""Performance instrumentation and the benchmark-JSON harness.
+
+* :mod:`repro.perf.registry` — :class:`PerfRegistry`, a thread-safe
+  timer/counter registry with a process-global instance
+  (:func:`get_perf_registry`) that the executors and pipeline record into.
+* ``benchmarks/run_benchmarks.py`` — the runner that executes the GRAPE
+  kernel microbench and the pipeline bench and writes ``BENCH_*.json``
+  artifacts so perf trajectories accumulate across PRs.
+"""
+
+from repro.perf.registry import PerfRegistry, TimerStats, get_perf_registry
+
+__all__ = ["PerfRegistry", "TimerStats", "get_perf_registry"]

@@ -5,7 +5,8 @@ package makes that flow explicit and declarative, in the spirit of Cirq's
 transformer framework:
 
 * :mod:`repro.pipeline.executors` — pluggable dispatch of independent
-  per-block GRAPE searches: serial, thread pool, or process pool.
+  per-block GRAPE searches: serial, thread pool, process pool, or the
+  persistent pool variants that stay warm across every ``map`` of a run.
 * :mod:`repro.pipeline.stages` — composable :class:`Stage` objects carrying
   a :class:`PipelineContext` from circuit to pulse program.
 * :mod:`repro.pipeline.pipeline` — :class:`CompilationPipeline`, an ordered
@@ -16,10 +17,13 @@ transformer framework:
 
 from repro.pipeline.executors import (
     BlockExecutor,
+    PersistentProcessPoolBlockExecutor,
+    PersistentThreadPoolBlockExecutor,
     ProcessPoolBlockExecutor,
     SerialExecutor,
     ThreadPoolBlockExecutor,
     resolve_executor,
+    shutdown_persistent_executors,
 )
 from repro.pipeline.pipeline import CompilationPipeline
 from repro.pipeline.stages import (
@@ -48,6 +52,8 @@ __all__ = [
     "BlockingStage",
     "CompilationPipeline",
     "GateScheduleStage",
+    "PersistentProcessPoolBlockExecutor",
+    "PersistentThreadPoolBlockExecutor",
     "PipelineContext",
     "ProcessPoolBlockExecutor",
     "PulseStage",
@@ -59,5 +65,6 @@ __all__ = [
     "full_grape_pipeline",
     "gate_based_pipeline",
     "resolve_executor",
+    "shutdown_persistent_executors",
     "strict_precompile_pipeline",
 ]

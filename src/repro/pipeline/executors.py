@@ -20,18 +20,32 @@ Choosing an executor
     results must be picklable, and in-memory cache writes made by workers
     stay in the workers — pair this executor with a persistent cache
     directory (``REPRO_CACHE_DIR``) so GRAPE results survive the pool.
+``thread-persistent`` / ``process-persistent``
+    The persistent variants keep ONE pool alive across every ``map`` call
+    instead of spinning a fresh pool up and down per call.  Variational
+    workloads (flexible partial compilation's probes, repeated runtime
+    compiles against one precompiled plan) issue many small maps, so pool
+    startup — worker fork + numpy re-init for processes — used to be paid
+    per iteration; now it is paid once per pipeline run.  The pool is
+    created lazily on the first multi-item map (``pools_created``
+    telemetry, mirrored into :func:`repro.perf.get_perf_registry`),
+    released by ``close()`` or a ``with`` block, and recreated
+    transparently if used again after closing.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable
 
 from repro.config import EXECUTOR_CHOICES, get_pipeline_config
 from repro.errors import PipelineError
+from repro.perf import get_perf_registry
 
 #: Per-worker deserialized task function (set by the pool initializer).
 _process_worker_fn = None
@@ -126,6 +140,172 @@ class ProcessPoolBlockExecutor(_PoolBlockExecutor):
             return list(pool.map(_run_process_item, items))
 
 
+def _run_persistent_chunk(payload: bytes, items: list) -> list:
+    """Run one interleaved chunk of a persistent-pool map in a worker.
+
+    The handler is unpickled once per *chunk* (≤ ``max_workers`` times per
+    map — the same shipping cost as the one-shot pool's initializer), not
+    once per item.  No worker-side memoization: real handlers embed
+    mutable state (block compilers carry pulse-cache telemetry), so their
+    pickle bytes differ between maps and a digest cache would never hit.
+    """
+    fn = pickle.loads(payload)
+    return [fn(item) for item in items]
+
+
+class _PersistentPoolMixin:
+    """One lazily created pool, reused across every ``map`` call.
+
+    Subclasses provide ``_make_pool()``.  ``pools_created`` / ``map_calls``
+    make the amortization checkable: a pipeline run that issues N maps must
+    end with ``pools_created == 1``.
+    """
+
+    def _init_persistent(self) -> None:
+        self._pool = None
+        # Shared instances (see resolve_executor) may be used from several
+        # threads; the lock keeps pool creation/teardown race-free so a
+        # lost race can never orphan a pool of live workers.
+        self._pool_lock = threading.Lock()
+        self.pools_created = 0
+        self.map_calls = 0
+
+    def _ensure_pool(self):
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = self._pool = self._make_pool()
+                    self.pools_created += 1
+                    get_perf_registry().count(
+                        f"executor.{self.name}.pools_created"
+                    )
+        return pool
+
+    def close(self) -> None:
+        """Shut the pool down (joins workers).  ``map`` after close re-creates."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # Neither the live pool nor the lock can cross a pickle boundary (e.g.
+    # an executor that ends up inside a worker payload); the receiver
+    # lazily re-creates both.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        del state["_pool_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._pool_lock = threading.Lock()
+
+    def describe(self) -> dict:
+        return {
+            "executor": self.name,
+            "max_workers": self.max_workers,
+            "pools_created": self.pools_created,
+            "map_calls": self.map_calls,
+        }
+
+
+class PersistentThreadPoolBlockExecutor(_PersistentPoolMixin, _PoolBlockExecutor):
+    """Thread pool created once and reused across ``map`` calls."""
+
+    name = "thread-persistent"
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers)
+        self._init_persistent()
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        self.map_calls += 1
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_pool().map(fn, items))
+
+
+class PersistentProcessPoolBlockExecutor(_PersistentPoolMixin, _PoolBlockExecutor):
+    """Process pool created once and reused across ``map`` calls.
+
+    Tasks are dispatched as up-to-``max_workers`` interleaved chunks
+    (``items[j::workers]``), which balances heterogeneous block costs and
+    ships (and unpickles) the map function once per chunk rather than
+    once per item.  Results are reassembled in input order.
+    """
+
+    name = "process-persistent"
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers)
+        self._init_persistent()
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=self.max_workers, mp_context=context)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        self.map_calls += 1
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        payload = pickle.dumps(fn)
+        workers = self._workers_for(len(items))
+        futures = [
+            pool.submit(_run_persistent_chunk, payload, items[j::workers])
+            for j in range(workers)
+        ]
+        results: list = [None] * len(items)
+        for j, future in enumerate(futures):
+            for offset, value in enumerate(future.result()):
+                results[j + offset * workers] = value
+        return results
+
+
+#: Process-wide persistent executors, keyed by (name, resolved workers).
+#: Compilers re-resolve their executor spec on every ``compile`` call, so
+#: persistent executors named by string / ``REPRO_EXECUTOR`` must resolve
+#: to ONE shared instance — otherwise each variational iteration would
+#: build (and leak) a fresh pool, defeating the amortization entirely.
+_persistent_executors: dict = {}
+_persistent_registry_lock = threading.Lock()
+_PERSISTENT_CLASSES = {
+    "thread-persistent": PersistentThreadPoolBlockExecutor,
+    "process-persistent": PersistentProcessPoolBlockExecutor,
+}
+
+
+def shutdown_persistent_executors() -> None:
+    """Close every shared persistent pool (they revive lazily if reused).
+
+    Registered via ``atexit`` so named pools never outlive the process
+    uncleanly; callers managing their own lifecycle can invoke it earlier.
+    """
+    with _persistent_registry_lock:
+        executors = list(_persistent_executors.values())
+    for executor in executors:
+        executor.close()
+
+
+atexit.register(shutdown_persistent_executors)
+
+
 def resolve_executor(
     spec: str | BlockExecutor | None = None, max_workers: int | None = None
 ) -> BlockExecutor:
@@ -133,7 +313,10 @@ def resolve_executor(
 
     ``spec`` may be an executor instance (returned as-is), one of the names
     in :data:`repro.config.EXECUTOR_CHOICES`, or ``None`` to use the active
-    pipeline configuration (``REPRO_EXECUTOR``, default serial).
+    pipeline configuration (``REPRO_EXECUTOR``, default serial).  The
+    stateless names resolve to fresh instances; the ``*-persistent`` names
+    resolve to one shared instance per (name, worker count) so the pool
+    survives — and amortizes across — repeated ``compile`` calls.
     """
     if isinstance(spec, BlockExecutor):
         return spec
@@ -145,6 +328,22 @@ def resolve_executor(
         return ThreadPoolBlockExecutor(max_workers)
     if spec == "process":
         return ProcessPoolBlockExecutor(max_workers)
+    if spec in _PERSISTENT_CLASSES:
+        # Normalize the worker count before keying: ``None`` means "the
+        # configured/default count *right now*", so an explicit request for
+        # that same count aliases the same pool, and a later config change
+        # resolves to a new key (new pool) instead of a stale one.
+        if max_workers is None:
+            workers = get_pipeline_config().max_workers or os.cpu_count() or 1
+        else:
+            workers = max_workers
+        key = (spec, workers)
+        with _persistent_registry_lock:
+            executor = _persistent_executors.get(key)
+            if executor is None:
+                executor = _PERSISTENT_CLASSES[spec](workers)
+                _persistent_executors[key] = executor
+        return executor
     raise PipelineError(
         f"unknown executor {spec!r}; available: {EXECUTOR_CHOICES}"
     )

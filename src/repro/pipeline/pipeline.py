@@ -16,6 +16,7 @@ import time
 from typing import Iterable
 
 from repro.errors import PipelineError
+from repro.perf import get_perf_registry
 from repro.pipeline.stages import PipelineContext, Stage
 
 
@@ -49,10 +50,13 @@ class CompilationPipeline:
         order, so callers can report exactly where compilation latency went.
         """
         context = PipelineContext(circuit=circuit, values=values)
+        perf = get_perf_registry()
         for stage in self.stages:
             start = time.perf_counter()
             stage.run(context)
-            context.stage_timings.append((stage.name, time.perf_counter() - start))
+            elapsed = time.perf_counter() - start
+            context.stage_timings.append((stage.name, elapsed))
+            perf.record_seconds(f"pipeline.stage.{stage.name}", elapsed)
         return context
 
     def describe(self) -> dict:

@@ -14,6 +14,28 @@ Gradients are exact: the derivative of each step propagator
 eigenbasis Fréchet formula (see :mod:`repro.linalg.expm`), and the chain
 rule through the product ``U_N … U_1`` uses the standard forward/backward
 partial products.
+
+Kernel layout
+-------------
+``cost_and_gradient`` is the hot path of the whole reproduction — every
+GRAPE iteration of every block runs it once — so it is written as a
+batched kernel rather than a per-step Python loop:
+
+* all step Hamiltonians, eigendecompositions, propagators, and Loewner
+  (divided-difference) matrices are produced in single stacked calls;
+* the target ``E†`` is folded into the backward scan, so the gradient
+  contraction ``G_k = A_{k-1} E† B_k`` costs one batched matmul instead
+  of two;
+* the per-control contraction is fused through the kernel matrix
+  ``K_k = V̄_k (Γ_k ∘ (V_k† G_k V_k)ᵀ) V_kᵀ`` so the expensive ``O(d³)``
+  transforms happen once per *step* instead of once per *step × control*,
+  and the per-control reduction collapses to one GEMM against the
+  pre-flattened control operators;
+* contraction plans — pre-reshaped operand layouts that turn every hot
+  contraction into a batched BLAS matmul — are prepared in ``__init__``,
+  and the forward/backward scan buffers are preallocated and reused
+  across iterations, so the optimizer's inner loop does no einsum path
+  planning and a minimal amount of allocation.
 """
 
 from __future__ import annotations
@@ -23,7 +45,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import GrapeError
-from repro.linalg.expm import _divided_differences
+from repro.linalg.expm import (
+    _divided_differences,
+    expm_hermitian,
+    expm_hermitian_factorized,
+)
 from repro.pulse.hamiltonian import ControlSet, embed_target_unitary
 
 
@@ -96,16 +122,45 @@ class GrapeCost:
         self._target_embedded = embedded
         self._dim_comp = dim_comp
 
+        # -- contraction plans, prepared once per cost object --------------
+        # Control operators in the layouts the kernel consumes: a contiguous
+        # complex stack for Hamiltonian assembly and a pre-flattened (c, d²)
+        # matrix so the per-control gradient reduction is a single GEMM.
+        # With these fixed layouts every hot contraction compiles to a
+        # batched BLAS matmul, so no einsum path planning survives in the
+        # iteration loop at all (the seed re-planned several per call).
+        dim = control_set.dim
+        self._ops = np.ascontiguousarray(control_set.operators, dtype=complex)
+        self._ops_flat = self._ops.reshape(self._ops.shape[0], dim * dim)
+        self._e_dag = np.ascontiguousarray(embedded.conj().T)
+        #: forward/backward scan buffers keyed by (n_steps, dim).
+        self._scan_buffers: dict = {}
+
+    def _buffers(self, n_steps: int, dim: int) -> tuple:
+        """Reusable forward/backward scan buffers for this problem size.
+
+        The ADAM/L-BFGS loop calls ``cost_and_gradient`` hundreds of times
+        with an unchanged shape; reusing the scan arrays keeps the inner
+        loop allocation-free where it matters most.
+        """
+        key = (n_steps, dim)
+        buffers = self._scan_buffers.get(key)
+        if buffers is None:
+            forward = np.empty((n_steps + 1, dim, dim), dtype=complex)
+            bwd = np.empty((n_steps, dim, dim), dtype=complex)
+            buffers = (forward, bwd)
+            # One shape dominates per optimization run; evict stale sizes
+            # (minimum-time search probes several pulse lengths).
+            if len(self._scan_buffers) >= 4:
+                self._scan_buffers.clear()
+            self._scan_buffers[key] = buffers
+        return buffers
+
     # -- fidelity only (cheap path used for final verification) -----------
     def propagate(self, controls: np.ndarray) -> np.ndarray:
         """Total unitary produced by ``controls`` (shape (n_controls, n_steps))."""
-        hams = self._step_hamiltonians(controls)
-        eigvals, eigvecs = np.linalg.eigh(hams)
-        phases = np.exp(-1j * self.dt_ns * eigvals)
-        props = np.einsum(
-            "kij,kj,klj->kil", eigvecs, phases, eigvecs.conj(), optimize=True
-        )
-        total = np.eye(hams.shape[-1], dtype=complex)
+        props = expm_hermitian(self._step_hamiltonians(controls), self.dt_ns)
+        total = np.eye(props.shape[-1], dtype=complex)
         for k in range(props.shape[0]):
             total = props[k] @ total
         return total
@@ -120,7 +175,6 @@ class GrapeCost:
 
         ``gradient`` has the same shape as ``controls``.
         """
-        ops = self.control_set.operators
         n_controls, n_steps = controls.shape
         if n_controls != self.control_set.num_controls:
             raise GrapeError(
@@ -129,49 +183,48 @@ class GrapeCost:
         dt = self.dt_ns
         dim = self.control_set.dim
 
-        hams = self._step_hamiltonians(controls)
-        eigvals, eigvecs = np.linalg.eigh(hams)
-        phases = np.exp(-1j * dt * eigvals)
-        props = np.einsum(
-            "kij,kj,klj->kil", eigvecs, phases, eigvecs.conj(), optimize=True
+        # One shared propagator code path with ``propagate``: diagonalize
+        # and exponentiate every time slice in a single stacked call.
+        eigvals, eigvecs, phases, props = expm_hermitian_factorized(
+            self._step_hamiltonians(controls), dt
         )
 
+        forward, bwd = self._buffers(n_steps, dim)
         # Forward partial products A_k = U_k … U_1 (A[0] = identity).
-        forward = np.empty((n_steps + 1, dim, dim), dtype=complex)
         forward[0] = np.eye(dim)
         for k in range(n_steps):
-            forward[k + 1] = props[k] @ forward[k]
-        # Backward partial products B_k = U_{N-1} … U_{k+1} (B[N-1] = identity).
-        backward = np.empty((n_steps, dim, dim), dtype=complex)
-        backward[n_steps - 1] = np.eye(dim)
+            np.matmul(props[k], forward[k], out=forward[k + 1])
+        # Backward partial products with the target folded in:
+        # bwd[k] = E† B_k where B_k = U_{N-1} … U_{k+1} (so bwd[N-1] = E†).
+        e_dag = self._e_dag
+        bwd[n_steps - 1] = e_dag
         for k in range(n_steps - 2, -1, -1):
-            backward[k] = backward[k + 1] @ props[k + 1]
+            np.matmul(bwd[k + 1], props[k + 1], out=bwd[k])
 
         total = forward[n_steps]
-        e_dag = self._target_embedded.conj().T
-        overlap = np.trace(e_dag @ total) / self._dim_comp
+        overlap = np.einsum("ij,ji->", e_dag, total) / self._dim_comp
         fidelity = float(np.abs(overlap) ** 2)
 
         # dz/du_ck = Tr(G_k · dU_k/du_ck) / d_comp with
         # G_k = A_{k-1} E† B_k   (z = Tr(E† B_k U_k A_{k-1}) / d_comp).
-        g_mats = np.einsum(
-            "kij,jl,klm->kim", forward[:-1], e_dag, backward, optimize=True
-        )
-        # Move everything to the per-step eigenbasis.
-        gammas = np.empty((n_steps, dim, dim), dtype=complex)
-        for k in range(n_steps):
-            gammas[k] = _divided_differences(eigvals[k], phases[k], dt)
-        g_eig = np.einsum(
-            "kji,kjl,klm->kim", eigvecs.conj(), g_mats, eigvecs, optimize=True
-        )
-        ops_eig = np.einsum(
-            "kji,cjl,klm->ckim", eigvecs.conj(), ops, eigvecs, optimize=True
-        )
-        # Tr(G_k dU_kc) = Σ_ij (G_eig)^T ∘ Γ ∘ W_c  summed over entries.
-        mask = np.transpose(g_eig, (0, 2, 1)) * gammas
+        g_mats = np.matmul(forward[:-1], bwd)
+        # All Loewner (divided-difference) matrices in one broadcasted call.
+        gammas = _divided_differences(eigvals, phases, dt)
+
+        # Fused per-control contraction.  With M_k = Γ_k ∘ (V_k† G_k V_k)ᵀ
+        # the gradient overlap is Σ_ab (Op_c)_ab (K_k)_ab for the kernel
+        # matrix K_k = V̄_k M_k V_kᵀ: the O(d³) transforms run once per step
+        # (not per step × control) as batched GEMMs, and the per-control
+        # reduction is one GEMM against the pre-flattened operators.
+        vecs_t = np.swapaxes(eigvecs, -1, -2)
+        vecs_conj = eigvecs.conj()
+        # (V† G V)ᵀ = Vᵀ Gᵀ V̄, built directly in transposed form.
+        g_eig_t = np.matmul(vecs_t, np.matmul(np.swapaxes(g_mats, -1, -2), vecs_conj))
+        np.multiply(g_eig_t, gammas, out=g_eig_t)  # M_k, in place
+        k_mats = np.matmul(vecs_conj, np.matmul(g_eig_t, vecs_t))
         overlap_grad = (
-            np.einsum("kij,ckij->ck", mask, ops_eig, optimize=True) / self._dim_comp
-        )
+            self._ops_flat @ k_mats.reshape(n_steps, dim * dim).T
+        ) / self._dim_comp
         grad_fidelity = 2.0 * np.real(np.conj(overlap) * overlap_grad)
         cost = 1.0 - fidelity
         gradient = -grad_fidelity
@@ -181,10 +234,16 @@ class GrapeCost:
 
     # -- helpers ------------------------------------------------------------
     def _step_hamiltonians(self, controls: np.ndarray) -> np.ndarray:
+        """Stack of per-slice Hamiltonians ``H_k = H_drift + Σ_c u_ck Op_c``.
+
+        One GEMM against the pre-flattened control operators replaces the
+        seed's 3-index einsum (which re-planned its path every call).
+        """
         drift = self.control_set.drift
-        return drift[None, :, :] + np.einsum(
-            "ck,cij->kij", controls, self.control_set.operators, optimize=True
-        )
+        dim = self.control_set.dim
+        hams = (controls.T @ self._ops_flat).reshape(-1, dim, dim)
+        hams += drift
+        return hams
 
     def _regularization_terms(self, controls: np.ndarray) -> tuple:
         reg = self.regularization

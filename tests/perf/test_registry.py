@@ -1,0 +1,98 @@
+"""Unit tests for the perf timer/counter registry."""
+
+import threading
+import time
+
+from repro.perf import PerfRegistry, TimerStats, get_perf_registry
+
+
+class TestCounters:
+    def test_count_and_read(self):
+        registry = PerfRegistry()
+        assert registry.counter("x") == 0
+        assert registry.count("x") == 1
+        assert registry.count("x", 4) == 5
+        assert registry.counter("x") == 5
+
+    def test_thread_safety(self):
+        registry = PerfRegistry()
+
+        def bump():
+            for _ in range(500):
+                registry.count("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("n") == 4000
+
+
+class TestTimers:
+    def test_context_manager_records(self):
+        registry = PerfRegistry()
+        with registry.timer("work"):
+            time.sleep(0.002)
+        stats = registry.timer_stats("work")
+        assert stats.count == 1
+        assert stats.total_s >= 0.002
+        assert stats.min_s <= stats.max_s
+
+    def test_record_seconds_accumulates(self):
+        registry = PerfRegistry()
+        registry.record_seconds("t", 0.5)
+        registry.record_seconds("t", 1.5)
+        stats = registry.timer_stats("t")
+        assert stats.count == 2
+        assert stats.total_s == 2.0
+        assert stats.mean_s == 1.0
+        assert stats.min_s == 0.5 and stats.max_s == 1.5
+
+    def test_timer_records_even_on_exception(self):
+        registry = PerfRegistry()
+        try:
+            with registry.timer("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert registry.timer_stats("boom").count == 1
+
+    def test_stats_as_dict_is_json_ready(self):
+        stats = TimerStats()
+        stats.record(0.25)
+        data = stats.as_dict()
+        assert data["count"] == 1
+        assert data["total_s"] == 0.25
+        assert data["mean_s"] == 0.25
+
+
+class TestLifecycle:
+    def test_snapshot_and_reset(self):
+        registry = PerfRegistry()
+        registry.count("c", 3)
+        registry.record_seconds("t", 0.1)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["timers"]["t"]["count"] == 1
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "timers": {}}
+        # Snapshot is a copy, not a view.
+        snap["counters"]["c"] = 99
+        assert registry.counter("c") == 0
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_perf_registry() is get_perf_registry()
+
+
+class TestPipelineIntegration:
+    def test_stage_timings_land_in_global_registry(self):
+        from repro.circuits.circuit import QuantumCircuit
+        from repro.pipeline import BindStage, CompilationPipeline
+
+        registry = get_perf_registry()
+        stats_before = registry.timer_stats("pipeline.stage.bind")
+        count_before = stats_before.count if stats_before else 0
+        pipeline = CompilationPipeline([BindStage()], name="t")
+        pipeline.run(QuantumCircuit(1).h(0))
+        assert registry.timer_stats("pipeline.stage.bind").count == count_before + 1

@@ -11,6 +11,7 @@ import pytest
 
 from repro.config import set_pipeline_config
 from repro.core.cache import (
+    CACHE_SCHEMA_VERSION,
     CacheEntry,
     PersistentPulseCache,
     PulseCache,
@@ -81,15 +82,73 @@ class TestRobustness:
         assert cold.get(key) is None
         assert cold.disk_errors == 1 and cold.misses == 1
 
-    def test_wrong_payload_type_is_a_miss(self, tmp_path):
+    def test_foreign_object_is_a_disk_error(self, tmp_path):
         warm = PersistentPulseCache(tmp_path)
         key = _key(warm)
         warm.put(key, _entry())
         payload = next(tmp_path.glob("*.pulse"))
-        payload.write_bytes(pickle.dumps({"not": "an entry"}))
+        payload.write_bytes(pickle.dumps(["definitely", "not", "ours"]))
         cold = PersistentPulseCache(tmp_path)
         assert cold.get(key) is None
         assert cold.disk_errors == 1
+
+
+class TestSchemaVersioning:
+    def test_entries_carry_the_schema_tag(self, tmp_path):
+        cache = PersistentPulseCache(tmp_path)
+        cache.put(_key(cache), _entry())
+        raw = pickle.loads(next(tmp_path.glob("*.pulse")).read_bytes())
+        assert raw["schema_version"] == CACHE_SCHEMA_VERSION
+        assert isinstance(raw["entry"], CacheEntry)
+
+    def test_legacy_bare_entry_invalidates_gracefully(self, tmp_path):
+        """A v1 file (bare CacheEntry pickle) is a schema miss, not an error."""
+        warm = PersistentPulseCache(tmp_path)
+        key = _key(warm)
+        warm.put(key, _entry())
+        payload = next(tmp_path.glob("*.pulse"))
+        payload.write_bytes(pickle.dumps(_entry()))  # pre-versioning format
+        cold = PersistentPulseCache(tmp_path)
+        assert cold.get(key) is None
+        assert cold.schema_mismatches == 1
+        assert cold.disk_errors == 0
+        assert cold.misses == 1
+
+    def test_future_schema_version_invalidates_gracefully(self, tmp_path):
+        warm = PersistentPulseCache(tmp_path)
+        key = _key(warm)
+        warm.put(key, _entry())
+        payload = next(tmp_path.glob("*.pulse"))
+        payload.write_bytes(
+            pickle.dumps(
+                {"schema_version": CACHE_SCHEMA_VERSION + 1, "entry": _entry()}
+            )
+        )
+        cold = PersistentPulseCache(tmp_path)
+        assert cold.get(key) is None
+        assert cold.schema_mismatches == 1
+        assert cold.disk_errors == 0
+
+    def test_mismatch_is_recomputed_and_overwritten(self, tmp_path):
+        """The graceful-invalidate path heals the directory in place."""
+        warm = PersistentPulseCache(tmp_path)
+        key = _key(warm)
+        path = warm._path(key)
+        path.parent.mkdir(exist_ok=True)
+        path.write_bytes(pickle.dumps(_entry()))  # stale v1 file
+        cache = PersistentPulseCache(tmp_path)
+        assert cache.get(key) is None  # schema miss → caller recomputes
+        cache.put(key, _entry(0.7))  # ... and stores in the current format
+        cold = PersistentPulseCache(tmp_path)
+        entry = cold.get(key)
+        assert entry is not None and entry.duration_ns == 0.7
+        assert cold.schema_mismatches == 0
+
+    def test_stats_report_schema_fields(self, tmp_path):
+        cache = PersistentPulseCache(tmp_path)
+        stats = cache.stats()
+        assert stats["schema_version"] == CACHE_SCHEMA_VERSION
+        assert stats["schema_mismatches"] == 0
 
     def test_concurrent_writers_leave_readable_entry(self, tmp_path):
         cache = PersistentPulseCache(tmp_path)

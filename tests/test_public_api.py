@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.circuits",
     "repro.core",
     "repro.linalg",
+    "repro.perf",
     "repro.pipeline",
     "repro.pulse",
     "repro.pulse.grape",
