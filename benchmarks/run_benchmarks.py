@@ -13,6 +13,11 @@ itself* are machine-checkable and accumulate over time:
 * ``pipeline`` — wall time of multi-block compilation under the ``serial``
   executor vs the persistent process pool (``process-persistent``),
   including the pool-amortization telemetry (one pool per run).
+* ``cache`` — the persistent pulse library: cold compile vs warm-restart
+  compile against the same sharded directory (the warm run must do zero
+  GRAPE iterations), legacy flat-directory migration (every entry
+  preserved bit-identically), sharded lookup throughput at a synthetic
+  entry population, and an LRU ``gc`` pass down to a byte budget.
 
 Usage::
 
@@ -208,7 +213,150 @@ def bench_pipeline(quick: bool) -> dict:
     return {"entries": entries, "derived": derived}
 
 
+def bench_cache(quick: bool) -> dict:
+    """Persistent pulse-library behavior: warm restarts, migration, lookups."""
+    import pickle
+    import shutil
+    import tempfile
+
+    from repro.core import PersistentPulseCache
+    from repro.core.cache import CACHE_SCHEMA_VERSION
+    from repro.library import PulseLibrary
+
+    num_qubits = 6
+    settings = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
+    hyper = GrapeHyperparameters(
+        learning_rate=0.05,
+        decay_rate=0.002,
+        max_iterations=100 if quick else 200,
+    )
+    circuit = _tile_circuit(num_qubits)
+    entries = []
+    derived: dict = {}
+    root = Path(tempfile.mkdtemp(prefix="bench_cache_"))
+    try:
+        # -- cold vs warm restart against one sharded directory ------------
+        cache_dir = root / "library"
+        runs = {}
+        for name in ("cold", "warm"):
+            cache = PersistentPulseCache(cache_dir)
+            start = time.perf_counter()
+            result = FullGrapeCompiler(
+                device=GmonDevice(line_topology(num_qubits)),
+                settings=settings,
+                hyperparameters=hyper,
+                max_block_width=2,
+                cache=cache,
+            ).compile(circuit)
+            wall = time.perf_counter() - start
+            stats = cache.stats()
+            runs[name] = (wall, result, stats)
+            entries.append(
+                {
+                    "name": f"{name}_compile",
+                    "wall_s": round(wall, 4),
+                    "grape_iterations": result.runtime_iterations,
+                    "disk_hits": stats["disk_hits"],
+                    "misses": stats["misses"],
+                    "persisted_entries": stats["persisted_entries"],
+                }
+            )
+            print(
+                f"  cache {name}: {wall:.2f} s, "
+                f"{result.runtime_iterations} GRAPE iterations, "
+                f"{stats['disk_hits']} disk hits"
+            )
+        derived["warm_restart_speedup"] = round(runs["cold"][0] / runs["warm"][0], 3)
+        derived["warm_grape_iterations"] = runs["warm"][1].runtime_iterations
+        derived["warm_disk_hits"] = runs["warm"][2]["disk_hits"]
+        if runs["warm"][1].runtime_iterations != 0:
+            raise AssertionError(
+                "warm restart must serve every block from the sharded library"
+            )
+        if runs["warm"][2]["disk_hits"] < 1:
+            raise AssertionError("warm restart recorded no disk hits")
+
+        # -- legacy flat layout: migration + round-trip --------------------
+        n_synthetic = 64 if quick else 512
+        payloads = {}
+        rng = np.random.default_rng(7)
+        for i in range(n_synthetic):
+            name = f"{rng.bytes(20).hex()}-{i:016x}.pulse"
+            payloads[name] = pickle.dumps(
+                {"schema_version": CACHE_SCHEMA_VERSION, "blob": rng.bytes(2048)}
+            )
+        flat_dir = root / "flat"
+        flat_dir.mkdir()
+        for name, blob in payloads.items():
+            (flat_dir / name).write_bytes(blob)
+        start = time.perf_counter()
+        library = PulseLibrary(flat_dir, shards=256)
+        migration_wall = time.perf_counter() - start
+        preserved = all(library.get(name) == blob for name, blob in payloads.items())
+        entries.append(
+            {
+                "name": "flat_migration",
+                "wall_s": round(migration_wall, 4),
+                "entries": n_synthetic,
+                "migrated": library.migrated_entries,
+                "preserved_bit_identically": preserved,
+            }
+        )
+        derived["migration_preserved"] = preserved
+        if not preserved or library.migrated_entries != n_synthetic:
+            raise AssertionError("flat-directory migration lost or altered entries")
+        print(
+            f"  cache migration: {n_synthetic} flat entries -> sharded in "
+            f"{migration_wall:.3f} s (bit-identical: {preserved})"
+        )
+
+        # -- lookup throughput on the sharded layout -----------------------
+        names = list(payloads)
+        lookups = names * (3 if quick else 10)
+        start = time.perf_counter()
+        for name in lookups:
+            if library.get(name) is None:
+                raise AssertionError(f"sharded lookup lost entry {name}")
+        lookup_wall = time.perf_counter() - start
+        entries.append(
+            {
+                "name": "sharded_lookup",
+                "wall_s": round(lookup_wall, 4),
+                "lookups": len(lookups),
+                "per_lookup_us": round(lookup_wall / len(lookups) * 1e6, 2),
+                "nonempty_shards": library.stats()["nonempty_shards"],
+            }
+        )
+
+        # -- LRU gc down to half the population ----------------------------
+        total = library.total_bytes()
+        budget_mb = total / 2 / (1024 * 1024)
+        start = time.perf_counter()
+        report = library.gc(budget_mb)
+        gc_wall = time.perf_counter() - start
+        entries.append(
+            {
+                "name": "gc",
+                "wall_s": round(gc_wall, 4),
+                "evicted": report.evicted,
+                "bytes_freed": report.bytes_freed,
+                "entries_after": report.entries_after,
+            }
+        )
+        derived["gc_evicted"] = report.evicted
+        if report.evicted == 0 or report.bytes_after > budget_mb * 1024 * 1024:
+            raise AssertionError("gc failed to enforce the size budget")
+        print(
+            f"  cache gc: evicted {report.evicted} entries "
+            f"({report.bytes_freed / 1024:.0f} KiB) in {gc_wall:.3f} s"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {"entries": entries, "derived": derived}
+
+
 BENCHES = {
+    "cache": bench_cache,
     "grape_kernel": bench_grape_kernel,
     "pipeline": bench_pipeline,
 }

@@ -11,7 +11,13 @@ Small utilities for poking at the reproduction without writing a script:
   ``--executor``/``--jobs`` parallelize the independent per-block GRAPE
   searches; ``--cache-dir`` persists GRAPE results on disk so a second
   invocation starts warm (pulse-cache telemetry is printed either way).
-* ``cache-stats`` — inspect a persistent pulse-cache directory.
+* ``compile-batch`` — batch-compile one benchmark at several random
+  parametrizations through the cross-circuit block scheduler, reporting
+  how many blocks deduplicated across the batch.
+* ``cache-stats`` — inspect a persistent pulse-cache directory: shard
+  occupancy, index size, evictions, plus persistent worker-pool telemetry.
+* ``library stats`` / ``library gc`` — operate directly on the sharded
+  pulse library (occupancy report; LRU eviction down to a size budget).
 
 Every command prints plain text and returns a process exit code, so the
 module is equally usable from tests (``main([...])``) and the shell.
@@ -210,6 +216,93 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _cmd_compile_batch(args) -> int:
+    from repro.core import (
+        FullGrapeCompiler,
+        PersistentPulseCache,
+        default_device_for,
+        default_pulse_cache,
+    )
+    from repro.pipeline import resolve_executor
+    from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
+
+    if args.batch < 1:
+        print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
+        return 2
+    try:
+        circuit = _benchmark_circuit(args.benchmark)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    settings = GrapeSettings(dt_ns=args.dt, target_fidelity=args.fidelity)
+    hyper = GrapeHyperparameters(0.05, 0.002, max_iterations=args.iterations)
+    rng = np.random.default_rng(args.seed)
+    values_list = [
+        list(rng.uniform(-np.pi / 2, np.pi / 2, size=len(circuit.parameters)))
+        for _ in range(args.batch)
+    ]
+    cache = (
+        PersistentPulseCache(args.cache_dir)
+        if args.cache_dir
+        else default_pulse_cache()
+    )
+    executor = resolve_executor(args.executor, args.jobs)
+    compiler = FullGrapeCompiler(
+        device=default_device_for(circuit),
+        settings=settings,
+        hyperparameters=hyper,
+        max_block_width=args.block_width,
+        cache=cache,
+        executor=executor,
+    )
+    try:
+        results = compiler.compile_parametrized_many(
+            circuit, values_list, use_cache=True
+        )
+    finally:
+        if hasattr(executor, "close"):
+            executor.close()
+
+    scheduler = results[0].metadata["scheduler"] or {}
+    rows = [
+        ("benchmark", args.benchmark),
+        ("batch size", args.batch),
+        ("qubits", circuit.num_qubits),
+        ("total blocks", scheduler.get("total_blocks")),
+        ("unique blocks compiled", scheduler.get("unique_blocks")),
+        ("deduplicated blocks", scheduler.get("deduped_blocks")),
+        ("dedup ratio", scheduler.get("dedup_ratio")),
+        ("executor", executor.name),
+        (
+            "pulse durations (ns)",
+            ", ".join(f"{r.pulse_duration_ns:.1f}" for r in results),
+        ),
+        (
+            "GRAPE iterations",
+            ", ".join(str(r.runtime_iterations) for r in results),
+        ),
+    ]
+    print(format_table(("property", "value"), rows, title="batch compile result"))
+    return 0
+
+
+def _pool_rows() -> list:
+    from repro.pipeline import persistent_executor_stats
+
+    rows = []
+    for stats in persistent_executor_stats():
+        label = f"pool {stats['executor']}×{stats['max_workers']}"
+        rows.append(
+            (
+                label,
+                f"pools_created={stats['pools_created']} "
+                f"map_calls={stats['map_calls']}",
+            )
+        )
+    return rows
+
+
 def _cmd_cache_stats(args) -> int:
     from pathlib import Path
 
@@ -219,15 +312,51 @@ def _cmd_cache_stats(args) -> int:
         print(f"error: no cache directory at {args.dir}", file=sys.stderr)
         return 2
     cache = PersistentPulseCache(args.dir)
-    entries = cache.persisted_count()
-    size = cache.persisted_bytes()
+    stats = cache.stats()
+    library = stats["library"]
     rows = [
         ("directory", str(cache.directory)),
-        ("persisted entries", entries),
-        ("size (KiB)", f"{size / 1024:.1f}"),
-        ("schema version", cache.stats()["schema_version"]),
+        ("persisted entries", stats["persisted_entries"]),
+        ("size (KiB)", f"{cache.persisted_bytes() / 1024:.1f}"),
+        ("schema version", stats["schema_version"]),
+        ("hits / misses", f"{stats['hits']} / {stats['misses']}"),
+        ("shards", library["shards"]),
+        ("nonempty shards", library["nonempty_shards"]),
+        ("max entries per shard", library["max_shard_entries"]),
+        ("index size (KiB)", f"{library['index_bytes'] / 1024:.1f}"),
+        ("evictions", library["evictions"]),
+        ("migrated legacy entries", library["migrated_entries"]),
     ]
+    rows.extend(_pool_rows())
     print(format_table(("property", "value"), rows, title="persistent pulse cache"))
+    return 0
+
+
+def _cmd_library_stats(args) -> int:
+    from pathlib import Path
+
+    from repro.library import PulseLibrary
+
+    if not Path(args.dir).is_dir():
+        print(f"error: no library directory at {args.dir}", file=sys.stderr)
+        return 2
+    stats = PulseLibrary(args.dir).stats()
+    rows = [(key, stats[key]) for key in sorted(stats)]
+    print(format_table(("property", "value"), rows, title="pulse library"))
+    return 0
+
+
+def _cmd_library_gc(args) -> int:
+    from pathlib import Path
+
+    from repro.library import PulseLibrary
+
+    if not Path(args.dir).is_dir():
+        print(f"error: no library directory at {args.dir}", file=sys.stderr)
+        return 2
+    report = PulseLibrary(args.dir).gc(args.budget_mb)
+    rows = [(key, value) for key, value in sorted(report.as_dict().items())]
+    print(format_table(("property", "value"), rows, title="pulse library gc"))
     return 0
 
 
@@ -289,11 +418,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_.set_defaults(func=_cmd_compile)
 
+    batch = sub.add_parser(
+        "compile-batch",
+        help="batch-compile one benchmark at several parametrizations "
+        "through the cross-circuit block dedup scheduler",
+    )
+    batch.add_argument(
+        "--benchmark",
+        required=True,
+        help="vqe:<molecule> or qaoa:<kind>:<nodes>:<p>, e.g. vqe:H2",
+    )
+    batch.add_argument(
+        "--batch", type=int, default=3, help="number of parametrizations"
+    )
+    batch.add_argument("--dt", type=float, default=0.5, help="GRAPE slice (ns)")
+    batch.add_argument("--fidelity", type=float, default=0.95)
+    batch.add_argument("--iterations", type=int, default=150)
+    batch.add_argument("--block-width", type=int, default=2)
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument("--executor", choices=EXECUTOR_CHOICES, default=None)
+    batch.add_argument("--jobs", type=int, default=None)
+    batch.add_argument("--cache-dir", default=None)
+    batch.set_defaults(func=_cmd_compile_batch)
+
     cache_ = sub.add_parser(
         "cache-stats", help="inspect a persistent pulse-cache directory"
     )
     cache_.add_argument("--dir", required=True, help="cache directory to inspect")
     cache_.set_defaults(func=_cmd_cache_stats)
+
+    library = sub.add_parser(
+        "library", help="operate on a sharded pulse library directory"
+    )
+    library_sub = library.add_subparsers(dest="library_command", required=True)
+    lib_stats = library_sub.add_parser(
+        "stats", help="layout, occupancy, and index telemetry"
+    )
+    lib_stats.add_argument("--dir", required=True, help="library directory")
+    lib_stats.set_defaults(func=_cmd_library_stats)
+    lib_gc = library_sub.add_parser(
+        "gc", help="reconcile the index and evict LRU entries to a size budget"
+    )
+    lib_gc.add_argument("--dir", required=True, help="library directory")
+    lib_gc.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="evict least-recently-used entries until under this many MiB "
+        "(default: REPRO_CACHE_BUDGET_MB, else reconcile only)",
+    )
+    lib_gc.set_defaults(func=_cmd_library_gc)
     return parser
 
 

@@ -143,6 +143,11 @@ EXECUTOR_CHOICES = (
     "process-persistent",
 )
 
+#: Valid shard fan-outs for the on-disk pulse library: entries shard by a
+#: whole-hex-character prefix of their unitary fingerprint, so the count
+#: must be a power of 16.
+CACHE_SHARD_CHOICES = (16, 256, 4096)
+
 
 @dataclass(frozen=True)
 class PipelineConfig:
@@ -164,11 +169,24 @@ class PipelineConfig:
         Directory for the persistent pulse cache.  ``None`` keeps the cache
         purely in memory (the seed behavior); a path makes every GRAPE
         result durable across processes and sessions.
+    cache_shards:
+        Shard fan-out of the on-disk pulse library (``REPRO_CACHE_SHARDS``).
+        Must be a whole hex-prefix count — 16, 256, or 4096 — because
+        entries shard by the leading characters of their unitary
+        fingerprint.  Only consulted when a *new* library is created; an
+        existing directory keeps the layout recorded in its
+        ``library.json``.
+    cache_budget_mb:
+        Default size budget for :meth:`repro.library.PulseLibrary.gc`
+        (``REPRO_CACHE_BUDGET_MB``).  ``None`` means unbounded: ``gc`` only
+        reconciles the index and never evicts.
     """
 
     executor: str = "serial"
     max_workers: int | None = None
     cache_dir: str | None = None
+    cache_shards: int = 16
+    cache_budget_mb: float | None = None
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_CHOICES:
@@ -177,6 +195,15 @@ class PipelineConfig:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ReproError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.cache_shards not in CACHE_SHARD_CHOICES:
+            raise ReproError(
+                f"cache_shards must be one of {CACHE_SHARD_CHOICES}, "
+                f"got {self.cache_shards}"
+            )
+        if self.cache_budget_mb is not None and self.cache_budget_mb <= 0:
+            raise ReproError(
+                f"cache_budget_mb must be positive, got {self.cache_budget_mb}"
+            )
 
 
 def _pipeline_config_from_env() -> PipelineConfig:
@@ -211,10 +238,44 @@ def _pipeline_config_from_env() -> PipelineConfig:
                     stacklevel=2,
                 )
                 workers = None
+    shards_raw = os.environ.get("REPRO_CACHE_SHARDS")
+    shards = 16
+    if shards_raw:
+        try:
+            candidate = int(shards_raw)
+        except ValueError:
+            candidate = None
+        if candidate in CACHE_SHARD_CHOICES:
+            shards = candidate
+        else:
+            warnings.warn(
+                f"ignoring REPRO_CACHE_SHARDS={shards_raw!r}; "
+                f"available: {CACHE_SHARD_CHOICES}",
+                stacklevel=2,
+            )
+    budget_raw = os.environ.get("REPRO_CACHE_BUDGET_MB")
+    budget = None
+    if budget_raw:
+        try:
+            budget = float(budget_raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring REPRO_CACHE_BUDGET_MB={budget_raw!r} (not a number)",
+                stacklevel=2,
+            )
+        else:
+            if budget <= 0:
+                warnings.warn(
+                    f"ignoring REPRO_CACHE_BUDGET_MB={budget} (must be positive)",
+                    stacklevel=2,
+                )
+                budget = None
     return PipelineConfig(
         executor=executor,
         max_workers=workers,
         cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        cache_shards=shards,
+        cache_budget_mb=budget,
     )
 
 
@@ -230,7 +291,11 @@ def get_pipeline_config() -> PipelineConfig:
 
 
 def set_pipeline_config(
-    executor=_UNSET, max_workers=_UNSET, cache_dir=_UNSET
+    executor=_UNSET,
+    max_workers=_UNSET,
+    cache_dir=_UNSET,
+    cache_shards=_UNSET,
+    cache_budget_mb=_UNSET,
 ) -> PipelineConfig:
     """Update the active pipeline settings (unpassed fields keep their value)."""
     global _pipeline_config
@@ -239,5 +304,9 @@ def set_pipeline_config(
         executor=current.executor if executor is _UNSET else executor,
         max_workers=current.max_workers if max_workers is _UNSET else max_workers,
         cache_dir=current.cache_dir if cache_dir is _UNSET else cache_dir,
+        cache_shards=current.cache_shards if cache_shards is _UNSET else cache_shards,
+        cache_budget_mb=(
+            current.cache_budget_mb if cache_budget_mb is _UNSET else cache_budget_mb
+        ),
     )
     return _pipeline_config

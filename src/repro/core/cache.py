@@ -11,11 +11,14 @@ Two backends are provided:
 
 * :class:`PulseCache` — in-memory, thread-safe, with hit/miss/timing
   telemetry.  This is the seed behavior and remains the default.
-* :class:`PersistentPulseCache` — additionally mirrors every entry to an
-  on-disk directory, fingerprint-keyed, so a *second process* (or a later
-  session) starts warm.  Writes are atomic (temp file + ``os.replace``),
-  which makes the directory safe under concurrent writers — including the
-  process-pool block executor of :mod:`repro.pipeline`.
+* :class:`PersistentPulseCache` — additionally mirrors every entry into a
+  sharded on-disk :class:`repro.library.PulseLibrary`, fingerprint-keyed,
+  so a *second process* (or a later session) starts warm.  Writes are
+  atomic (temp file + ``os.replace``), which makes the directory safe
+  under concurrent writers — including the process-pool block executor of
+  :mod:`repro.pipeline` and other hosts sharing the directory over a
+  network filesystem.  The library also carries the index, the LRU/budget
+  ``gc()``, and the one-time migration of legacy flat directories.
 
 :func:`default_pulse_cache` picks the backend from the active
 :class:`repro.config.PipelineConfig` (``cache_dir`` setting /
@@ -29,7 +32,6 @@ import os
 import pickle
 import threading
 import time
-import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -201,39 +203,56 @@ def _key_filename(key: tuple) -> str:
 
 
 class PersistentPulseCache(PulseCache):
-    """Pulse cache with an on-disk tier under ``directory``.
+    """Pulse cache whose on-disk tier is a sharded pulse library.
 
-    Every ``put`` writes a pickle of the entry atomically next to keeping it
-    in memory; a miss in memory falls through to disk (counted in
+    Every ``put`` pickles the entry into a
+    :class:`repro.library.PulseLibrary` under ``directory`` next to keeping
+    it in memory; a miss in memory falls through to the library (counted in
     ``disk_hits``), so a cold process pointed at a warm directory resumes
-    with zero GRAPE work for previously seen blocks.  Entries carry a
-    schema tag (:data:`CACHE_SCHEMA_VERSION`); files written by another
-    format version are invalidated gracefully — a counted miss in
-    ``schema_mismatches`` that GRAPE recomputes and overwrites — while
-    genuinely unreadable files (truncated by a crash, foreign junk) are
-    treated as misses and counted in ``disk_errors``.
+    with zero GRAPE work for previously seen blocks.  The library fans
+    entries out across fingerprint-prefix shards, maintains per-shard JSON
+    manifests (size/created/last-used), supports LRU eviction via
+    :meth:`gc`, and transparently migrates legacy flat cache directories on
+    first open — this class only handles the pickling and the schema tag.
+
+    Entries carry a schema tag (:data:`CACHE_SCHEMA_VERSION`); payloads
+    written by another format version are invalidated gracefully — a
+    counted miss in ``schema_mismatches`` that GRAPE recomputes and
+    overwrites — while genuinely unreadable payloads (truncated by a crash,
+    foreign junk) are treated as misses and counted in ``disk_errors``.
     """
 
     backend = "disk"
 
-    def __init__(self, directory: str | os.PathLike):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        shards: int | None = None,
+        budget_mb: float | None = None,
+    ):
         super().__init__()
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        from repro.library import PulseLibrary
+
+        self.library = PulseLibrary(directory, shards=shards, budget_mb=budget_mb)
+        self.directory = self.library.directory
         self.disk_hits = 0
         self.disk_errors = 0
         self.schema_mismatches = 0
 
     def _path(self, key: tuple) -> Path:
-        return self.directory / _key_filename(key)
+        return self.library.path_for(_key_filename(key))
 
     def _load_fallback(self, key: tuple) -> CacheEntry | None:
-        path = self._path(key)
         try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-        except FileNotFoundError:
+            blob = self.library.get(_key_filename(key))
+        except OSError:
+            with self._lock:
+                self.disk_errors += 1
             return None
+        if blob is None:
+            return None
+        try:
+            payload = pickle.loads(blob)
         except Exception:
             with self._lock:
                 self.disk_errors += 1
@@ -269,34 +288,37 @@ class PersistentPulseCache(PulseCache):
         return state
 
     def _persist(self, key: tuple, entry: CacheEntry) -> None:
-        path = self._path(key)
-        # Unique temp name per writer + atomic rename: concurrent writers
-        # (threads or processes) race benignly — last replace wins, readers
-        # never observe a partial file.
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
         payload = {"schema_version": CACHE_SCHEMA_VERSION, "entry": entry}
         try:
-            with open(tmp, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
+            self.library.put(
+                _key_filename(key),
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+                schema_version=CACHE_SCHEMA_VERSION,
+            )
         except OSError:
             with self._lock:
                 self.disk_errors += 1
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
+
+    def gc(self, budget_mb: float | None = None):
+        """Evict least-recently-used persisted pulses down to the budget.
+
+        Delegates to :meth:`repro.library.PulseLibrary.gc`; the in-memory
+        tier is untouched (evicted entries a live process already holds in
+        memory keep serving until it exits).
+        """
+        return self.library.gc(budget_mb)
 
     def persisted_count(self) -> int:
         """Number of entries currently durable on disk."""
-        return sum(1 for _ in self.directory.glob("*.pulse"))
+        return self.library.count()
 
     def persisted_bytes(self) -> int:
         """Total size of the on-disk tier."""
-        return sum(p.stat().st_size for p in self.directory.glob("*.pulse"))
+        return self.library.total_bytes()
 
     def stats(self) -> dict:
         data = super().stats()
+        library_stats = self.library.stats()
         data.update(
             {
                 "directory": str(self.directory),
@@ -304,7 +326,8 @@ class PersistentPulseCache(PulseCache):
                 "disk_errors": self.disk_errors,
                 "schema_version": CACHE_SCHEMA_VERSION,
                 "schema_mismatches": self.schema_mismatches,
-                "persisted_entries": self.persisted_count(),
+                "persisted_entries": library_stats["entries"],
+                "library": library_stats,
             }
         )
         return data

@@ -62,6 +62,31 @@ class BlockPulseCompiler:
 
         return lookup_schedules(circuit)
 
+    def task_key(
+        self, subcircuit: QuantumCircuit | None, device_qubits: tuple
+    ) -> tuple | None:
+        """The dedup/cache identity of one block, or ``None`` if it has none.
+
+        Two blocks with the same key — same phase-canonical target unitary
+        and the same physical context (relative channel layout, time step,
+        fidelity target) — compile to interchangeable pulses, so a batch
+        scheduler may compile one and fan the result out to the others.
+        Parametrized, empty, and zero-duration blocks return ``None``:
+        they are either not compilable yet or too cheap to dedup.
+        """
+        if subcircuit is None or subcircuit.is_parameterized():
+            return None
+        if len(subcircuit) == 0 or critical_path_ns(subcircuit) <= 0:
+            return None
+        control_set = build_control_set(self.device, device_qubits)
+        target = circuit_unitary(subcircuit)
+        return self.cache.key(
+            target,
+            control_set,
+            self.settings.resolved_dt(),
+            self.settings.resolved_target(),
+        )
+
     def compile_block(
         self,
         subcircuit: QuantumCircuit,

@@ -65,7 +65,26 @@ class FullGrapeCompiler:
         start = time.perf_counter()
         context = pipeline.run(circuit)
         elapsed = time.perf_counter() - start
+        return self._result_from_context(context, elapsed, cache)
+
+    def _result_from_context(
+        self, context, elapsed: float, cache: PulseCache, extra_metadata: dict | None = None
+    ) -> CompiledPulse:
+        """One context's outcomes folded into the strategy's result record."""
         outcomes = context.block_results
+        metadata = {
+            "program_fallback": context.used_fallback,
+            "blocks": context.metadata["blocks"],
+            "grape_blocks": sum(1 for o in outcomes if o.used_grape),
+            "fallback_blocks": sum(
+                1 for o in outcomes if not o.used_grape and o.iterations > 0
+            ),
+            "executor": context.executor_info,
+            "stage_timings": context.stage_timing_dict(),
+            "cache": cache.stats(),
+        }
+        if extra_metadata:
+            metadata.update(extra_metadata)
         return CompiledPulse(
             method=self.method,
             program=context.program,
@@ -74,17 +93,7 @@ class FullGrapeCompiler:
             runtime_iterations=sum(o.iterations for o in outcomes),
             blocks_compiled=len(outcomes),
             cache_hits=sum(1 for o in outcomes if o.cache_hit),
-            metadata={
-                "program_fallback": context.used_fallback,
-                "blocks": context.metadata["blocks"],
-                "grape_blocks": sum(1 for o in outcomes if o.used_grape),
-                "fallback_blocks": sum(
-                    1 for o in outcomes if not o.used_grape and o.iterations > 0
-                ),
-                "executor": context.executor_info,
-                "stage_timings": context.stage_timing_dict(),
-                "cache": cache.stats(),
-            },
+            metadata=metadata,
         )
 
     def compile_parametrized(
@@ -94,3 +103,64 @@ class FullGrapeCompiler:
         iteration.  Caching defaults off: each iteration's angles are new,
         and the paper's full-GRAPE latency is the uncached cost."""
         return self.compile(circuit.bind_parameters(values), use_cache=use_cache)
+
+    def compile_many(
+        self, circuits: Sequence[QuantumCircuit], use_cache: bool = True
+    ) -> list:
+        """Compile a batch of bound circuits, deduplicating shared blocks.
+
+        All circuits flow through one pipeline whose pulse stage is a
+        :class:`~repro.pipeline.scheduler.BlockScheduler` pass over the
+        whole batch: blocks with the same unitary fingerprint and control
+        context — within one circuit or across circuits — run GRAPE exactly
+        once, and every duplicate receives a retargeted copy of the shared
+        pulse.  Returns one :class:`CompiledPulse` per circuit, in order;
+        each result's ``metadata["scheduler"]`` carries the batch dedup
+        accounting (total/unique/deduped block counts).
+
+        The batch compiles as one unit, so per-circuit wall time does not
+        exist: every result's ``runtime_latency_s`` is the *shared* batch
+        wall time (also in ``metadata["batch_wall_time_s"]``) — do not sum
+        it across the batch.
+        """
+        circuits = list(circuits)
+        if not circuits:
+            return []
+        device = self.device or default_device_for(
+            max(circuits, key=lambda c: c.num_qubits)
+        )
+        cache = self.cache if use_cache else PulseCache()
+        block_compiler = BlockPulseCompiler(
+            device, self.settings, self.hyperparameters, cache
+        )
+        pipeline = full_grape_pipeline(
+            block_compiler, self.max_block_width, self.executor
+        )
+        start = time.perf_counter()
+        contexts, report = pipeline.run_many(circuits)
+        elapsed = time.perf_counter() - start
+        batch_metadata = {
+            "scheduler": report.as_dict() if report else None,
+            "batch_wall_time_s": elapsed,
+        }
+        return [
+            self._result_from_context(context, elapsed, cache, batch_metadata)
+            for context in contexts
+        ]
+
+    def compile_parametrized_many(
+        self,
+        circuit: QuantumCircuit,
+        values_list: Sequence[Sequence[float]],
+        use_cache: bool = False,
+    ) -> list:
+        """Bind one ansatz at many parametrizations and batch-compile them.
+
+        The batch scheduler makes the variational sharing explicit: blocks
+        that do not depend on the parameters are identical across every
+        binding and compile once for the whole batch.
+        """
+        return self.compile_many(
+            [circuit.bind_parameters(values) for values in values_list],
+            use_cache=use_cache,
+        )

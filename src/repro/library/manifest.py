@@ -1,0 +1,120 @@
+"""Per-shard JSON manifests: the pulse library's index.
+
+Each shard directory carries one ``manifest.json`` describing its entries:
+
+.. code-block:: json
+
+    {
+      "manifest_version": 1,
+      "evictions": 3,
+      "entries": {
+        "abcdef…-0123….pulse": {
+          "size": 18432,
+          "created": 1721800000.12,
+          "last_used": 1721800411.02,
+          "schema_version": 2
+        }
+      }
+    }
+
+The manifest is an *index*, not the source of truth — the data files are.
+Readers that find a file with no manifest entry still serve it, and
+:meth:`repro.library.store.PulseLibrary.gc` reconciles every manifest
+against the shard's actual contents (stat sizes, drops ghosts, adopts
+orphans) before making eviction decisions.  This keeps the library robust
+against crashes between a data write and its index update.
+
+All manifest writes are atomic (temp + ``os.replace``) and happen under the
+shard's :class:`~repro.library.locking.FileLock`, so concurrent processes
+never interleave read-modify-write cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+
+#: Format version embedded in every manifest file.  A manifest with any
+#: other version is rebuilt from the shard's data files instead of trusted.
+MANIFEST_VERSION = 1
+
+MANIFEST_FILENAME = "manifest.json"
+
+
+def empty_manifest() -> dict:
+    """A fresh manifest structure for a shard with no entries."""
+    return {"manifest_version": MANIFEST_VERSION, "evictions": 0, "entries": {}}
+
+
+def load_manifest(shard_dir: Path) -> dict:
+    """Read a shard's manifest, tolerating absence and corruption.
+
+    A missing, unreadable, or wrong-version manifest yields an empty one —
+    the data files remain authoritative and ``gc`` rebuilds the index.
+    """
+    path = shard_dir / MANIFEST_FILENAME
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return empty_manifest()
+    if (
+        not isinstance(data, dict)
+        or data.get("manifest_version") != MANIFEST_VERSION
+        or not isinstance(data.get("entries"), dict)
+    ):
+        return empty_manifest()
+    data.setdefault("evictions", 0)
+    return data
+
+
+def save_manifest(shard_dir: Path, manifest: dict) -> None:
+    """Atomically write ``manifest`` into ``shard_dir``."""
+    path = shard_dir / MANIFEST_FILENAME
+    tmp = path.with_name(f".{MANIFEST_FILENAME}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+    tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def entry_record(size: int, created: float, last_used: float, schema_version=None) -> dict:
+    """One manifest entry value (see module docstring for the format)."""
+    record = {
+        "size": int(size),
+        "created": round(float(created), 3),
+        "last_used": round(float(last_used), 3),
+    }
+    if schema_version is not None:
+        record["schema_version"] = int(schema_version)
+    return record
+
+
+def rebuild_entries(shard_dir: Path, manifest: dict, suffix: str) -> dict:
+    """Reconcile ``manifest['entries']`` with the files actually in the shard.
+
+    Ghost entries (indexed but deleted on disk) are dropped; orphan files
+    (on disk but unindexed — e.g. written by a crashed process or a foreign
+    writer) are adopted with stamps taken from ``stat``.  Sizes are
+    refreshed from disk.  Returns the reconciled entries dict (the manifest
+    is modified in place).
+    """
+    entries: dict = manifest["entries"]
+    on_disk = {}
+    for path in shard_dir.glob(f"*{suffix}"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        on_disk[path.name] = stat
+    for name in list(entries):
+        if name not in on_disk:
+            del entries[name]
+    for name, stat in on_disk.items():
+        record = entries.get(name)
+        if record is None:
+            entries[name] = entry_record(
+                stat.st_size, stat.st_mtime, stat.st_mtime
+            )
+        else:
+            record["size"] = int(stat.st_size)
+    return entries

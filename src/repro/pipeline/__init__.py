@@ -10,7 +10,11 @@ transformer framework:
 * :mod:`repro.pipeline.stages` — composable :class:`Stage` objects carrying
   a :class:`PipelineContext` from circuit to pulse program.
 * :mod:`repro.pipeline.pipeline` — :class:`CompilationPipeline`, an ordered
-  stage list with per-stage wall-time telemetry.
+  stage list with per-stage wall-time telemetry, plus the batch entry
+  point ``run_many``.
+* :mod:`repro.pipeline.scheduler` — :class:`BlockScheduler`, which
+  deduplicates block compilations across a batch of circuits before
+  dispatch (N variational circuits sharing blocks compile each block once).
 * :mod:`repro.pipeline.strategies` — the four declarative pipeline
   configurations behind ``repro.core``'s compiler classes.
 """
@@ -22,10 +26,12 @@ from repro.pipeline.executors import (
     ProcessPoolBlockExecutor,
     SerialExecutor,
     ThreadPoolBlockExecutor,
+    persistent_executor_stats,
     resolve_executor,
     shutdown_persistent_executors,
 )
 from repro.pipeline.pipeline import CompilationPipeline
+from repro.pipeline.scheduler import BlockScheduler, SchedulerReport
 from repro.pipeline.stages import (
     AssembleStage,
     BindStage,
@@ -48,9 +54,11 @@ __all__ = [
     "AssembleStage",
     "BindStage",
     "BlockExecutor",
+    "BlockScheduler",
     "BlockTask",
     "BlockingStage",
     "CompilationPipeline",
+    "SchedulerReport",
     "GateScheduleStage",
     "PersistentProcessPoolBlockExecutor",
     "PersistentThreadPoolBlockExecutor",
@@ -64,6 +72,7 @@ __all__ = [
     "flexible_precompile_pipeline",
     "full_grape_pipeline",
     "gate_based_pipeline",
+    "persistent_executor_stats",
     "resolve_executor",
     "shutdown_persistent_executors",
     "strict_precompile_pipeline",

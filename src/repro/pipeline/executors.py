@@ -291,6 +291,17 @@ _PERSISTENT_CLASSES = {
 }
 
 
+def persistent_executor_stats() -> list:
+    """Telemetry for every shared persistent pool created so far.
+
+    One ``describe()`` dict per registered executor (``pools_created`` /
+    ``map_calls`` included), so CLI surfaces like ``cache-stats`` can show
+    how well the pool amortization is working process-wide.
+    """
+    with _persistent_registry_lock:
+        return [executor.describe() for executor in _persistent_executors.values()]
+
+
 def shutdown_persistent_executors() -> None:
     """Close every shared persistent pool (they revive lazily if reused).
 

@@ -50,14 +50,80 @@ class CompilationPipeline:
         order, so callers can report exactly where compilation latency went.
         """
         context = PipelineContext(circuit=circuit, values=values)
-        perf = get_perf_registry()
         for stage in self.stages:
-            start = time.perf_counter()
-            stage.run(context)
-            elapsed = time.perf_counter() - start
-            context.stage_timings.append((stage.name, elapsed))
-            perf.record_seconds(f"pipeline.stage.{stage.name}", elapsed)
+            self._run_stage(stage, context)
         return context
+
+    @staticmethod
+    def _run_stage(stage: Stage, context: PipelineContext) -> None:
+        start = time.perf_counter()
+        stage.run(context)
+        elapsed = time.perf_counter() - start
+        context.stage_timings.append((stage.name, elapsed))
+        get_perf_registry().record_seconds(f"pipeline.stage.{stage.name}", elapsed)
+
+    def run_many(self, circuits, values=None) -> tuple:
+        """Flow a *batch* of circuits through the pipeline, deduplicating
+        block compilations across the whole batch.
+
+        Stages before the pulse stage run per circuit as usual; the pulse
+        stage is replaced by one
+        :class:`~repro.pipeline.scheduler.BlockScheduler` pass over every
+        context's tasks, so blocks shared between circuits (variational
+        iterations of one ansatz, molecules sharing CX ladders) compile
+        exactly once; stages after it run per circuit again.  Returns
+        ``(contexts, report)`` with contexts in input order.  Pipelines
+        without a dedup-capable pulse stage (no ``block_compiler``, e.g.
+        the gate-based strategy) fall back to independent ``run`` calls and
+        a ``None`` report.
+        """
+        from repro.pipeline.scheduler import BlockScheduler
+        from repro.pipeline.stages import PulseStage
+
+        circuits = list(circuits)
+        values = list(values) if values is not None else [None] * len(circuits)
+        if len(values) != len(circuits):
+            raise PipelineError(
+                f"got {len(circuits)} circuits but {len(values)} value sets"
+            )
+        pulse_index = next(
+            (
+                i
+                for i, stage in enumerate(self.stages)
+                if isinstance(stage, PulseStage) and stage.block_compiler is not None
+            ),
+            None,
+        )
+        if pulse_index is None:
+            return [
+                self.run(circuit, vals) for circuit, vals in zip(circuits, values)
+            ], None
+
+        pulse = self.stages[pulse_index]
+        contexts = []
+        for circuit, vals in zip(circuits, values):
+            context = PipelineContext(circuit=circuit, values=vals)
+            for stage in self.stages[:pulse_index]:
+                self._run_stage(stage, context)
+            contexts.append(context)
+
+        scheduler = BlockScheduler(
+            pulse.block_compiler, pulse.executor, pulse.parametrized_handler
+        )
+        start = time.perf_counter()
+        report = scheduler.run(contexts)
+        elapsed = time.perf_counter() - start
+        get_perf_registry().record_seconds(f"pipeline.stage.{pulse.name}", elapsed)
+        for context in contexts:
+            # The pulse stage ran once for the whole batch; every context
+            # reports the shared wall time so latency stays attributable.
+            context.stage_timings.append((pulse.name, elapsed))
+            context.metadata["scheduler"] = report.as_dict()
+
+        for context in contexts:
+            for stage in self.stages[pulse_index + 1 :]:
+                self._run_stage(stage, context)
+        return contexts, report
 
     def describe(self) -> dict:
         """A telemetry-friendly summary of the pipeline's shape."""

@@ -245,6 +245,13 @@ class PulseStage(Stage):
     entry); ``parametrized_handler`` handles parameter-dependent tasks.
     Both must be picklable (module-level functions, or ``functools.partial``
     over picklable state) for the process executor to work.
+
+    ``block_compiler`` (optional) is the
+    :class:`~repro.core.compiler.BlockPulseCompiler` behind
+    ``fixed_handler``, exposed so the batch scheduler
+    (:class:`repro.pipeline.scheduler.BlockScheduler`) can compute block
+    identities and fan deduplicated results back out.  Single-circuit
+    ``run`` never consults it.
     """
 
     name = "pulse"
@@ -254,11 +261,13 @@ class PulseStage(Stage):
         fixed_handler: Callable,
         executor: BlockExecutor | None = None,
         parametrized_handler: Callable | None = None,
+        block_compiler=None,
     ):
         from functools import partial
 
         self.fixed_handler = fixed_handler
         self.parametrized_handler = parametrized_handler
+        self.block_compiler = block_compiler
         self.executor = executor if executor is not None else SerialExecutor()
         self._dispatch = partial(
             _dispatch_task, fixed_handler, parametrized_handler

@@ -70,6 +70,7 @@ def full_grape_pipeline(
             PulseStage(
                 partial(compile_fixed_block, block_compiler),
                 executor=resolve_executor(executor),
+                block_compiler=block_compiler,
             ),
             AssembleStage(fallback=True),
         ],
@@ -95,6 +96,7 @@ def strict_precompile_pipeline(
                 partial(compile_fixed_block, block_compiler),
                 executor=resolve_executor(executor),
                 parametrized_handler=parametrized_handler,
+                block_compiler=block_compiler,
             ),
         ],
         name="strict-precompile",
@@ -122,6 +124,7 @@ def flexible_precompile_pipeline(
                 partial(compile_fixed_block, block_compiler),
                 executor=resolve_executor(executor),
                 parametrized_handler=parametrized_handler,
+                block_compiler=block_compiler,
             ),
         ],
         name="flexible-precompile",

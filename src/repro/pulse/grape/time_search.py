@@ -6,6 +6,17 @@ found brittle — the pulse length itself is searched: find the shortest
 precision of 0.3 ns.  Each probe warm-starts from the best feasible pulse
 found so far (resampled to the new step count), which substantially reduces
 the iterations per probe.
+
+The search has two phases with different parallelism structure.  The
+*binary search* is sequential by design: each probe's outcome decides the
+next interval.  The *feasibility-doubling* probes are not — once the
+initial bound (and its half) fail, the candidate doubled durations are
+independent GRAPE runs, so passing ``probe_executor`` dispatches them
+speculatively in parallel and keeps the shortest converged one.  The
+speculative path costs extra GRAPE iterations (every doubling runs instead
+of stopping at the first success) in exchange for wall-clock latency — the
+right trade inside flexible partial compilation's precompute phase, where
+hard blocks otherwise serialize three doublings back to back.
 """
 
 from __future__ import annotations
@@ -50,6 +61,36 @@ class MinimumTimeResult:
         return self.duration_ns
 
 
+def _resolve_probe_executor(spec):
+    """Turn the ``probe_executor`` argument into an executor, or ``None``.
+
+    Unlike :func:`repro.pipeline.executors.resolve_executor`, a ``None``
+    spec stays ``None`` — speculative probing is opt-in per call site, not
+    inherited from ``REPRO_EXECUTOR`` (the block-level executor config
+    would otherwise silently multiply GRAPE work inside every block).
+    """
+    if spec is None:
+        return None
+    from repro.pipeline.executors import resolve_executor
+
+    return resolve_executor(spec)
+
+
+def _feasibility_probe(
+    control_set: ControlSet,
+    target: np.ndarray,
+    hyper: GrapeHyperparameters,
+    settings: GrapeSettings,
+    dt: float,
+    warm: PulseSchedule | None,
+    duration_ns: float,
+) -> GrapeResult:
+    """One independent feasibility probe (module-level so pools can pickle)."""
+    steps = max(1, int(round(duration_ns / dt)))
+    initial = warm.resampled(steps).controls if warm is not None else None
+    return optimize_pulse(control_set, target, steps, hyper, settings, initial=initial)
+
+
 def minimum_time_pulse(
     control_set: ControlSet,
     target: np.ndarray,
@@ -59,6 +100,7 @@ def minimum_time_pulse(
     precision_ns: float | None = None,
     lower_bound_ns: float = 0.0,
     max_doublings: int = 3,
+    probe_executor=None,
 ) -> MinimumTimeResult:
     """Find the shortest pulse that realizes ``target`` at the set fidelity.
 
@@ -70,6 +112,19 @@ def minimum_time_pulse(
         times if infeasible.
     precision_ns:
         Binary-search stopping width (preset default: paper uses 0.3 ns).
+    probe_executor:
+        Optional :class:`~repro.pipeline.executors.BlockExecutor` (or
+        executor name) for the feasibility-doubling probes.  ``None`` (the
+        default) keeps the lazy sequential behavior: doublings run one at a
+        time, stopping at the first success.  With an executor, all
+        doubling candidates run speculatively — in parallel for the pool
+        executors — and the shortest converged one wins; total iteration
+        counts include every speculative probe.  Because every speculative
+        probe warm-starts from the same pre-doubling best (instead of the
+        sequential path's chained warm starts), the feasible duration found
+        can differ slightly between the two modes; a first-probe success is
+        identical either way.  The binary search itself always stays
+        sequential (each probe decides the next interval).
     """
     settings = settings or GrapeSettings()
     hyper = hyperparameters or GrapeHyperparameters()
@@ -103,7 +158,7 @@ def minimum_time_pulse(
     # same descent budget), so after a failed first probe the search also
     # tries half the bound before resorting to doubling.
     trial_times = [upper_bound_ns, 0.5 * upper_bound_ns]
-    trial_times += [upper_bound_ns * 2.0**k for k in range(1, max_doublings + 1)]
+    doubling_times = [upper_bound_ns * 2.0**k for k in range(1, max_doublings + 1)]
     best: GrapeResult | None = None
     for trial in trial_times:
         result = run(trial, best.schedule if best else None)
@@ -112,6 +167,43 @@ def minimum_time_pulse(
             break
         if best is None or result.fidelity > best.fidelity:
             best = result
+
+    executor = _resolve_probe_executor(probe_executor)
+    if not best.converged and doubling_times:
+        if executor is not None and len(doubling_times) > 1:
+            # Speculative phase: every doubling candidate probes at once
+            # from the same warm start; keep the shortest converged one.
+            from functools import partial
+
+            worker = partial(
+                _feasibility_probe,
+                control_set,
+                target,
+                hyper,
+                settings,
+                dt,
+                best.schedule,
+            )
+            results = executor.map(worker, doubling_times)
+            for duration, result in zip(doubling_times, results):
+                total_iterations += result.iterations
+                grape_calls += 1
+                steps = max(1, int(round(duration / dt)))
+                probes.append((steps * dt, result.fidelity, result.converged))
+            converged = [r for r in results if r.converged]
+            if converged:
+                # Ascending durations: the first converged is the shortest.
+                best = converged[0]
+            else:
+                best = max([best, *results], key=lambda r: r.fidelity)
+        else:
+            for trial in doubling_times:
+                result = run(trial, best.schedule)
+                if result.converged:
+                    best = result
+                    break
+                if result.fidelity > best.fidelity:
+                    best = result
 
     if best is None or not best.converged:
         # Infeasible even after doubling; report the best attempt.

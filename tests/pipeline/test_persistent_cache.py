@@ -76,7 +76,7 @@ class TestRobustness:
         warm = PersistentPulseCache(tmp_path)
         key = _key(warm)
         warm.put(key, _entry())
-        payload = next(tmp_path.glob("*.pulse"))
+        payload = next(tmp_path.rglob("*.pulse"))
         payload.write_bytes(b"not a pickle")
         cold = PersistentPulseCache(tmp_path)
         assert cold.get(key) is None
@@ -86,7 +86,7 @@ class TestRobustness:
         warm = PersistentPulseCache(tmp_path)
         key = _key(warm)
         warm.put(key, _entry())
-        payload = next(tmp_path.glob("*.pulse"))
+        payload = next(tmp_path.rglob("*.pulse"))
         payload.write_bytes(pickle.dumps(["definitely", "not", "ours"]))
         cold = PersistentPulseCache(tmp_path)
         assert cold.get(key) is None
@@ -97,7 +97,7 @@ class TestSchemaVersioning:
     def test_entries_carry_the_schema_tag(self, tmp_path):
         cache = PersistentPulseCache(tmp_path)
         cache.put(_key(cache), _entry())
-        raw = pickle.loads(next(tmp_path.glob("*.pulse")).read_bytes())
+        raw = pickle.loads(next(tmp_path.rglob("*.pulse")).read_bytes())
         assert raw["schema_version"] == CACHE_SCHEMA_VERSION
         assert isinstance(raw["entry"], CacheEntry)
 
@@ -106,7 +106,7 @@ class TestSchemaVersioning:
         warm = PersistentPulseCache(tmp_path)
         key = _key(warm)
         warm.put(key, _entry())
-        payload = next(tmp_path.glob("*.pulse"))
+        payload = next(tmp_path.rglob("*.pulse"))
         payload.write_bytes(pickle.dumps(_entry()))  # pre-versioning format
         cold = PersistentPulseCache(tmp_path)
         assert cold.get(key) is None
@@ -118,7 +118,7 @@ class TestSchemaVersioning:
         warm = PersistentPulseCache(tmp_path)
         key = _key(warm)
         warm.put(key, _entry())
-        payload = next(tmp_path.glob("*.pulse"))
+        payload = next(tmp_path.rglob("*.pulse"))
         payload.write_bytes(
             pickle.dumps(
                 {"schema_version": CACHE_SCHEMA_VERSION + 1, "entry": _entry()}
@@ -169,7 +169,7 @@ class TestSchemaVersioning:
         assert cold.get(key) is not None
         assert cold.disk_errors == 0
         assert cache.persisted_count() == 1
-        assert not list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.rglob("*.tmp"))
 
     def test_pickles_without_its_lock(self, tmp_path):
         cache = PersistentPulseCache(tmp_path)

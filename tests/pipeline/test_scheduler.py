@@ -1,0 +1,279 @@
+"""Cross-circuit block dedup: each unique block compiles exactly once."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.core import FullGrapeCompiler, PulseCache
+from repro.core.compiler import BlockPulseCompiler
+from repro.errors import PipelineError
+from repro.perf import get_perf_registry
+from repro.pipeline import BlockScheduler
+from repro.pipeline.strategies import full_grape_pipeline
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
+from repro.transpile.topology import line_topology
+
+SETTINGS = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
+HYPER = GrapeHyperparameters(0.05, 0.002, max_iterations=120)
+
+
+class CountingCache(PulseCache):
+    """A cache that records every key GRAPE actually computed (put) for."""
+
+    def __init__(self):
+        super().__init__()
+        self.put_keys = []
+
+    def put(self, key, entry):
+        self.put_keys.append(key)
+        super().put(key, entry)
+
+
+def _shared_block_circuit(theta: float = 0.0) -> QuantumCircuit:
+    """Two translated copies of one entangling block (+ optional Rz)."""
+    circuit = QuantumCircuit(4)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.h(2)
+    circuit.cx(2, 3)
+    if theta:
+        circuit.rz(theta, 1)
+    return circuit
+
+
+def _compiler(cache=None) -> FullGrapeCompiler:
+    return FullGrapeCompiler(
+        device=GmonDevice(line_topology(4)),
+        settings=SETTINGS,
+        hyperparameters=HYPER,
+        max_block_width=2,
+        cache=cache if cache is not None else PulseCache(),
+    )
+
+
+class TestCompileMany:
+    def test_shared_blocks_compile_exactly_once(self):
+        """The acceptance contract: ≥3 circuits sharing blocks, each unique
+        block GRAPE-compiled exactly once, asserted via telemetry."""
+        cache = CountingCache()
+        circuits = [
+            _shared_block_circuit(),
+            _shared_block_circuit(),
+            _shared_block_circuit(0.3),
+        ]
+        results = _compiler(cache).compile_many(circuits)
+        assert len(results) == 3
+        scheduler = results[0].metadata["scheduler"]
+        # 2 blocks per circuit; the h+cx block is shared by all three
+        # circuits (and its translated copy within each), the rz variant
+        # appears only in the third.
+        assert scheduler["total_blocks"] == 6
+        assert scheduler["unique_blocks"] == 2
+        assert scheduler["deduped_blocks"] == 4
+        assert scheduler["dispatched_tasks"] == scheduler["unique_blocks"]
+        # GRAPE ran exactly once per unique block: one cache put per key,
+        # no key computed twice.
+        assert len(cache.put_keys) == 2
+        assert len(set(cache.put_keys)) == 2
+
+    def test_batch_matches_single_circuit_compiles(self):
+        circuits = [_shared_block_circuit(), _shared_block_circuit(0.4)]
+        batch = _compiler().compile_many(circuits)
+        singles = [_compiler().compile(c) for c in circuits]
+        for batched, single in zip(batch, singles):
+            assert batched.pulse_duration_ns == pytest.approx(
+                single.pulse_duration_ns
+            )
+            assert batched.blocks_compiled == single.blocks_compiled
+
+    def test_duplicates_cost_zero_iterations(self):
+        results = _compiler().compile_many(
+            [_shared_block_circuit(), _shared_block_circuit()]
+        )
+        assert results[0].runtime_iterations > 0
+        assert results[1].runtime_iterations == 0
+        assert results[1].cache_hits == results[1].blocks_compiled
+
+    def test_translated_duplicate_lands_on_its_own_qubits(self):
+        results = _compiler().compile_many([_shared_block_circuit()])
+        schedules = results[0].program.schedules
+        qubit_sets = {tuple(s.qubits) for s in schedules}
+        assert (0, 1) in qubit_sets and (2, 3) in qubit_sets
+
+    def test_perf_counters_record_dedup(self):
+        registry = get_perf_registry()
+        before_unique = registry.counter("scheduler.unique_blocks")
+        before_deduped = registry.counter("scheduler.deduped_blocks")
+        _compiler().compile_many([_shared_block_circuit()] * 2)
+        assert registry.counter("scheduler.unique_blocks") == before_unique + 1
+        assert registry.counter("scheduler.deduped_blocks") == before_deduped + 3
+
+    def test_empty_batch(self):
+        assert _compiler().compile_many([]) == []
+
+    def test_compile_parametrized_many_dedups_theta_free_blocks(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.rz(Parameter("theta"), 1)
+        circuit.cx(0, 1)
+        results = _compiler().compile_parametrized_many(
+            circuit, [[0.1], [0.2], [0.3]]
+        )
+        scheduler = results[0].metadata["scheduler"]
+        assert scheduler["circuits"] == 3
+        # The bound circuits differ only in the Rz angle; with width-2
+        # blocking the whole circuit is one block per binding, all unique.
+        assert scheduler["total_blocks"] == 3
+        assert len(results) == 3
+
+    def test_thread_executor_still_exact_once(self):
+        cache = CountingCache()
+        compiler = FullGrapeCompiler(
+            device=GmonDevice(line_topology(4)),
+            settings=SETTINGS,
+            hyperparameters=HYPER,
+            max_block_width=2,
+            cache=cache,
+            executor="thread",
+        )
+        results = compiler.compile_many([_shared_block_circuit()] * 3)
+        assert results[0].metadata["scheduler"]["unique_blocks"] == 1
+        assert len(cache.put_keys) == 1
+
+
+class TestRunMany:
+    def test_values_length_mismatch_raises(self):
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+        )
+        pipeline = full_grape_pipeline(block_compiler, 2)
+        with pytest.raises(PipelineError):
+            pipeline.run_many([_shared_block_circuit()], values=[None, None])
+
+    def test_contexts_carry_scheduler_metadata_and_timings(self):
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+        )
+        pipeline = full_grape_pipeline(block_compiler, 2)
+        contexts, report = pipeline.run_many([_shared_block_circuit()] * 2)
+        assert report.unique_blocks == 1
+        for context in contexts:
+            assert context.metadata["scheduler"]["unique_blocks"] == 1
+            stage_names = [name for name, _ in context.stage_timings]
+            assert stage_names == ["bind", "block", "pulse", "assemble"]
+            assert context.program is not None
+
+    def test_pipeline_without_dedup_capable_pulse_stage_falls_back(self):
+        from repro.pipeline.strategies import gate_based_pipeline
+
+        pipeline = gate_based_pipeline()
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        contexts, report = pipeline.run_many([circuit, circuit])
+        assert report is None
+        assert all(c.program is not None for c in contexts)
+
+
+class TestBlockScheduler:
+    def test_requires_blocked_contexts(self):
+        from repro.pipeline.stages import PipelineContext
+
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(2)), SETTINGS, HYPER, PulseCache()
+        )
+        scheduler = BlockScheduler(block_compiler)
+        with pytest.raises(PipelineError):
+            scheduler.run([PipelineContext(circuit=QuantumCircuit(1))])
+
+    def test_trivial_blocks_compile_inline(self):
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(2)), SETTINGS, HYPER, PulseCache()
+        )
+        pipeline = full_grape_pipeline(block_compiler, 2)
+        # An identity-only circuit produces zero-duration blocks (no GRAPE).
+        circuit = QuantumCircuit(2)
+        circuit.i(0)
+        circuit.i(1)
+        contexts, report = pipeline.run_many([circuit])
+        assert report.trivial_blocks == report.total_blocks
+        assert report.dispatched_tasks == 0
+        assert contexts[0].program is not None
+
+
+class TestRetargetOutcome:
+    def test_cache_entry_revives_discarded_pulse_for_slower_duplicate(self):
+        """A GRAPE pulse the representative discarded (its own gate time was
+        shorter) must still win for a duplicate whose decomposition is
+        slower — exactly what the per-circuit cache-hit path would do."""
+        import numpy as np
+
+        from repro.core.cache import CacheEntry
+        from repro.core.compiler import BlockCompileOutcome
+        from repro.pipeline.scheduler import _retarget_outcome
+        from repro.pipeline.stages import BlockTask
+        from repro.pulse.schedule import PulseSchedule, lookup_schedule
+
+        # Representative: gate-based 0.4 ns beat the 0.5 ns GRAPE pulse.
+        outcome = BlockCompileOutcome(
+            schedule=lookup_schedule((0,), 0.4, source="fallback"),
+            duration_ns=0.4,
+            gate_based_ns=0.4,
+            iterations=12,
+            cache_hit=False,
+            used_grape=False,
+            fidelity=0.97,
+        )
+        entry = CacheEntry(
+            schedule=PulseSchedule(qubits=(0,), dt_ns=0.5, controls=np.ones((2, 1))),
+            duration_ns=0.5,
+            fidelity=0.97,
+            converged=True,
+            iterations=12,
+        )
+        # Duplicate: same unitary (T·T = S) but a 0.8 ns decomposition.
+        task = BlockTask(
+            index=1, subcircuit=QuantumCircuit(1).t(0).t(0), device_qubits=(3,)
+        )
+        dup = _retarget_outcome(outcome, task, entry)
+        assert dup.used_grape
+        assert dup.duration_ns == 0.5
+        assert dup.schedule.qubits == (3,)
+        assert dup.iterations == 0 and dup.cache_hit
+
+        # Without the entry (process-pool worker kept the write), the
+        # representative's outcome is the only evidence: fall back.
+        conservative = _retarget_outcome(outcome, task, None)
+        assert not conservative.used_grape
+        assert conservative.duration_ns == pytest.approx(0.8)
+
+
+class TestTaskKey:
+    def test_translation_invariant_same_key(self):
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+        )
+        sub = QuantumCircuit(2).h(0).cx(0, 1)
+        assert block_compiler.task_key(sub, (0, 1)) == block_compiler.task_key(
+            sub, (2, 3)
+        )
+
+    def test_parametrized_and_empty_blocks_have_no_key(self):
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(2)), SETTINGS, HYPER, PulseCache()
+        )
+        assert block_compiler.task_key(None, (0,)) is None
+        assert block_compiler.task_key(QuantumCircuit(1), (0,)) is None
+        sym = QuantumCircuit(1)
+        sym.rz(Parameter("t"), 0)
+        assert block_compiler.task_key(sym, (0,)) is None
+
+    def test_key_matches_cache_key_used_by_compile_block(self):
+        cache = CountingCache()
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(2)), SETTINGS, HYPER, cache
+        )
+        sub = QuantumCircuit(2).h(0).cx(0, 1)
+        key = block_compiler.task_key(sub, (0, 1))
+        block_compiler.compile_block(sub, (0, 1))
+        assert cache.put_keys == [key]

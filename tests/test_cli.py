@@ -28,6 +28,31 @@ class TestParser:
         args = build_parser().parse_args(["qaoa-info"])
         assert args.kind == "3regular" and args.nodes == 6 and args.p == 1
 
+    def test_library_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["library"])
+
+    def test_library_gc_accepts_budget(self):
+        args = build_parser().parse_args(
+            ["library", "gc", "--dir", "/tmp/x", "--budget-mb", "10"]
+        )
+        assert args.budget_mb == 10.0
+
+    def test_compile_batch_defaults(self):
+        args = build_parser().parse_args(
+            ["compile-batch", "--benchmark", "vqe:H2"]
+        )
+        assert args.batch == 3 and args.seed == 0
+
+    def test_compile_batch_rejects_nonpositive_batch(self, capsys):
+        assert (
+            main(
+                ["compile-batch", "--benchmark", "vqe:H2", "--batch", "0"]
+            )
+            == 2
+        )
+        assert "--batch must be >= 1" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_molecules_lists_table2(self, capsys):
@@ -63,6 +88,55 @@ class TestCommands:
         )
         assert code == 0
         assert "qaoa:erdosrenyi:6:1" in capsys.readouterr().out
+
+    def test_library_stats_missing_dir(self, capsys):
+        assert main(["library", "stats", "--dir", "/nonexistent/library"]) == 2
+        assert "no library directory" in capsys.readouterr().err
+
+    def test_library_stats_and_gc(self, capsys, tmp_path):
+        from repro.library import PulseLibrary
+
+        library = PulseLibrary(tmp_path, shards=16)
+        for i in range(3):
+            library.put(f"{i:040x}-0.pulse", b"x" * 1024)
+        assert main(["library", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "shards" in out
+        assert (
+            main(
+                [
+                    "library", "gc", "--dir", str(tmp_path),
+                    "--budget-mb", str(1024 / (1024 * 1024)),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert library.count() == 1
+
+    def test_cache_stats_reports_shards(self, capsys, tmp_path):
+        from repro.core import PersistentPulseCache
+
+        PersistentPulseCache(tmp_path)  # creates the library layout
+        assert main(["cache-stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out
+        assert "evictions" in out
+        assert "migrated legacy entries" in out
+
+    @pytest.mark.slow
+    def test_compile_batch_reports_dedup(self, capsys):
+        code = main(
+            [
+                "compile-batch", "--benchmark", "qaoa:3regular:4:1",
+                "--batch", "2", "--iterations", "60", "--fidelity", "0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unique blocks compiled" in out
+        assert "deduplicated blocks" in out
 
     @pytest.mark.slow
     def test_compile_strict_method(self, capsys):

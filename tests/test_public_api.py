@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.blocking",
     "repro.circuits",
     "repro.core",
+    "repro.library",
     "repro.linalg",
     "repro.perf",
     "repro.pipeline",
