@@ -18,6 +18,15 @@ itself* are machine-checkable and accumulate over time:
   GRAPE iterations), legacy flat-directory migration (every entry
   preserved bit-identically), sharded lookup throughput at a synthetic
   entry population, and an LRU ``gc`` pass down to a byte budget.
+* ``session`` — a long-lived :class:`repro.pipeline.VariationalSession`
+  compiling one parametrized ansatz at a stream of random θ draws: the
+  cold iteration 0 pays for every block, steady-state iteration k pays
+  only for the θ-dependent block (cross-call dedup must make it faster).
+
+Every run also *appends* one line to ``results/BENCH_trend.jsonl`` —
+commit, timestamp, and each bench's ``derived`` metrics — so perf
+trajectories accumulate across commits instead of each run overwriting
+the last snapshot.
 
 Usage::
 
@@ -355,10 +364,89 @@ def bench_cache(quick: bool) -> dict:
     return {"entries": entries, "derived": derived}
 
 
+def bench_session(quick: bool) -> dict:
+    """Long-lived session: cold iteration 0 vs steady-state iteration k."""
+    from repro.circuits.parameters import Parameter
+    from repro.pipeline.session import VariationalSession
+
+    settings = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
+    hyper = GrapeHyperparameters(
+        learning_rate=0.05,
+        decay_rate=0.002,
+        max_iterations=100 if quick else 200,
+    )
+    # Two distinct θ-independent entangler tiles plus one θ-dependent tile:
+    # the variational shape — iteration k ≥ 1 recompiles only the θ tile.
+    circuit = QuantumCircuit(6, name="session_ansatz")
+    for q, angle in ((0, 0.3), (2, 1.1)):
+        circuit.h(q)
+        circuit.cx(q, q + 1)
+        circuit.rz(angle, q + 1)
+        circuit.cx(q, q + 1)
+    circuit.rz(Parameter("theta"), 4)
+    circuit.cx(4, 5)
+
+    iterations = 4 if quick else 8
+    rng = np.random.default_rng(3)
+    entries = []
+    walls = []
+    session = VariationalSession(
+        device=GmonDevice(line_topology(6)),
+        settings=settings,
+        hyperparameters=hyper,
+        max_block_width=2,
+        cache=PulseCache(),
+    )
+    try:
+        for k in range(iterations):
+            values = [float(rng.uniform(-np.pi / 2, np.pi / 2))]
+            start = time.perf_counter()
+            result = session.compile_parametrized(circuit, values)
+            wall = time.perf_counter() - start
+            walls.append(wall)
+            scheduler = result.metadata["scheduler"]
+            entries.append(
+                {
+                    "name": f"iteration_{k}",
+                    "wall_s": round(wall, 4),
+                    "dispatched_tasks": scheduler["dispatched_tasks"],
+                    "reused_blocks": scheduler["reused_blocks"],
+                    "grape_iterations": result.runtime_iterations,
+                }
+            )
+            print(
+                f"  session iteration {k}: {wall:.3f} s, "
+                f"dispatched {scheduler['dispatched_tasks']}, "
+                f"reused {scheduler['reused_blocks']}"
+            )
+    finally:
+        session.close()
+    cold = walls[0]
+    steady = min(walls[1:])
+    stats = session.stats()
+    derived = {
+        "cold_wall_s": round(cold, 4),
+        "steady_wall_s": round(steady, 4),
+        "steady_state_speedup": round(cold / steady, 3),
+        "dispatched_blocks_total": stats["dispatched_blocks"],
+        "reused_blocks_total": stats["reused_blocks"],
+        "known_blocks": stats["known_blocks"],
+    }
+    if stats["reused_blocks"] == 0:
+        raise AssertionError("the session recorded no cross-call block reuse")
+    if steady >= cold:
+        raise AssertionError(
+            "steady-state session iteration must beat the cold iteration "
+            f"(cold {cold:.3f} s, steady {steady:.3f} s)"
+        )
+    return {"entries": entries, "derived": derived}
+
+
 BENCHES = {
     "cache": bench_cache,
     "grape_kernel": bench_grape_kernel,
     "pipeline": bench_pipeline,
+    "session": bench_session,
 }
 
 
@@ -371,9 +459,27 @@ def _host_info() -> dict:
     }
 
 
+def _git_commit() -> str | None:
+    """The current commit hash, or ``None`` outside a usable git checkout."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return proc.stdout.strip() or None
+
+
 def run(names, quick: bool, output_dir: Path) -> list:
     output_dir.mkdir(parents=True, exist_ok=True)
     written = []
+    derived_by_bench = {}
     for name in names:
         print(f"running {name} benchmark ({'quick' if quick else 'full'} mode)")
         payload = {
@@ -388,7 +494,21 @@ def run(names, quick: bool, output_dir: Path) -> list:
         path = output_dir / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         written.append(path)
+        derived_by_bench[name] = payload["derived"]
         print(f"  wrote {path}")
+    # The per-bench snapshots overwrite each run; the trend file *appends*,
+    # so metric trajectories accumulate across commits (CI uploads it too).
+    trend_path = output_dir / "BENCH_trend.jsonl"
+    row = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "commit": _git_commit(),
+        "quick": quick,
+        "benches": derived_by_bench,
+    }
+    with open(trend_path, "a") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    written.append(trend_path)
+    print(f"  appended trend row to {trend_path}")
     return written
 
 

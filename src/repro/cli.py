@@ -13,9 +13,13 @@ Small utilities for poking at the reproduction without writing a script:
   invocation starts warm (pulse-cache telemetry is printed either way).
 * ``compile-batch`` — batch-compile one benchmark at several random
   parametrizations through the cross-circuit block scheduler, reporting
-  how many blocks deduplicated across the batch.
+  how many blocks deduplicated across the batch.  With ``--rounds N`` the
+  batches stream through one long-lived ``VariationalSession``, so later
+  rounds reuse every block an earlier round compiled (cross-call dedup).
 * ``cache-stats`` — inspect a persistent pulse-cache directory: shard
-  occupancy, index size, evictions, plus persistent worker-pool telemetry.
+  occupancy, index size, evictions, prefetch counters, plus persistent
+  worker-pool telemetry.  A directory that does not exist yet reports an
+  empty cache (and is not created).
 * ``library stats`` / ``library gc`` — operate directly on the sharded
   pulse library (occupancy report; LRU eviction down to a size budget).
 
@@ -218,16 +222,18 @@ def _cmd_compile(args) -> int:
 
 def _cmd_compile_batch(args) -> int:
     from repro.core import (
-        FullGrapeCompiler,
         PersistentPulseCache,
         default_device_for,
         default_pulse_cache,
     )
-    from repro.pipeline import resolve_executor
+    from repro.pipeline import VariationalSession, resolve_executor
     from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
 
     if args.batch < 1:
         print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
+        return 2
+    if args.rounds < 1:
+        print(f"error: --rounds must be >= 1, got {args.rounds}", file=sys.stderr)
         return 2
     try:
         circuit = _benchmark_circuit(args.benchmark)
@@ -238,17 +244,15 @@ def _cmd_compile_batch(args) -> int:
     settings = GrapeSettings(dt_ns=args.dt, target_fidelity=args.fidelity)
     hyper = GrapeHyperparameters(0.05, 0.002, max_iterations=args.iterations)
     rng = np.random.default_rng(args.seed)
-    values_list = [
-        list(rng.uniform(-np.pi / 2, np.pi / 2, size=len(circuit.parameters)))
-        for _ in range(args.batch)
-    ]
     cache = (
         PersistentPulseCache(args.cache_dir)
         if args.cache_dir
         else default_pulse_cache()
     )
     executor = resolve_executor(args.executor, args.jobs)
-    compiler = FullGrapeCompiler(
+    # All rounds stream through ONE long-lived session, so round r+1 pays
+    # only for blocks (θ-dependent ones, typically) it has never seen.
+    session = VariationalSession(
         device=default_device_for(circuit),
         settings=settings,
         hyperparameters=hyper,
@@ -256,30 +260,55 @@ def _cmd_compile_batch(args) -> int:
         cache=cache,
         executor=executor,
     )
+    round_rows = []
     try:
-        results = compiler.compile_parametrized_many(
-            circuit, values_list, use_cache=True
-        )
+        for round_index in range(args.rounds):
+            values_list = [
+                list(
+                    rng.uniform(
+                        -np.pi / 2, np.pi / 2, size=len(circuit.parameters)
+                    )
+                )
+                for _ in range(args.batch)
+            ]
+            results = session.compile_batch(
+                [circuit.bind_parameters(values) for values in values_list]
+            )
+            scheduler = results[0].metadata["scheduler"] or {}
+            round_rows.append(
+                (
+                    f"round {round_index}",
+                    f"dispatched={scheduler.get('dispatched_tasks')} "
+                    f"deduped={scheduler.get('deduped_blocks')} "
+                    f"reused={scheduler.get('reused_blocks')}",
+                )
+            )
     finally:
-        if hasattr(executor, "close"):
-            executor.close()
+        session.close()
 
-    scheduler = results[0].metadata["scheduler"] or {}
+    stats = session.stats()
+    shared = stats["deduped_blocks"] + stats["reused_blocks"]
     rows = [
         ("benchmark", args.benchmark),
         ("batch size", args.batch),
+        ("rounds", args.rounds),
         ("qubits", circuit.num_qubits),
-        ("total blocks", scheduler.get("total_blocks")),
-        ("unique blocks compiled", scheduler.get("unique_blocks")),
-        ("deduplicated blocks", scheduler.get("deduped_blocks")),
-        ("dedup ratio", scheduler.get("dedup_ratio")),
-        ("executor", executor.name),
+        ("total blocks", stats["total_blocks"]),
+        ("unique blocks compiled", stats["dispatched_blocks"]),
+        ("deduplicated blocks", stats["deduped_blocks"]),
+        ("reused blocks (cross-call)", stats["reused_blocks"]),
         (
-            "pulse durations (ns)",
+            "dedup ratio",
+            round(shared / stats["total_blocks"], 4) if stats["total_blocks"] else 0.0,
+        ),
+        ("executor", executor.name),
+        *round_rows,
+        (
+            "pulse durations (ns, last round)",
             ", ".join(f"{r.pulse_duration_ns:.1f}" for r in results),
         ),
         (
-            "GRAPE iterations",
+            "GRAPE iterations (last round)",
             ", ".join(str(r.runtime_iterations) for r in results),
         ),
     ]
@@ -303,21 +332,14 @@ def _pool_rows() -> list:
     return rows
 
 
-def _cmd_cache_stats(args) -> int:
-    from pathlib import Path
-
-    from repro.core import PersistentPulseCache
-
-    if not Path(args.dir).is_dir():
-        print(f"error: no cache directory at {args.dir}", file=sys.stderr)
-        return 2
-    cache = PersistentPulseCache(args.dir)
-    stats = cache.stats()
+def _cache_stats_rows(directory, stats, size_kib: float) -> list:
+    """One row set for both the live and the never-created cache paths,
+    so the two reports cannot drift apart."""
     library = stats["library"]
-    rows = [
-        ("directory", str(cache.directory)),
+    return [
+        ("directory", str(directory)),
         ("persisted entries", stats["persisted_entries"]),
-        ("size (KiB)", f"{cache.persisted_bytes() / 1024:.1f}"),
+        ("size (KiB)", f"{size_kib:.1f}"),
         ("schema version", stats["schema_version"]),
         ("hits / misses", f"{stats['hits']} / {stats['misses']}"),
         ("shards", library["shards"]),
@@ -326,9 +348,40 @@ def _cmd_cache_stats(args) -> int:
         ("index size (KiB)", f"{library['index_bytes'] / 1024:.1f}"),
         ("evictions", library["evictions"]),
         ("migrated legacy entries", library["migrated_entries"]),
+        (
+            "prefetches / prefetch hits",
+            f"{library['prefetches']} / {library['prefetch_hits']}",
+        ),
     ]
+
+
+def _cmd_cache_stats(args) -> int:
+    from pathlib import Path
+
+    from repro.core import PersistentPulseCache
+    from repro.core.cache import CACHE_SCHEMA_VERSION
+    from repro.library import PulseLibrary
+
+    if not Path(args.dir).is_dir():
+        # A cache directory that was never written to is an *empty cache*,
+        # not an error: report zeros without creating the directory.
+        stats = {
+            "persisted_entries": 0,
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "hits": 0,
+            "misses": 0,
+            "library": PulseLibrary.empty_stats(args.dir),
+        }
+        rows = _cache_stats_rows(args.dir, stats, size_kib=0.0)
+        title = "persistent pulse cache (empty — not created yet)"
+    else:
+        cache = PersistentPulseCache(args.dir)
+        rows = _cache_stats_rows(
+            cache.directory, cache.stats(), cache.persisted_bytes() / 1024
+        )
+        title = "persistent pulse cache"
     rows.extend(_pool_rows())
-    print(format_table(("property", "value"), rows, title="persistent pulse cache"))
+    print(format_table(("property", "value"), rows, title=title))
     return 0
 
 
@@ -338,11 +391,16 @@ def _cmd_library_stats(args) -> int:
     from repro.library import PulseLibrary
 
     if not Path(args.dir).is_dir():
-        print(f"error: no library directory at {args.dir}", file=sys.stderr)
-        return 2
-    stats = PulseLibrary(args.dir).stats()
+        # Same contract as cache-stats: a never-created library is empty,
+        # and inspecting it must not create it.  ``empty_stats`` mirrors
+        # the live ``stats()`` schema exactly.
+        stats = PulseLibrary.empty_stats(args.dir)
+        title = "pulse library (empty — not created yet)"
+    else:
+        stats = PulseLibrary(args.dir).stats()
+        title = "pulse library"
     rows = [(key, stats[key]) for key in sorted(stats)]
-    print(format_table(("property", "value"), rows, title="pulse library"))
+    print(format_table(("property", "value"), rows, title=title))
     return 0
 
 
@@ -430,6 +488,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--batch", type=int, default=3, help="number of parametrizations"
+    )
+    batch.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="feed this many successive batches through ONE long-lived "
+        "VariationalSession: later rounds reuse every block an earlier "
+        "round compiled (cross-call dedup)",
     )
     batch.add_argument("--dt", type=float, default=0.5, help="GRAPE slice (ns)")
     batch.add_argument("--fidelity", type=float, default=0.95)

@@ -180,6 +180,13 @@ class PipelineConfig:
         Default size budget for :meth:`repro.library.PulseLibrary.gc`
         (``REPRO_CACHE_BUDGET_MB``).  ``None`` means unbounded: ``gc`` only
         reconciles the index and never evicts.
+    prefetch:
+        Manifest-aware shard prefetch for the on-disk pulse library
+        (``REPRO_PREFETCH``).  When enabled, the first lookup touching a
+        shard bulk-loads every manifest-listed entry into memory, so
+        long-lived sessions streaming over a warm library pay one
+        sequential sweep per shard instead of one file open per lookup.
+        Off by default (the seed behavior).
     """
 
     executor: str = "serial"
@@ -187,6 +194,7 @@ class PipelineConfig:
     cache_dir: str | None = None
     cache_shards: int = 16
     cache_budget_mb: float | None = None
+    prefetch: bool = False
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_CHOICES:
@@ -270,12 +278,24 @@ def _pipeline_config_from_env() -> PipelineConfig:
                     stacklevel=2,
                 )
                 budget = None
+    prefetch_raw = os.environ.get("REPRO_PREFETCH", "")
+    prefetch = False
+    if prefetch_raw:
+        lowered = prefetch_raw.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            prefetch = True
+        elif lowered not in ("0", "false", "no", "off"):
+            warnings.warn(
+                f"ignoring REPRO_PREFETCH={prefetch_raw!r} (expected a boolean)",
+                stacklevel=2,
+            )
     return PipelineConfig(
         executor=executor,
         max_workers=workers,
         cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
         cache_shards=shards,
         cache_budget_mb=budget,
+        prefetch=prefetch,
     )
 
 
@@ -296,6 +316,7 @@ def set_pipeline_config(
     cache_dir=_UNSET,
     cache_shards=_UNSET,
     cache_budget_mb=_UNSET,
+    prefetch=_UNSET,
 ) -> PipelineConfig:
     """Update the active pipeline settings (unpassed fields keep their value)."""
     global _pipeline_config
@@ -308,5 +329,6 @@ def set_pipeline_config(
         cache_budget_mb=(
             current.cache_budget_mb if cache_budget_mb is _UNSET else cache_budget_mb
         ),
+        prefetch=current.prefetch if prefetch is _UNSET else prefetch,
     )
     return _pipeline_config

@@ -229,11 +229,14 @@ class PersistentPulseCache(PulseCache):
         directory: str | os.PathLike,
         shards: int | None = None,
         budget_mb: float | None = None,
+        prefetch: bool | None = None,
     ):
         super().__init__()
         from repro.library import PulseLibrary
 
-        self.library = PulseLibrary(directory, shards=shards, budget_mb=budget_mb)
+        self.library = PulseLibrary(
+            directory, shards=shards, budget_mb=budget_mb, prefetch=prefetch
+        )
         self.directory = self.library.directory
         self.disk_hits = 0
         self.disk_errors = 0

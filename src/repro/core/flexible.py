@@ -286,6 +286,107 @@ class FlexiblePartialCompiler:
         )
         start = time.perf_counter()
         context = pipeline.run(circuit)
+        return cls._from_context(
+            circuit,
+            device,
+            block_compiler,
+            context,
+            time.perf_counter() - start,
+            settings,
+            executor,
+        )
+
+    @classmethod
+    def precompile_many(
+        cls,
+        circuits: Sequence[QuantumCircuit],
+        device: GmonDevice | None = None,
+        settings: GrapeSettings | None = None,
+        hyperparameters: GrapeHyperparameters | None = None,
+        max_block_width: int | None = None,
+        cache: PulseCache | None = None,
+        tuning_samples: int = 2,
+        learning_rates: tuple | None = None,
+        decay_rates: tuple | None = None,
+        seed: int = 11,
+        tuning_strategy: str = "grid",
+        executor=None,
+        probe_executor: str | None = None,
+        state=None,
+    ) -> list:
+        """Precompile a batch of ansätze, sharing Fixed blocks across them.
+
+        The Fixed blocks flow through one
+        :class:`~repro.pipeline.scheduler.BlockScheduler` pass over the
+        whole batch (and, via ``state``, across successive calls — see
+        :meth:`StrictPartialCompiler.precompile_many
+        <repro.core.strict.StrictPartialCompiler.precompile_many>`), while
+        each parametrized single-θ block is tuned per circuit as usual.
+        Returns one compiler per circuit, in order, with the shared batch
+        wall time and dedup accounting on every report.
+        """
+        circuits = list(circuits)
+        if not circuits:
+            return []
+        device = device or default_device_for(
+            max(circuits, key=lambda c: c.num_qubits)
+        )
+        settings = settings or GrapeSettings()
+        block_compiler = BlockPulseCompiler(
+            device,
+            settings,
+            hyperparameters,
+            cache if cache is not None else default_pulse_cache(),
+        )
+        tuner = partial(
+            _tune_parametrized_block,
+            device,
+            settings,
+            hyperparameters,
+            tuning_samples,
+            learning_rates or DEFAULT_LEARNING_RATES,
+            decay_rates or DEFAULT_DECAY_RATES,
+            seed,
+            tuning_strategy,
+            probe_executor,
+        )
+        pipeline = flexible_precompile_pipeline(
+            block_compiler, tuner, flexible_slices, max_block_width, executor
+        )
+        start = time.perf_counter()
+        contexts, report = pipeline.run_many(circuits, state=state)
+        elapsed = time.perf_counter() - start
+        batch_metadata = {
+            "scheduler": report.as_dict() if report is not None else None,
+            "batch": len(circuits),
+        }
+        return [
+            cls._from_context(
+                circuit,
+                device,
+                block_compiler,
+                context,
+                elapsed,
+                settings,
+                executor,
+                batch_metadata,
+            )
+            for circuit, context in zip(circuits, contexts)
+        ]
+
+    @classmethod
+    def _from_context(
+        cls,
+        circuit: QuantumCircuit,
+        device: GmonDevice,
+        block_compiler: BlockPulseCompiler,
+        context,
+        wall_time_s: float,
+        settings: GrapeSettings,
+        executor,
+        extra_metadata: dict | None = None,
+    ) -> "FlexiblePartialCompiler":
+        """Fold one precompile pipeline context into a compiler instance."""
         iterations = 0
         fixed_blocks = 0
         param_blocks = 0
@@ -304,9 +405,12 @@ class FlexiblePartialCompiler:
                 fixed_blocks += 1
                 cache_hits += int(result.cache_hit)
                 plan.append(_FixedEntry(result.schedule))
+        metadata = {"stage_timings": context.stage_timing_dict()}
+        if extra_metadata:
+            metadata.update(extra_metadata)
         report = PrecompileReport(
             method=cls.method,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=wall_time_s,
             grape_iterations=iterations,
             blocks_precompiled=fixed_blocks,
             parametrized_blocks=param_blocks,
@@ -314,7 +418,7 @@ class FlexiblePartialCompiler:
             hyperopt_trials=hyperopt_trials,
             executor=context.executor_info.get("executor", "serial"),
             cache_stats=block_compiler.cache.stats(),
-            metadata={"stage_timings": context.stage_timing_dict()},
+            metadata=metadata,
         )
         return cls(circuit, device, plan, report, settings, executor=executor)
 

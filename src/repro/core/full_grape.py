@@ -27,6 +27,49 @@ from repro.pulse.device import GmonDevice
 from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
 
 
+def result_from_context(
+    method: str,
+    context,
+    elapsed: float,
+    cache: PulseCache,
+    extra_metadata: dict | None = None,
+    cache_stats: dict | None = None,
+) -> CompiledPulse:
+    """Fold one pipeline context's outcomes into a strategy result record.
+
+    Shared by :class:`FullGrapeCompiler` and the long-lived
+    :class:`repro.pipeline.session.VariationalSession`, which produce the
+    same pipeline contexts but own their lifecycles differently.  Batch
+    callers pass one ``cache_stats`` snapshot for all their contexts — a
+    disk-backed cache's ``stats()`` sweeps the whole library, which must
+    not repeat per circuit in the per-iteration hot path.
+    """
+    outcomes = context.block_results
+    metadata = {
+        "program_fallback": context.used_fallback,
+        "blocks": context.metadata["blocks"],
+        "grape_blocks": sum(1 for o in outcomes if o.used_grape),
+        "fallback_blocks": sum(
+            1 for o in outcomes if not o.used_grape and o.iterations > 0
+        ),
+        "executor": context.executor_info,
+        "stage_timings": context.stage_timing_dict(),
+        "cache": cache_stats if cache_stats is not None else cache.stats(),
+    }
+    if extra_metadata:
+        metadata.update(extra_metadata)
+    return CompiledPulse(
+        method=method,
+        program=context.program,
+        pulse_duration_ns=context.program.duration_ns,
+        runtime_latency_s=elapsed,
+        runtime_iterations=sum(o.iterations for o in outcomes),
+        blocks_compiled=len(outcomes),
+        cache_hits=sum(1 for o in outcomes if o.cache_hit),
+        metadata=metadata,
+    )
+
+
 class FullGrapeCompiler:
     """Out-of-the-box GRAPE over every block of the circuit."""
 
@@ -71,30 +114,7 @@ class FullGrapeCompiler:
         self, context, elapsed: float, cache: PulseCache, extra_metadata: dict | None = None
     ) -> CompiledPulse:
         """One context's outcomes folded into the strategy's result record."""
-        outcomes = context.block_results
-        metadata = {
-            "program_fallback": context.used_fallback,
-            "blocks": context.metadata["blocks"],
-            "grape_blocks": sum(1 for o in outcomes if o.used_grape),
-            "fallback_blocks": sum(
-                1 for o in outcomes if not o.used_grape and o.iterations > 0
-            ),
-            "executor": context.executor_info,
-            "stage_timings": context.stage_timing_dict(),
-            "cache": cache.stats(),
-        }
-        if extra_metadata:
-            metadata.update(extra_metadata)
-        return CompiledPulse(
-            method=self.method,
-            program=context.program,
-            pulse_duration_ns=context.program.duration_ns,
-            runtime_latency_s=elapsed,
-            runtime_iterations=sum(o.iterations for o in outcomes),
-            blocks_compiled=len(outcomes),
-            cache_hits=sum(1 for o in outcomes if o.cache_hit),
-            metadata=metadata,
-        )
+        return result_from_context(self.method, context, elapsed, cache, extra_metadata)
 
     def compile_parametrized(
         self, circuit: QuantumCircuit, values: Sequence[float], use_cache: bool = False
@@ -143,8 +163,11 @@ class FullGrapeCompiler:
             "scheduler": report.as_dict() if report else None,
             "batch_wall_time_s": elapsed,
         }
+        cache_stats = cache.stats()
         return [
-            self._result_from_context(context, elapsed, cache, batch_metadata)
+            result_from_context(
+                self.method, context, elapsed, cache, batch_metadata, cache_stats
+            )
             for context in contexts
         ]
 

@@ -92,6 +92,78 @@ class StrictPartialCompiler:
         )
         start = time.perf_counter()
         context = pipeline.run(circuit)
+        return cls._from_context(
+            circuit, device, block_compiler, context, time.perf_counter() - start
+        )
+
+    @classmethod
+    def precompile_many(
+        cls,
+        circuits: Sequence[QuantumCircuit],
+        device: GmonDevice | None = None,
+        settings: GrapeSettings | None = None,
+        hyperparameters: GrapeHyperparameters | None = None,
+        max_block_width: int | None = None,
+        cache: PulseCache | None = None,
+        executor=None,
+        state=None,
+    ) -> list:
+        """Precompile a *batch* of ansätze, sharing Fixed blocks across them.
+
+        All circuits flow through one pipeline whose pulse stage is a single
+        :class:`~repro.pipeline.scheduler.BlockScheduler` pass: Fixed blocks
+        with the same unitary fingerprint and control context — within one
+        ansatz or across ansätze — run GRAPE exactly once.  ``state`` (a
+        :class:`~repro.pipeline.scheduler.SchedulerState`) extends the dedup
+        across *calls*: pass the same state object to successive
+        ``precompile_many`` invocations (or share it with a
+        :class:`~repro.pipeline.session.VariationalSession`) and later
+        batches pay only for blocks never seen before.
+
+        Returns one compiler per circuit, in order; each report's
+        ``wall_time_s`` is the shared batch wall time and its
+        ``metadata["scheduler"]`` the batch dedup accounting.
+        """
+        circuits = list(circuits)
+        if not circuits:
+            return []
+        device = device or default_device_for(
+            max(circuits, key=lambda c: c.num_qubits)
+        )
+        block_compiler = BlockPulseCompiler(
+            device,
+            settings,
+            hyperparameters,
+            cache if cache is not None else default_pulse_cache(),
+        )
+        pipeline = strict_precompile_pipeline(
+            block_compiler, _lookup_plan_entry, max_block_width, executor
+        )
+        start = time.perf_counter()
+        contexts, report = pipeline.run_many(circuits, state=state)
+        elapsed = time.perf_counter() - start
+        batch_metadata = {
+            "scheduler": report.as_dict() if report is not None else None,
+            "batch": len(circuits),
+        }
+        return [
+            cls._from_context(
+                circuit, device, block_compiler, context, elapsed, batch_metadata
+            )
+            for circuit, context in zip(circuits, contexts)
+        ]
+
+    @classmethod
+    def _from_context(
+        cls,
+        circuit: QuantumCircuit,
+        device: GmonDevice,
+        block_compiler: BlockPulseCompiler,
+        context,
+        wall_time_s: float,
+        extra_metadata: dict | None = None,
+    ) -> "StrictPartialCompiler":
+        """Fold one precompile pipeline context into a compiler instance."""
         iterations = 0
         blocks_done = 0
         cache_hits = 0
@@ -104,19 +176,22 @@ class StrictPartialCompiler:
             blocks_done += 1
             cache_hits += int(result.cache_hit)
             plan.append(("pulse", result.schedule))
+        metadata = {
+            "blocks": context.metadata["blocks"],
+            "stage_timings": context.stage_timing_dict(),
+        }
+        if extra_metadata:
+            metadata.update(extra_metadata)
         report = PrecompileReport(
             method=cls.method,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=wall_time_s,
             grape_iterations=iterations,
             blocks_precompiled=blocks_done,
             parametrized_blocks=sum(1 for p in plan if p[0] == "lookup"),
             cache_hits=cache_hits,
             executor=context.executor_info.get("executor", "serial"),
             cache_stats=block_compiler.cache.stats(),
-            metadata={
-                "blocks": context.metadata["blocks"],
-                "stage_timings": context.stage_timing_dict(),
-            },
+            metadata=metadata,
         )
         return cls(circuit, device, plan, report)
 

@@ -95,8 +95,14 @@ def rebuild_entries(shard_dir: Path, manifest: dict, suffix: str) -> dict:
     Ghost entries (indexed but deleted on disk) are dropped; orphan files
     (on disk but unindexed — e.g. written by a crashed process or a foreign
     writer) are adopted with stamps taken from ``stat``.  Sizes are
-    refreshed from disk.  Returns the reconciled entries dict (the manifest
-    is modified in place).
+    refreshed from disk, and damaged records — a legacy-migrated or
+    hand-edited entry whose ``created``/``last_used`` stamp is missing or
+    not a number — are healed from the file mtime so LRU decisions (and the
+    gc inventory sort) never trip over them.  A file mtime *newer* than the
+    recorded ``last_used`` also wins: readers that stamp uses cheaply via
+    ``os.utime`` alone (the prefetch hit path) stay LRU-honest because
+    every gc reconciles before evicting.  Returns the reconciled entries
+    dict (the manifest is modified in place).
     """
     entries: dict = manifest["entries"]
     on_disk = {}
@@ -111,10 +117,18 @@ def rebuild_entries(shard_dir: Path, manifest: dict, suffix: str) -> dict:
             del entries[name]
     for name, stat in on_disk.items():
         record = entries.get(name)
-        if record is None:
+        if not isinstance(record, dict):
             entries[name] = entry_record(
                 stat.st_size, stat.st_mtime, stat.st_mtime
             )
         else:
             record["size"] = int(stat.st_size)
+            for stamp in ("created", "last_used"):
+                if not isinstance(record.get(stamp), (int, float)) or isinstance(
+                    record.get(stamp), bool
+                ):
+                    record[stamp] = round(float(stat.st_mtime), 3)
+            mtime = round(float(stat.st_mtime), 3)
+            if mtime > record["last_used"]:
+                record["last_used"] = mtime
     return entries

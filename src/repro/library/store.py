@@ -35,12 +35,21 @@ Legacy flat directories (the pre-library ``PersistentPulseCache`` layout:
 ``*.pulse`` files directly in the root) are migrated in place, once, on
 first open: each file moves bit-identically into its shard and gains an
 index entry.
+
+With prefetch enabled (``REPRO_PREFETCH`` / ``prefetch=True``), the first
+:meth:`get` touching a shard bulk-loads every entry its manifest lists
+into an in-memory layer; later reads in that shard are served from memory
+(``prefetches`` / ``prefetch_hits`` telemetry) while LRU stamps keep being
+recorded, so a long-lived variational session streaming over a warm
+library pays one sequential sweep per shard instead of one file open per
+lookup.
 """
 
 from __future__ import annotations
 
 import math
 import os
+import threading
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -69,6 +78,12 @@ VALID_SHARD_COUNTS = CACHE_SHARD_CHOICES
 
 #: Temp files older than this are considered crash debris and collectable.
 _STALE_TMP_SECONDS = 60.0
+
+#: Ceiling on the in-memory prefetch buffer.  A library byte budget
+#: (``REPRO_CACHE_BUDGET_MB``) lower than this wins; without one the
+#: buffer still cannot grow past this cap — oldest-loaded payloads are
+#: dropped first (they re-read from disk transparently).
+_PREFETCH_BUDGET_MB = 256.0
 
 
 @dataclass
@@ -126,13 +141,16 @@ class PulseLibrary:
         directory: str | os.PathLike,
         shards: int | None = None,
         budget_mb: float | None = None,
+        prefetch: bool | None = None,
     ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        if budget_mb is None:
-            from repro.config import get_pipeline_config
+        from repro.config import get_pipeline_config
 
+        if budget_mb is None:
             budget_mb = get_pipeline_config().cache_budget_mb
+        if prefetch is None:
+            prefetch = get_pipeline_config().prefetch
         self.budget_mb = budget_mb
         self._global_lock = FileLock(self.directory / ".lock")
         self.migrated_entries = 0
@@ -140,6 +158,26 @@ class PulseLibrary:
         self.gets = 0
         self.get_hits = 0
         self.index_errors = 0
+        # Manifest-aware shard prefetch: on first touch of a shard, every
+        # entry its manifest lists is bulk-read into this in-memory layer,
+        # so a variational run streaming over one warm library pays one
+        # sequential sweep per shard instead of one file open per lookup.
+        # The buffer is byte-bounded (oldest-loaded dropped first) and
+        # guarded by two lock tiers: one short-held lock for the dict
+        # itself, plus one lock per shard held across that shard's bulk
+        # read, so a slow first-touch sweep never stalls other shards.
+        self.prefetch_enabled = bool(prefetch)
+        self.prefetches = 0
+        self.prefetch_hits = 0
+        self._prefetched: dict = {}  # name -> payload bytes, insertion order
+        self._prefetched_bytes = 0
+        self._prefetched_shards: set = set()
+        self._prefetch_lock = threading.Lock()
+        self._prefetch_shard_locks: dict = {}  # shard name -> Lock
+        budget_cap = _PREFETCH_BUDGET_MB
+        if budget_mb is not None:
+            budget_cap = min(budget_cap, budget_mb)
+        self._prefetch_budget_bytes = int(budget_cap * 1024 * 1024)
         descriptor = self._load_descriptor()
         if descriptor is not None:
             # An existing library's layout is immutable: the descriptor wins
@@ -293,12 +331,31 @@ class PulseLibrary:
                 pass
             raise
         self.puts += 1
+        if self.prefetch_enabled:
+            shard_name = self.shard_name(name)
+            # Keep an already-prefetched shard coherent with the write.
+            # Check-and-insert runs under the shard's load lock, and only
+            # while the data file still exists: a delete racing this put
+            # (unlink, then pop under the same lock) then either removes
+            # what we insert or makes the existence check fail — the
+            # buffer can never outlive the file.
+            with self._prefetch_shard_lock(shard_name):
+                if shard_name in self._prefetched_shards and path.is_file():
+                    self._buffer_insert(name, payload, overwrite=True)
         now = time.time()
         try:
             with self._shard_lock(shard):
                 manifest = load_manifest(shard)
                 previous = manifest["entries"].get(name)
-                created = previous["created"] if previous else now
+                # A damaged record (non-dict junk, missing/null stamp from a
+                # hand-edited or legacy manifest) must not crash the write.
+                created = now
+                if isinstance(previous, dict):
+                    stamp = previous.get("created")
+                    if isinstance(stamp, (int, float)) and not isinstance(
+                        stamp, bool
+                    ):
+                        created = stamp
                 manifest["entries"][name] = entry_record(
                     len(payload), created, now, schema_version
                 )
@@ -311,9 +368,30 @@ class PulseLibrary:
 
         A missing entry is ``None``; any other read failure (permissions,
         I/O error) propagates as :class:`OSError` so callers can tell a
-        cold miss from a broken store.
+        cold miss from a broken store.  With prefetch enabled
+        (``REPRO_PREFETCH``), the first touch of a shard bulk-loads every
+        entry its manifest lists, and later reads in that shard are served
+        from memory (``prefetch_hits``); LRU stamps are still recorded so
+        eviction decisions stay honest.
         """
         self.gets += 1
+        if self.prefetch_enabled:
+            self._ensure_prefetched(self.shard_name(name))
+            with self._prefetch_lock:
+                payload = self._prefetched.get(name)
+            if payload is not None:
+                self.get_hits += 1
+                self.prefetch_hits += 1
+                # LRU stamp without manifest I/O: bump the file mtime only
+                # (cheap), and let gc's reconcile pass fold newer mtimes
+                # into ``last_used`` — paying a lock + manifest rewrite per
+                # memory-served get would cost more than the read it saved.
+                now = time.time()
+                try:
+                    os.utime(self.path_for(name), (now, now))
+                except OSError:
+                    pass
+                return payload
         path = self.path_for(name)
         try:
             payload = path.read_bytes()
@@ -327,7 +405,68 @@ class PulseLibrary:
             path = self.directory / name
         self.get_hits += 1
         self._touch(name, path)
+        # Orphans the manifest missed stay on the disk path (no buffer
+        # insert here: adopting a just-read payload could race a concurrent
+        # delete and resurrect it); the next gc indexes them for prefetch.
         return payload
+
+    def _prefetch_shard_lock(self, shard_name: str) -> threading.Lock:
+        with self._prefetch_lock:
+            lock = self._prefetch_shard_locks.get(shard_name)
+            if lock is None:
+                lock = self._prefetch_shard_locks[shard_name] = threading.Lock()
+        return lock
+
+    def _buffer_insert(self, name: str, payload: bytes, overwrite: bool) -> None:
+        """Insert into the buffer, enforcing the byte budget (FIFO drop)."""
+        with self._prefetch_lock:
+            existing = self._prefetched.get(name)
+            if existing is not None:
+                if not overwrite:
+                    return
+                self._prefetched_bytes -= len(self._prefetched.pop(name))
+            self._prefetched[name] = payload
+            self._prefetched_bytes += len(payload)
+            while (
+                self._prefetched_bytes > self._prefetch_budget_bytes
+                and self._prefetched
+            ):
+                oldest = next(iter(self._prefetched))
+                self._prefetched_bytes -= len(self._prefetched.pop(oldest))
+
+    def _buffer_pop(self, name: str) -> None:
+        with self._prefetch_lock:
+            payload = self._prefetched.pop(name, None)
+            if payload is not None:
+                self._prefetched_bytes -= len(payload)
+
+    def _ensure_prefetched(self, shard_name: str) -> None:
+        """Bulk-load ``shard_name``'s manifest-listed entries, once.
+
+        The read-and-insert runs under *this shard's* prefetch lock.  That
+        keeps the layer coherent against concurrent ``delete``/``gc``: both
+        unlink the data file before taking the same shard lock to pop the
+        buffer entry, so a bulk load either observes the unlink (the read
+        fails, nothing inserted) or completes first (the subsequent pop
+        removes what it inserted).  Per-shard granularity means a slow
+        first-touch sweep never blocks lookups in other shards.
+        """
+        if shard_name in self._prefetched_shards:
+            return  # racy fast path; the lock below re-checks
+        with self._prefetch_shard_lock(shard_name):
+            if shard_name in self._prefetched_shards:
+                return
+            shard = self.directory / shard_name
+            if shard.is_dir():
+                for entry_name in load_manifest(shard)["entries"]:
+                    try:
+                        payload = (shard / entry_name).read_bytes()
+                    except OSError:
+                        continue  # ghost entry; the next gc reconciles
+                    # Writes that raced the bulk read are newer: keep them.
+                    self._buffer_insert(entry_name, payload, overwrite=False)
+                self.prefetches += 1
+            self._prefetched_shards.add(shard_name)
 
     def _touch(self, name: str, path: Path) -> None:
         """Record a use of ``name``: file mtime plus the manifest stamp."""
@@ -365,6 +504,12 @@ class PulseLibrary:
             removed = True
         except OSError:
             pass
+        if self.prefetch_enabled:
+            # Pop strictly after the unlink, under the shard's load lock: a
+            # racing bulk load then either saw the unlink (read failed) or
+            # completed its inserts before this pop removes the entry.
+            with self._prefetch_shard_lock(self.shard_name(name)):
+                self._buffer_pop(name)
         if shard.is_dir():
             try:
                 with self._shard_lock(shard):
@@ -432,9 +577,18 @@ class PulseLibrary:
                     save_manifest(shard, manifest)
                 manifests[shard] = manifest
                 for name, record in manifest["entries"].items():
-                    inventory.append(
-                        (record["last_used"], record["size"], name, shard)
-                    )
+                    # Reconciliation heals stamps above, but belt-and-braces:
+                    # a record damaged between passes (hand-edited manifest,
+                    # legacy migration) must not abort eviction mid-gc.
+                    last_used = record.get("last_used")
+                    if not isinstance(last_used, (int, float)) or isinstance(
+                        last_used, bool
+                    ):
+                        last_used = 0.0
+                    size = record.get("size")
+                    if not isinstance(size, (int, float)) or isinstance(size, bool):
+                        size = 0
+                    inventory.append((last_used, size, name, shard))
             report.stale_tmp_removed += self._sweep_tmp(self.directory)
             report.entries_before = len(inventory)
             report.bytes_before = sum(size for _, size, _, _ in inventory)
@@ -469,6 +623,10 @@ class PulseLibrary:
                         save_manifest(shard, live)
             report.entries_after = report.entries_before - report.evicted
             report.bytes_after = report.bytes_before - report.bytes_freed
+        if self.prefetch_enabled and report.evicted_names:
+            for name in report.evicted_names:
+                with self._prefetch_shard_lock(self.shard_name(name)):
+                    self._buffer_pop(name)
         report.wall_time_s = time.perf_counter() - start
         return report
 
@@ -485,6 +643,22 @@ class PulseLibrary:
                 pass
         return removed
 
+    # The prefetch buffer and its lock stay behind at pickle boundaries
+    # (process-pool workers re-prefetch on demand against their own copy);
+    # everything else — paths, layout, counters — travels.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_prefetch_lock"]
+        state["_prefetched"] = {}
+        state["_prefetched_bytes"] = 0
+        state["_prefetched_shards"] = set()
+        state["_prefetch_shard_locks"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._prefetch_lock = threading.Lock()
+
     # -- telemetry -------------------------------------------------------------
     def index_bytes(self) -> int:
         """Total size of the manifest files (the on-disk index)."""
@@ -495,6 +669,39 @@ class PulseLibrary:
             except OSError:
                 pass
         return total
+
+    @staticmethod
+    def empty_stats(directory: str | os.PathLike) -> dict:
+        """The :meth:`stats` shape for a library that was never created.
+
+        Lets inspection surfaces (``cache-stats`` / ``library stats``)
+        report a zeroed snapshot with the exact same schema as a live
+        library, without creating the directory as instantiation would.
+        """
+        return {
+            "directory": str(directory),
+            "layout_version": LIBRARY_LAYOUT_VERSION,
+            "shards": 0,
+            "prefix_len": 0,
+            "entries": 0,
+            "indexed_entries": 0,
+            "total_bytes": 0,
+            "index_bytes": 0,
+            "nonempty_shards": 0,
+            "max_shard_entries": 0,
+            "evictions": 0,
+            "budget_mb": None,
+            "migrated_entries": 0,
+            "puts": 0,
+            "gets": 0,
+            "get_hits": 0,
+            "index_errors": 0,
+            "prefetch_enabled": False,
+            "prefetches": 0,
+            "prefetch_hits": 0,
+            "prefetched_entries": 0,
+            "prefetched_bytes": 0,
+        }
 
     def stats(self) -> dict:
         """Layout, occupancy, and lifetime counters for this library."""
@@ -527,6 +734,11 @@ class PulseLibrary:
             "gets": self.gets,
             "get_hits": self.get_hits,
             "index_errors": self.index_errors,
+            "prefetch_enabled": self.prefetch_enabled,
+            "prefetches": self.prefetches,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetched_entries": len(self._prefetched),
+            "prefetched_bytes": self._prefetched_bytes,
         }
 
     def __repr__(self) -> str:

@@ -14,7 +14,12 @@ transformer framework:
   point ``run_many``.
 * :mod:`repro.pipeline.scheduler` — :class:`BlockScheduler`, which
   deduplicates block compilations across a batch of circuits before
-  dispatch (N variational circuits sharing blocks compile each block once).
+  dispatch (N variational circuits sharing blocks compile each block once),
+  optionally carrying a persistent :class:`SchedulerState` across calls.
+* :mod:`repro.pipeline.session` — :class:`VariationalSession`, the
+  long-lived streaming mode: one scheduler + executor + open pulse cache
+  shared by every ``compile`` of a variational run, so iteration N+1 pays
+  only for blocks the whole session has never seen.
 * :mod:`repro.pipeline.strategies` — the four declarative pipeline
   configurations behind ``repro.core``'s compiler classes.
 """
@@ -31,7 +36,8 @@ from repro.pipeline.executors import (
     shutdown_persistent_executors,
 )
 from repro.pipeline.pipeline import CompilationPipeline
-from repro.pipeline.scheduler import BlockScheduler, SchedulerReport
+from repro.pipeline.scheduler import BlockScheduler, SchedulerReport, SchedulerState
+from repro.pipeline.session import VariationalSession
 from repro.pipeline.stages import (
     AssembleStage,
     BindStage,
@@ -59,6 +65,8 @@ __all__ = [
     "BlockingStage",
     "CompilationPipeline",
     "SchedulerReport",
+    "SchedulerState",
+    "VariationalSession",
     "GateScheduleStage",
     "PersistentProcessPoolBlockExecutor",
     "PersistentThreadPoolBlockExecutor",

@@ -184,11 +184,24 @@ class _PersistentPoolMixin:
         return pool
 
     def close(self) -> None:
-        """Shut the pool down (joins workers).  ``map`` after close re-creates."""
+        """Shut the pool down (joins workers).  ``map`` after close re-creates.
+
+        Idempotent and race-tolerant by design: the pool is detached under
+        the lock (so concurrent/repeated ``close`` calls see ``None`` and
+        no-op), and the shutdown itself is shielded — the ``atexit`` hook
+        can race an explicit teardown (test teardown then interpreter
+        exit), where ``Executor.shutdown`` may raise on an interpreter
+        already finalizing its thread machinery.
+        """
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            try:
+                pool.shutdown(wait=True)
+            except Exception:
+                # Late-interpreter shutdown debris; the workers die with the
+                # process either way, and close() must never raise.
+                pass
 
     def __enter__(self):
         return self
@@ -307,11 +320,20 @@ def shutdown_persistent_executors() -> None:
 
     Registered via ``atexit`` so named pools never outlive the process
     uncleanly; callers managing their own lifecycle can invoke it earlier.
+    Idempotent: calling it twice (test teardown, then the ``atexit`` hook
+    at interpreter exit) finds already-closed pools and does nothing, and
+    one failing close never prevents the remaining pools from shutting
+    down.
     """
     with _persistent_registry_lock:
         executors = list(_persistent_executors.values())
     for executor in executors:
-        executor.close()
+        try:
+            executor.close()
+        except Exception:
+            # close() itself shields shutdown errors; this guards against
+            # exotic subclasses so the sweep always reaches every pool.
+            pass
 
 
 atexit.register(shutdown_persistent_executors)

@@ -62,7 +62,7 @@ class CompilationPipeline:
         context.stage_timings.append((stage.name, elapsed))
         get_perf_registry().record_seconds(f"pipeline.stage.{stage.name}", elapsed)
 
-    def run_many(self, circuits, values=None) -> tuple:
+    def run_many(self, circuits, values=None, scheduler=None, state=None) -> tuple:
         """Flow a *batch* of circuits through the pipeline, deduplicating
         block compilations across the whole batch.
 
@@ -76,6 +76,16 @@ class CompilationPipeline:
         without a dedup-capable pulse stage (no ``block_compiler``, e.g.
         the gate-based strategy) fall back to independent ``run`` calls and
         a ``None`` report.
+
+        ``state`` (a :class:`~repro.pipeline.scheduler.SchedulerState`)
+        makes the batch *streaming*: the per-batch scheduler is built
+        around the caller's state object, so dedup memory persists across
+        successive ``run_many`` calls sharing that state — this is how
+        :class:`repro.pipeline.session.VariationalSession` and the
+        strategies' ``precompile_many`` reuse blocks across calls.
+        ``scheduler`` goes further and supplies the whole caller-owned
+        :class:`~repro.pipeline.scheduler.BlockScheduler` (``state`` is
+        then ignored).
         """
         from repro.pipeline.scheduler import BlockScheduler
         from repro.pipeline.stages import PulseStage
@@ -107,9 +117,13 @@ class CompilationPipeline:
                 self._run_stage(stage, context)
             contexts.append(context)
 
-        scheduler = BlockScheduler(
-            pulse.block_compiler, pulse.executor, pulse.parametrized_handler
-        )
+        if scheduler is None:
+            scheduler = BlockScheduler(
+                pulse.block_compiler,
+                pulse.executor,
+                pulse.parametrized_handler,
+                state=state,
+            )
         start = time.perf_counter()
         report = scheduler.run(contexts)
         elapsed = time.perf_counter() - start

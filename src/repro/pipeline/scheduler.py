@@ -24,6 +24,14 @@ strictly-not-worse guarantee blockwise.
 Entry points: :meth:`repro.pipeline.pipeline.CompilationPipeline.run_many`
 (stage-level) and :meth:`repro.core.FullGrapeCompiler.compile_many`
 (compiler-level).
+
+A scheduler constructed with a :class:`SchedulerState` additionally
+remembers every representative it has compiled *across* ``run`` calls:
+the next batch fed through the same scheduler pays only for blocks it has
+never seen in the whole run.  This is the streaming/variational mode —
+:class:`repro.pipeline.session.VariationalSession` feeds one long-lived
+scheduler a stream of iterations, so iteration N+1's shared fixed blocks
+cost zero GRAPE dispatches.
 """
 
 from __future__ import annotations
@@ -41,12 +49,19 @@ from repro.pulse.schedule import PulseSchedule, lookup_schedule
 
 @dataclass
 class SchedulerReport:
-    """Work accounting for one batch scheduling pass."""
+    """Work accounting for one batch scheduling pass.
+
+    ``deduped_blocks`` counts duplicates folded onto a representative
+    *within* this batch; ``reused_blocks`` counts blocks served from the
+    scheduler's cross-call :class:`SchedulerState` — work some *earlier*
+    batch already paid for.
+    """
 
     circuits: int = 0
     total_blocks: int = 0
     unique_blocks: int = 0
     deduped_blocks: int = 0
+    reused_blocks: int = 0
     parametrized_blocks: int = 0
     trivial_blocks: int = 0
     dispatched_tasks: int = 0
@@ -58,14 +73,81 @@ class SchedulerReport:
             "total_blocks": self.total_blocks,
             "unique_blocks": self.unique_blocks,
             "deduped_blocks": self.deduped_blocks,
+            "reused_blocks": self.reused_blocks,
             "parametrized_blocks": self.parametrized_blocks,
             "trivial_blocks": self.trivial_blocks,
             "dispatched_tasks": self.dispatched_tasks,
             "dedup_ratio": round(
-                self.deduped_blocks / self.total_blocks, 4
+                (self.deduped_blocks + self.reused_blocks) / self.total_blocks, 4
             )
             if self.total_blocks
             else 0.0,
+        }
+
+
+@dataclass
+class _SeenBlock:
+    """What a long-lived scheduler remembers about one compiled key."""
+
+    outcome: object  # the representative's BlockCompileOutcome
+    cache_entry: object = None  # its CacheEntry when visible to this process
+
+
+@dataclass
+class SchedulerState:
+    """Cross-call dedup memory for a long-lived scheduler.
+
+    Maps dedup keys (fingerprint + control context) to their compiled
+    representative.  State is only recorded after a batch completes
+    successfully — a representative whose dispatch *raised* leaves no
+    entry behind, so later calls recompile instead of fanning out a pulse
+    that was never produced.
+
+    The map is LRU-bounded (``max_entries``): a variational run binds a
+    fresh θ every iteration, so its θ-dependent blocks record keys that
+    will never hit again — without a bound those one-shot entries (each
+    pinning full pulse schedules) would grow with the iteration count.
+    The θ-independent blocks the bound exists to protect are re-touched
+    every iteration, so LRU keeps exactly them.
+    """
+
+    seen: dict = field(default_factory=dict)  # key -> _SeenBlock, LRU order
+    max_entries: int = 4096
+    cross_call_hits: int = 0
+    batches: int = 0
+    evictions: int = 0
+
+    def __len__(self) -> int:
+        return len(self.seen)
+
+    def lookup(self, key) -> "_SeenBlock | None":
+        """The remembered block for ``key``, refreshing its LRU position."""
+        block = self.seen.get(key)
+        if block is not None:
+            # dicts preserve insertion order: re-insert to mark as fresh.
+            del self.seen[key]
+            self.seen[key] = block
+            self.cross_call_hits += 1
+        return block
+
+    def record(self, key, block: "_SeenBlock") -> None:
+        """Remember ``key``'s compiled representative, evicting LRU entries."""
+        self.seen.pop(key, None)
+        self.seen[key] = block
+        while len(self.seen) > self.max_entries:
+            self.seen.pop(next(iter(self.seen)))
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Forget every remembered block (counters are kept)."""
+        self.seen.clear()
+
+    def as_dict(self) -> dict:
+        return {
+            "known_blocks": len(self.seen),
+            "cross_call_hits": self.cross_call_hits,
+            "batches": self.batches,
+            "evictions": self.evictions,
         }
 
 
@@ -129,12 +211,16 @@ class BlockScheduler:
         block_compiler,
         executor: BlockExecutor | None = None,
         parametrized_handler=None,
+        state: SchedulerState | None = None,
     ):
         from repro.pipeline.strategies import compile_fixed_block
 
         self.block_compiler = block_compiler
         self.executor = executor if executor is not None else SerialExecutor()
         self.parametrized_handler = parametrized_handler
+        # ``state`` makes the scheduler long-lived: representatives compiled
+        # in one ``run`` are remembered and served for free in the next.
+        self.state = state
         self._dispatch = partial(
             _dispatch_task,
             partial(compile_fixed_block, block_compiler),
@@ -175,6 +261,17 @@ class BlockScheduler:
                         task.subcircuit, task.device_qubits
                     )
                     continue
+                if self.state is not None:
+                    seen = self.state.lookup(key)
+                    if seen is not None:
+                        # An earlier batch through this scheduler already
+                        # compiled this block: serve it like a duplicate,
+                        # judged against this task's own gate time.
+                        report.reused_blocks += 1
+                        slots[(ci, ti)] = _retarget_outcome(
+                            seen.outcome, task, seen.cache_entry
+                        )
+                        continue
                 members = groups.get(key)
                 if members is None:
                     groups[key] = members = []
@@ -201,13 +298,22 @@ class BlockScheduler:
             slots[(rep_ci, rep_ti)] = result
             # The representative's cache entry (when its write is visible
             # to this process) lets fan-out judge duplicates exactly as a
-            # per-circuit cache hit would; see _retarget_outcome.
+            # per-circuit cache hit would; see _retarget_outcome.  A
+            # stateful scheduler fetches it even for singleton groups so
+            # future cross-call reuse gets the same exact judgment.
             cache_entry = (
-                self.block_compiler.cache.get(payload) if len(members) > 1 else None
+                self.block_compiler.cache.get(payload)
+                if len(members) > 1 or self.state is not None
+                else None
             )
             for ci, ti, task in members[1:]:
                 report.deduped_blocks += 1
                 slots[(ci, ti)] = _retarget_outcome(result, task, cache_entry)
+            if self.state is not None:
+                # Recorded only on this (post-``map``) success path: a
+                # representative whose dispatch raised never reaches here,
+                # so no later call can fan out a pulse that does not exist.
+                self.state.record(payload, _SeenBlock(result, cache_entry))
 
         for ci, context in enumerate(contexts):
             context.block_results = [
@@ -215,8 +321,12 @@ class BlockScheduler:
             ]
             context.executor_info = self.executor.describe()
 
+        if self.state is not None:
+            self.state.batches += 1
         perf = get_perf_registry()
         perf.count("scheduler.batches")
         perf.count("scheduler.unique_blocks", report.unique_blocks)
         perf.count("scheduler.deduped_blocks", report.deduped_blocks)
+        if report.reused_blocks:
+            perf.count("scheduler.reused_blocks", report.reused_blocks)
         return report

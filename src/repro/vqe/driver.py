@@ -5,6 +5,13 @@ Nelder-Mead — the noise-robust optimizer the paper cites — or SPSA.  An
 optional compiler hook compiles the circuit at every iteration, which is how
 the aggregate-latency numbers of paper section 8.4 are reproduced: strict
 partial compilation pays ~0 per iteration where full GRAPE pays minutes.
+
+The compiler hook accepts any of the strategy compilers *or* a long-lived
+:class:`repro.pipeline.session.VariationalSession` — a session keeps block
+dedup state alive across the optimizer iterations, so iteration N+1
+dispatches GRAPE only for blocks the whole run has never seen.  When the
+hook exposes ``stats()`` (sessions do), its end-of-run snapshot lands in
+:attr:`VQEResult.compile_stats`.
 """
 
 from __future__ import annotations
@@ -34,6 +41,9 @@ class VQEResult:
     wall_time_s: float = 0.0
     compile_latency_s: float = 0.0
     compile_pulse_ns: list = field(default_factory=list)
+    #: End-of-run telemetry from the compiler hook's ``stats()`` (e.g. a
+    #: ``VariationalSession``'s reuse counters); ``None`` otherwise.
+    compile_stats: dict | None = None
 
     @property
     def error_to_exact(self) -> float | None:
@@ -135,6 +145,9 @@ class VQEDriver:
         exact = None
         if self.hamiltonian.num_qubits <= 12:
             exact = self.hamiltonian.ground_state_energy()
+        compile_stats = None
+        if self.compiler is not None and hasattr(self.compiler, "stats"):
+            compile_stats = self.compiler.stats()
         return VQEResult(
             optimal_parameters=np.asarray(best_params),
             optimal_energy=best_energy,
@@ -144,6 +157,7 @@ class VQEDriver:
             wall_time_s=time.perf_counter() - start,
             compile_latency_s=compile_seconds,
             compile_pulse_ns=pulse_durations,
+            compile_stats=compile_stats,
         )
 
     def _spsa(self, objective, initial: np.ndarray) -> tuple:

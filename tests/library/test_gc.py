@@ -104,6 +104,80 @@ class TestReconciliation:
         assert fresh.exists()  # recent temp files are presumed in flight
 
 
+class TestDamagedManifests:
+    def test_gc_survives_missing_and_null_last_used_stamps(self, tmp_path):
+        """Regression: a reconciled/legacy-migrated record with a missing or
+        ``None`` LRU stamp used to raise KeyError/TypeError mid-gc and abort
+        eviction.  Damaged stamps heal from the file mtime, and the pass
+        still enforces the budget."""
+        import json
+
+        library = PulseLibrary(tmp_path, shards=16)
+        for i in range(4):
+            library.put(_name(i), b"x" * KIB)
+            time.sleep(0.005)
+        # Hand-damage the manifests: drop one stamp, null another, and turn
+        # a third record into non-dict junk.
+        damaged = 0
+        for shard in library.shard_dirs():
+            path = shard / "manifest.json"
+            manifest = json.loads(path.read_text())
+            for name, record in manifest["entries"].items():
+                if damaged == 0:
+                    del record["last_used"]
+                elif damaged == 1:
+                    record["last_used"] = None
+                elif damaged == 2:
+                    manifest["entries"][name] = "junk"
+                damaged += 1
+            path.write_text(json.dumps(manifest))
+        assert damaged >= 3
+
+        report = library.gc(budget_mb=2 * KIB / (1024 * 1024))
+        assert report.evicted == 2
+        assert library.count() == 2
+        # The healed index parses and carries numeric stamps everywhere.
+        for shard in library.shard_dirs():
+            for record in load_manifest(shard)["entries"].values():
+                assert isinstance(record["last_used"], float)
+                assert isinstance(record["created"], float)
+
+    def test_put_over_damaged_record_does_not_crash(self, tmp_path):
+        """Overwriting an entry whose manifest record is junk (or lacks a
+        'created' stamp) must not raise out of put() — the write path gets
+        the same tolerance as reconciliation."""
+        import json
+
+        library = PulseLibrary(tmp_path, shards=16)
+        library.put(_name(0), b"original")
+        library.put(_name(1), b"original")
+        shard = library.shard_dir(_name(0))
+        path = shard / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["entries"][_name(0)] = "junk"
+        del manifest["entries"][_name(1)]["created"]
+        path.write_text(json.dumps(manifest))
+
+        library.put(_name(0), b"overwritten")
+        library.put(_name(1), b"overwritten")
+        assert library.get(_name(0)) == b"overwritten"
+        record = load_manifest(shard)["entries"][_name(0)]
+        assert isinstance(record["created"], float)
+
+    def test_stats_tolerates_damaged_manifest(self, tmp_path):
+        import json
+
+        library = PulseLibrary(tmp_path, shards=16)
+        library.put(_name(0), b"x" * KIB)
+        shard = library.shard_dir(_name(0))
+        manifest = json.loads((shard / "manifest.json").read_text())
+        for record in manifest["entries"].values():
+            record["last_used"] = None
+        (shard / "manifest.json").write_text(json.dumps(manifest))
+        stats = library.stats()
+        assert stats["entries"] == 1
+
+
 class TestConcurrency:
     def test_concurrent_gc_vs_put_under_lock(self, tmp_path):
         """Writers and collectors racing on one directory stay consistent.

@@ -59,6 +59,44 @@ class TestGrapeKernelBench:
         assert payload["derived"]["headline_speedup"] >= 1.4
 
 
+class TestSessionBench:
+    @pytest.fixture(scope="class")
+    def outputs(self, harness, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench_session")
+        harness.main(["--quick", "--only", "session", "--output-dir", str(out)])
+        return out
+
+    def test_steady_state_beats_cold_iteration(self, outputs):
+        payload = json.loads((outputs / "BENCH_session.json").read_text())
+        derived = payload["derived"]
+        assert derived["steady_wall_s"] < derived["cold_wall_s"]
+        assert derived["steady_state_speedup"] > 1.0
+        assert derived["reused_blocks_total"] > 0
+
+    def test_iteration_entries_show_reuse(self, outputs):
+        payload = json.loads((outputs / "BENCH_session.json").read_text())
+        entries = {entry["name"]: entry for entry in payload["entries"]}
+        assert entries["iteration_0"]["reused_blocks"] == 0
+        later = [e for name, e in entries.items() if name != "iteration_0"]
+        assert all(e["reused_blocks"] > 0 for e in later)
+        assert all(
+            e["dispatched_tasks"] < entries["iteration_0"]["dispatched_tasks"]
+            for e in later
+        )
+
+    def test_trend_row_appended(self, harness, outputs):
+        trend = outputs / "BENCH_trend.jsonl"
+        assert trend.exists()
+        rows = [json.loads(line) for line in trend.read_text().splitlines()]
+        assert len(rows) == 1
+        assert rows[0]["quick"] is True
+        assert "session" in rows[0]["benches"]
+        # A second run appends instead of overwriting.
+        harness.main(["--quick", "--only", "session", "--output-dir", str(outputs)])
+        rows = [json.loads(line) for line in trend.read_text().splitlines()]
+        assert len(rows) == 2
+
+
 @pytest.mark.slow
 class TestPipelineBench:
     def test_writes_json_with_pool_telemetry(self, harness, tmp_path):

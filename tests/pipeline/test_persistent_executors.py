@@ -182,6 +182,45 @@ class TestLifecycle:
         executor.close()
         executor.close()
 
+    def test_repeated_shutdown_helper_is_idempotent(self):
+        """Test teardown followed by the atexit hook (or any double call)
+        must not raise — the second sweep finds already-closed pools."""
+        from repro.pipeline.executors import shutdown_persistent_executors
+
+        executor = resolve_executor("thread-persistent", 2)
+        executor.map(_square, range(4))
+        shutdown_persistent_executors()
+        shutdown_persistent_executors()  # the atexit-race double call
+        assert executor._pool is None
+
+    def test_shutdown_helper_survives_a_failing_pool(self):
+        """One pool whose shutdown raises must not keep the sweep from
+        closing the remaining pools."""
+        from repro.pipeline import executors as executors_module
+
+        class ExplodingPool:
+            def shutdown(self, wait=True):
+                raise RuntimeError("cannot schedule new futures after shutdown")
+
+        bad = PersistentThreadPoolBlockExecutor(max_workers=2)
+        bad._pool = ExplodingPool()
+        good = PersistentThreadPoolBlockExecutor(max_workers=2)
+        good.map(_square, range(4))
+        assert good._pool is not None
+        with executors_module._persistent_registry_lock:
+            saved = dict(executors_module._persistent_executors)
+            executors_module._persistent_executors.clear()
+            executors_module._persistent_executors[("bad", 2)] = bad
+            executors_module._persistent_executors[("good", 2)] = good
+        try:
+            executors_module.shutdown_persistent_executors()
+            assert bad._pool is None
+            assert good._pool is None
+        finally:
+            with executors_module._persistent_registry_lock:
+                executors_module._persistent_executors.clear()
+                executors_module._persistent_executors.update(saved)
+
     def test_pickling_drops_live_pool(self):
         executor = PersistentProcessPoolBlockExecutor(max_workers=2)
         try:

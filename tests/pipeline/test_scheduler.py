@@ -144,6 +144,36 @@ class TestCompileMany:
 
 
 class TestRunMany:
+    def test_empty_batch_returns_no_contexts_and_a_zero_report(self):
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+        )
+        pipeline = full_grape_pipeline(block_compiler, 2)
+        contexts, report = pipeline.run_many([])
+        assert contexts == []
+        assert report.circuits == 0
+        assert report.total_blocks == 0
+        assert report.dispatched_tasks == 0
+
+    def test_single_circuit_batch_equals_plain_run(self):
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+        )
+        pipeline = full_grape_pipeline(block_compiler, 2)
+        circuit = _shared_block_circuit(0.7)
+        contexts, report = pipeline.run_many([circuit])
+        single = full_grape_pipeline(
+            BlockPulseCompiler(
+                GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+            ),
+            2,
+        ).run(circuit)
+        assert report.circuits == 1
+        assert contexts[0].program.duration_ns == pytest.approx(
+            single.program.duration_ns
+        )
+        assert len(contexts[0].block_results) == len(single.block_results)
+
     def test_values_length_mismatch_raises(self):
         block_compiler = BlockPulseCompiler(
             GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()

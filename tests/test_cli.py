@@ -42,7 +42,16 @@ class TestParser:
         args = build_parser().parse_args(
             ["compile-batch", "--benchmark", "vqe:H2"]
         )
-        assert args.batch == 3 and args.seed == 0
+        assert args.batch == 3 and args.seed == 0 and args.rounds == 1
+
+    def test_compile_batch_rejects_nonpositive_rounds(self, capsys):
+        assert (
+            main(
+                ["compile-batch", "--benchmark", "vqe:H2", "--rounds", "0"]
+            )
+            == 2
+        )
+        assert "--rounds must be >= 1" in capsys.readouterr().err
 
     def test_compile_batch_rejects_nonpositive_batch(self, capsys):
         assert (
@@ -89,9 +98,23 @@ class TestCommands:
         assert code == 0
         assert "qaoa:erdosrenyi:6:1" in capsys.readouterr().out
 
-    def test_library_stats_missing_dir(self, capsys):
-        assert main(["library", "stats", "--dir", "/nonexistent/library"]) == 2
-        assert "no library directory" in capsys.readouterr().err
+    def test_library_stats_missing_dir_reports_empty(self, capsys, tmp_path):
+        """A library directory that was never created is an empty library,
+        not an error — and inspecting it must not create it."""
+        missing = tmp_path / "never-created"
+        assert main(["library", "stats", "--dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "empty" in out and "entries" in out
+        assert not missing.exists()
+
+    def test_cache_stats_missing_dir_reports_empty(self, capsys, tmp_path):
+        missing = tmp_path / "never-created"
+        assert main(["cache-stats", "--dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "empty" in out
+        assert "persisted entries" in out
+        assert "prefetches / prefetch hits" in out
+        assert not missing.exists()
 
     def test_library_stats_and_gc(self, capsys, tmp_path):
         from repro.library import PulseLibrary
@@ -124,6 +147,20 @@ class TestCommands:
         assert "shards" in out
         assert "evictions" in out
         assert "migrated legacy entries" in out
+
+    @pytest.mark.slow
+    def test_compile_batch_rounds_stream_through_one_session(self, capsys):
+        code = main(
+            [
+                "compile-batch", "--benchmark", "qaoa:3regular:4:1",
+                "--batch", "1", "--rounds", "2",
+                "--iterations", "60", "--fidelity", "0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reused blocks (cross-call)" in out
+        assert "round 0" in out and "round 1" in out
 
     @pytest.mark.slow
     def test_compile_batch_reports_dedup(self, capsys):

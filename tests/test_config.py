@@ -90,6 +90,42 @@ class TestPipelineCacheConfig:
         assert config.cache_shards == 256
         assert config.cache_budget_mb == 32.5
 
+    def test_prefetch_defaults_off(self):
+        from repro.config import PipelineConfig
+
+        assert PipelineConfig().prefetch is False
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("1", True), ("true", True), ("ON", True), ("0", False), ("off", False)],
+    )
+    def test_prefetch_env_parsing(self, monkeypatch, raw, expected):
+        from repro.config import _pipeline_config_from_env
+
+        monkeypatch.setenv("REPRO_PREFETCH", raw)
+        assert _pipeline_config_from_env().prefetch is expected
+
+    def test_prefetch_env_garbage_warns_and_defaults_off(self, monkeypatch):
+        from repro.config import _pipeline_config_from_env
+
+        monkeypatch.setenv("REPRO_PREFETCH", "maybe")
+        with pytest.warns(UserWarning):
+            config = _pipeline_config_from_env()
+        assert config.prefetch is False
+
+    def test_set_pipeline_config_prefetch_roundtrip(self):
+        from repro.config import get_pipeline_config, set_pipeline_config
+
+        original = get_pipeline_config()
+        try:
+            assert set_pipeline_config(prefetch=True).prefetch is True
+            # Unpassed fields keep their values on the next update.
+            assert set_pipeline_config(cache_shards=256).prefetch is True
+        finally:
+            set_pipeline_config(
+                prefetch=original.prefetch, cache_shards=original.cache_shards
+            )
+
 
 class TestGateDurations:
     def test_table1_values(self):
