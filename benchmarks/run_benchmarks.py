@@ -22,6 +22,14 @@ itself* are machine-checkable and accumulate over time:
   compiling one parametrized ansatz at a stream of random θ draws: the
   cold iteration 0 pays for every block, steady-state iteration k pays
   only for the θ-dependent block (cross-call dedup must make it faster).
+* ``time_search`` — the minimum-time binary search on a block whose
+  initial feasibility bound (and its half) fail, so the doubling phase
+  triggers: lazy sequential doublings vs ``probe_executor="thread"``
+  speculative doublings, wall time and total-iteration cost side by side.
+
+The compile-level benches (``pipeline``, ``cache``) run through
+:class:`repro.service.CompilationService` — the supported front door — so
+the numbers track what real callers see.
 
 Every run also *appends* one line to ``results/BENCH_trend.jsonl`` —
 commit, timestamp, and each bench's ``derived`` metrics — so perf
@@ -58,11 +66,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from grape_reference import kernel_fixture, reference_cost_and_gradient  # noqa: E402
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.core import FullGrapeCompiler, PulseCache
+from repro.core import PulseCache
 from repro.perf import get_perf_registry
-from repro.pipeline import resolve_executor
 from repro.pulse.device import GmonDevice
 from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
+from repro.service import CompilationService, CompileRequest, ServiceConfig
 from repro.transpile.topology import line_topology
 
 DEFAULT_OUTPUT_DIR = Path(__file__).parent / "results"
@@ -168,20 +176,23 @@ def bench_pipeline(quick: bool) -> dict:
     entries = []
     results = {}
     for name in ("serial", "process-persistent"):
-        executor = resolve_executor(name)
-        # Named persistent executors are process-wide shared instances, so
-        # measure the creation *delta* attributable to this run.
-        pools_before = getattr(executor, "pools_created", 0)
-        start = time.perf_counter()
-        # Fresh in-memory cache per run: every block pays full GRAPE.
-        result = FullGrapeCompiler(
+        # One service per variant: a fresh in-memory cache and scheduler
+        # state, so every block pays full GRAPE in both runs.
+        service = CompilationService(
+            config=ServiceConfig(executor=name),
             device=GmonDevice(line_topology(num_qubits)),
             settings=settings,
             hyperparameters=hyper,
-            max_block_width=2,
-            cache=PulseCache(),
-            executor=executor,
-        ).compile(circuit)
+        )
+        # Named persistent executors are process-wide shared instances, so
+        # measure the creation *delta* attributable to this run.
+        pools_before = getattr(service.executor, "pools_created", 0)
+        start = time.perf_counter()
+        result = service.compile(
+            CompileRequest(
+                circuit=circuit, strategy="full-grape", max_block_width=2
+            )
+        ).compiled
         wall = time.perf_counter() - start
         results[name] = result
         entry = {
@@ -191,10 +202,11 @@ def bench_pipeline(quick: bool) -> dict:
             "pulse_duration_ns": round(result.pulse_duration_ns, 3),
             **result.metadata["executor"],
         }
-        if hasattr(executor, "pools_created"):
-            entry["pools_created_this_run"] = executor.pools_created - pools_before
-        if hasattr(executor, "close"):
-            executor.close()
+        if hasattr(service.executor, "pools_created"):
+            entry["pools_created_this_run"] = (
+                service.executor.pools_created - pools_before
+            )
+        service.close()
         entries.append(entry)
         print(
             f"  pipeline {name}: {wall:.2f} s over {result.blocks_compiled} "
@@ -228,7 +240,6 @@ def bench_cache(quick: bool) -> dict:
     import shutil
     import tempfile
 
-    from repro.core import PersistentPulseCache
     from repro.core.cache import CACHE_SCHEMA_VERSION
     from repro.library import PulseLibrary
 
@@ -248,17 +259,23 @@ def bench_cache(quick: bool) -> dict:
         cache_dir = root / "library"
         runs = {}
         for name in ("cold", "warm"):
-            cache = PersistentPulseCache(cache_dir)
-            start = time.perf_counter()
-            result = FullGrapeCompiler(
+            # A fresh service per run models a process restart: scheduler
+            # state resets, so the warm run must be served by the library.
+            service = CompilationService(
+                config=ServiceConfig(cache_dir=str(cache_dir)),
                 device=GmonDevice(line_topology(num_qubits)),
                 settings=settings,
                 hyperparameters=hyper,
-                max_block_width=2,
-                cache=cache,
-            ).compile(circuit)
+            )
+            start = time.perf_counter()
+            result = service.compile(
+                CompileRequest(
+                    circuit=circuit, strategy="full-grape", max_block_width=2
+                )
+            ).compiled
             wall = time.perf_counter() - start
-            stats = cache.stats()
+            stats = service.cache.stats()
+            service.close()
             runs[name] = (wall, result, stats)
             entries.append(
                 {
@@ -442,11 +459,98 @@ def bench_session(quick: bool) -> dict:
     return {"entries": entries, "derived": derived}
 
 
+def bench_time_search(quick: bool) -> dict:
+    """Minimum-time search: lazy sequential vs speculative parallel probes.
+
+    The upper bound is chosen so the initial feasibility probes (the bound
+    and its half) fail, forcing the doubling phase — the part
+    ``probe_executor`` parallelizes.  The speculative mode trades extra
+    GRAPE iterations (every doubling candidate runs) for wall-clock
+    latency, so both are recorded; neither is asserted faster (CI machines
+    with few cores can invert the trade).
+    """
+    from repro.linalg.random import haar_random_unitary
+    from repro.pulse.grape.time_search import minimum_time_pulse
+    from repro.pulse.hamiltonian import build_control_set
+
+    device = GmonDevice(line_topology(2))
+    control_set = build_control_set(device, (0, 1))
+    target = haar_random_unitary(4, seed=7)
+    settings = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
+    hyper = GrapeHyperparameters(
+        learning_rate=0.05,
+        decay_rate=0.002,
+        max_iterations=120 if quick else 300,
+    )
+    # A Haar-random SU(4) needs ~4 ns at these settings; bounding the first
+    # probe at 2 ns makes it (and the 1 ns half-probe) fail, so the search
+    # must double its way to feasibility.
+    upper_bound_ns = 2.0
+    repeats = 3 if quick else 5
+    entries = []
+    outcomes = {}
+    for name, probe_executor in (("sequential", None), ("speculative-thread", "thread")):
+        walls = []
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = minimum_time_pulse(
+                control_set,
+                target,
+                upper_bound_ns=upper_bound_ns,
+                hyperparameters=hyper,
+                settings=settings,
+                probe_executor=probe_executor,
+            )
+            walls.append(time.perf_counter() - start)
+        outcomes[name] = (min(walls), result)
+        entries.append(
+            {
+                "name": name,
+                "wall_s": round(min(walls), 4),
+                "duration_ns": round(result.duration_ns, 3),
+                "converged": result.converged,
+                "total_iterations": result.total_iterations,
+                "grape_calls": result.grape_calls,
+            }
+        )
+        print(
+            f"  time_search {name}: {min(walls):.3f} s, "
+            f"{result.total_iterations} iterations over {result.grape_calls} "
+            f"probes, minimum time {result.duration_ns:.1f} ns"
+        )
+    seq_wall, seq = outcomes["sequential"]
+    spec_wall, spec = outcomes["speculative-thread"]
+    derived = {
+        "speedup_speculative": round(seq_wall / spec_wall, 3),
+        "sequential_duration_ns": round(seq.duration_ns, 3),
+        "speculative_duration_ns": round(spec.duration_ns, 3),
+        "extra_probe_iterations": spec.total_iterations - seq.total_iterations,
+        # Both initial feasibility probes (bound + half-bound) must fail
+        # for the doubling phase — the part probe_executor parallelizes —
+        # to run at all.
+        "doubling_phase_triggered": (
+            len(seq.probes) >= 2
+            and not seq.probes[0][2]
+            and not seq.probes[1][2]
+        ),
+    }
+    if not (seq.converged and spec.converged):
+        raise AssertionError("both time-search modes must converge on this block")
+    if not derived["doubling_phase_triggered"]:
+        raise AssertionError(
+            "the bench workload must force the feasibility-doubling phase "
+            "(the part probe_executor parallelizes)"
+        )
+    return {"entries": entries, "derived": derived}
+
+
 BENCHES = {
     "cache": bench_cache,
     "grape_kernel": bench_grape_kernel,
     "pipeline": bench_pipeline,
     "session": bench_session,
+    "time_search": bench_time_search,
 }
 
 

@@ -23,9 +23,9 @@ import numpy as np
 from repro.analysis import format_table
 from repro.circuits import QuantumCircuit
 from repro.circuits.parameters import Parameter
-from repro.core import StrictPartialCompiler
 from repro.pulse import PulseAssembly, assembly_from_strict_plan
 from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
+from repro.service import CompilationService, CompileRequest
 
 SETTINGS = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
 HYPER = GrapeHyperparameters(learning_rate=0.05, decay_rate=0.002, max_iterations=150)
@@ -51,10 +51,14 @@ def ansatz_like_circuit() -> QuantumCircuit:
 def main() -> None:
     circuit = ansatz_like_circuit()
     print("1. Precompiling Fixed blocks with GRAPE (offline, once)...")
-    compiler = StrictPartialCompiler.precompile(
-        circuit, settings=SETTINGS, hyperparameters=HYPER, max_block_width=2
-    )
-    report = compiler.report
+    # values=None on a partial strategy means "precompile only": the result
+    # carries the reusable plan compiler instead of a pulse program.
+    with CompilationService(settings=SETTINGS, hyperparameters=HYPER) as service:
+        result = service.compile(
+            CompileRequest(circuit, strategy="strict-partial", max_block_width=2)
+        )
+    compiler = result.compiler
+    report = result.precompile_report
     print(
         f"   {report.blocks_precompiled} Fixed blocks precompiled in "
         f"{report.wall_time_s:.1f}s ({report.grape_iterations} GRAPE iterations)\n"

@@ -9,11 +9,15 @@ QAOA).
 
 Quickstart::
 
-    from repro import qaoa, core
+    from repro import qaoa
+    from repro.service import CompilationService, CompileRequest
+
     problem = qaoa.maxcut_problem("3regular", 6, seed=0)
     circuit = qaoa.qaoa_circuit(problem, p=1)
-    compiler = core.StrictPartialCompiler.precompile(circuit)
-    result = compiler.compile([0.3, 1.1])
+    with CompilationService() as service:
+        result = service.compile(
+            CompileRequest(circuit, [0.3, 1.1], strategy="strict-partial")
+        )
     print(result.pulse_duration_ns)
 """
 
@@ -26,6 +30,7 @@ from repro import (
     pipeline,
     pulse,
     qaoa,
+    service,
     sim,
     transpile,
     vqe,
@@ -54,6 +59,7 @@ __all__ = [
     "pipeline",
     "pulse",
     "qaoa",
+    "service",
     "set_pipeline_config",
     "set_preset",
     "sim",

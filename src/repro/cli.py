@@ -6,16 +6,20 @@ Small utilities for poking at the reproduction without writing a script:
 * ``gate-table`` — the compiler's basis gate set and pulse durations
   (paper Table 1).
 * ``qaoa-info`` — circuit statistics for one QAOA MAXCUT benchmark.
-* ``compile`` — run one benchmark through a chosen compilation strategy at
-  a random parametrization and report pulse duration + runtime latency.
+* ``compile`` — run one benchmark through a chosen compilation strategy
+  (each ``--method`` maps to a ``repro.service`` registry key) at a random
+  parametrization and report pulse duration + runtime latency.
   ``--executor``/``--jobs`` parallelize the independent per-block GRAPE
   searches; ``--cache-dir`` persists GRAPE results on disk so a second
   invocation starts warm (pulse-cache telemetry is printed either way).
 * ``compile-batch`` — batch-compile one benchmark at several random
   parametrizations through the cross-circuit block scheduler, reporting
   how many blocks deduplicated across the batch.  With ``--rounds N`` the
-  batches stream through one long-lived ``VariationalSession``, so later
+  batches stream through one long-lived ``CompilationService``, so later
   rounds reuse every block an earlier round compiled (cross-call dedup).
+* ``config show`` — the fully resolved ``ServiceConfig``: every field with
+  its value and provenance (default / env / CLI), so debugging ``REPRO_*``
+  environment variables never requires a source dive.
 * ``cache-stats`` — inspect a persistent pulse-cache directory: shard
   occupancy, index size, evictions, prefetch counters, plus persistent
   worker-pool telemetry.  A directory that does not exist yet reports an
@@ -111,18 +115,35 @@ def _benchmark_circuit(spec: str):
     )
 
 
+#: CLI ``--method`` name → service strategy registry key.
+METHOD_STRATEGIES = {
+    "gate": "gate",
+    "step": "step-function",
+    "strict": "strict-partial",
+    "flexible": "flexible-partial",
+    "grape": "full-grape",
+}
+
+
+def _service_config_from_args(args):
+    """The resolved ServiceConfig: environment first, CLI flags override."""
+    from repro.service import ServiceConfig
+
+    config = ServiceConfig.from_env()
+    overrides = {}
+    if getattr(args, "executor", None):
+        overrides["executor"] = args.executor
+    if getattr(args, "jobs", None):
+        overrides["max_workers"] = args.jobs
+    if getattr(args, "cache_dir", None):
+        overrides["cache_dir"] = args.cache_dir
+    return config.replace(**overrides) if overrides else config
+
+
 def _cmd_compile(args) -> int:
-    from repro.core import (
-        FlexiblePartialCompiler,
-        FullGrapeCompiler,
-        GateBasedCompiler,
-        PersistentPulseCache,
-        StrictPartialCompiler,
-        default_device_for,
-        default_pulse_cache,
-    )
-    from repro.pipeline import resolve_executor
+    from repro.core import default_device_for
     from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
+    from repro.service import CompilationService, CompileRequest
 
     try:
         circuit = _benchmark_circuit(args.benchmark)
@@ -134,78 +155,51 @@ def _cmd_compile(args) -> int:
     hyper = GrapeHyperparameters(0.05, 0.002, max_iterations=args.iterations)
     rng = np.random.default_rng(args.seed)
     values = list(rng.uniform(-np.pi / 2, np.pi / 2, size=len(circuit.parameters)))
-    device = default_device_for(circuit)
-    # --cache-dir wins; otherwise honor REPRO_CACHE_DIR via the config.
-    cache = (
-        PersistentPulseCache(args.cache_dir)
-        if args.cache_dir
-        else default_pulse_cache()
-    )
-    executor = resolve_executor(args.executor, args.jobs)
-    if args.jobs and executor.name == "serial":
+    config = _service_config_from_args(args)
+    if args.jobs and config.executor == "serial":
         print(
             "note: --jobs has no effect with the serial executor; "
             "pass --executor thread|process",
             file=sys.stderr,
         )
 
-    try:
-        if args.method == "gate":
-            compiler = GateBasedCompiler()
-            compiled = compiler.compile_parametrized(circuit, values)
-            precompute = "0 s (lookup table)"
-        elif args.method == "grape":
-            compiler = FullGrapeCompiler(
-                device=device,
-                settings=settings,
-                hyperparameters=hyper,
+    strategy = METHOD_STRATEGIES[args.method]
+    options = {"tuning_samples": 1} if args.method == "flexible" else {}
+    with CompilationService(
+        config=config,
+        device=default_device_for(circuit),
+        settings=settings,
+        hyperparameters=hyper,
+    ) as service:
+        result = service.compile(
+            CompileRequest(
+                circuit=circuit,
+                values=values,
+                strategy=strategy,
                 max_block_width=args.block_width,
-                cache=cache,
-                executor=executor,
+                options=options,
             )
-            compiled = compiler.compile_parametrized(circuit, values, use_cache=True)
-            precompute = "0 s (all work at runtime)"
-        elif args.method == "strict":
-            compiler = StrictPartialCompiler.precompile(
-                circuit,
-                device=device,
-                settings=settings,
-                hyperparameters=hyper,
-                max_block_width=args.block_width,
-                cache=cache,
-                executor=executor,
-            )
-            compiled = compiler.compile(values)
-            precompute = f"{compiler.report.wall_time_s:.1f} s"
-        else:  # flexible
-            compiler = FlexiblePartialCompiler.precompile(
-                circuit,
-                device=device,
-                settings=settings,
-                hyperparameters=hyper,
-                max_block_width=args.block_width,
-                cache=cache,
-                tuning_samples=1,
-                executor=executor,
-            )
-            compiled = compiler.compile(values)
-            precompute = f"{compiler.report.wall_time_s:.1f} s"
-    finally:
-        # Persistent-pool executors hold live workers; release them even if
-        # the compile failed (harmless no-op for the stateless executors).
-        if hasattr(executor, "close"):
-            executor.close()
+        )
+        stats = service.cache.stats()
+        executor_name = service.executor.name
 
-    stats = cache.stats()
+    if result.precompile_report is not None:
+        precompute = f"{result.precompile_report.wall_time_s:.1f} s"
+    elif args.method == "grape":
+        precompute = "0 s (all work at runtime)"
+    else:
+        precompute = "0 s (lookup table)"
+    compiled = result.compiled
     rows = [
         ("benchmark", args.benchmark),
         ("method", args.method),
+        ("strategy", strategy),
         ("qubits", circuit.num_qubits),
         ("pulse duration (ns)", f"{compiled.pulse_duration_ns:.1f}"),
         ("runtime latency (s)", f"{compiled.runtime_latency_s:.3f}"),
         ("runtime GRAPE iterations", compiled.runtime_iterations),
         ("precompute", precompute),
-        ("executor", executor.name),
+        ("executor", executor_name),
         ("cache backend", stats["backend"]),
         # Block-level hits travel back from executor workers with the
         # outcomes, so they stay accurate even under the process pool
@@ -221,13 +215,9 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_compile_batch(args) -> int:
-    from repro.core import (
-        PersistentPulseCache,
-        default_device_for,
-        default_pulse_cache,
-    )
-    from repro.pipeline import VariationalSession, resolve_executor
+    from repro.core import default_device_for
     from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
+    from repro.service import CompilationService, CompileRequest
 
     if args.batch < 1:
         print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
@@ -244,24 +234,16 @@ def _cmd_compile_batch(args) -> int:
     settings = GrapeSettings(dt_ns=args.dt, target_fidelity=args.fidelity)
     hyper = GrapeHyperparameters(0.05, 0.002, max_iterations=args.iterations)
     rng = np.random.default_rng(args.seed)
-    cache = (
-        PersistentPulseCache(args.cache_dir)
-        if args.cache_dir
-        else default_pulse_cache()
-    )
-    executor = resolve_executor(args.executor, args.jobs)
-    # All rounds stream through ONE long-lived session, so round r+1 pays
+    # All rounds stream through ONE long-lived service, so round r+1 pays
     # only for blocks (θ-dependent ones, typically) it has never seen.
-    session = VariationalSession(
+    totals = {"total": 0, "dispatched": 0, "deduped": 0, "reused": 0}
+    round_rows = []
+    with CompilationService(
+        config=_service_config_from_args(args),
         device=default_device_for(circuit),
         settings=settings,
         hyperparameters=hyper,
-        max_block_width=args.block_width,
-        cache=cache,
-        executor=executor,
-    )
-    round_rows = []
-    try:
+    ) as service:
         for round_index in range(args.rounds):
             values_list = [
                 list(
@@ -271,10 +253,22 @@ def _cmd_compile_batch(args) -> int:
                 )
                 for _ in range(args.batch)
             ]
-            results = session.compile_batch(
-                [circuit.bind_parameters(values) for values in values_list]
+            results = service.compile_batch(
+                [
+                    CompileRequest(
+                        circuit=circuit,
+                        values=values,
+                        strategy="full-grape",
+                        max_block_width=args.block_width,
+                    )
+                    for values in values_list
+                ]
             )
             scheduler = results[0].metadata["scheduler"] or {}
+            totals["total"] += scheduler.get("total_blocks", 0)
+            totals["dispatched"] += scheduler.get("dispatched_tasks", 0)
+            totals["deduped"] += scheduler.get("deduped_blocks", 0)
+            totals["reused"] += scheduler.get("reused_blocks", 0)
             round_rows.append(
                 (
                     f"round {round_index}",
@@ -283,25 +277,23 @@ def _cmd_compile_batch(args) -> int:
                     f"reused={scheduler.get('reused_blocks')}",
                 )
             )
-    finally:
-        session.close()
+        executor_name = service.executor.name
 
-    stats = session.stats()
-    shared = stats["deduped_blocks"] + stats["reused_blocks"]
+    shared = totals["deduped"] + totals["reused"]
     rows = [
         ("benchmark", args.benchmark),
         ("batch size", args.batch),
         ("rounds", args.rounds),
         ("qubits", circuit.num_qubits),
-        ("total blocks", stats["total_blocks"]),
-        ("unique blocks compiled", stats["dispatched_blocks"]),
-        ("deduplicated blocks", stats["deduped_blocks"]),
-        ("reused blocks (cross-call)", stats["reused_blocks"]),
+        ("total blocks", totals["total"]),
+        ("unique blocks compiled", totals["dispatched"]),
+        ("deduplicated blocks", totals["deduped"]),
+        ("reused blocks (cross-call)", totals["reused"]),
         (
             "dedup ratio",
-            round(shared / stats["total_blocks"], 4) if stats["total_blocks"] else 0.0,
+            round(shared / totals["total"], 4) if totals["total"] else 0.0,
         ),
-        ("executor", executor.name),
+        ("executor", executor_name),
         *round_rows,
         (
             "pulse durations (ns, last round)",
@@ -313,6 +305,48 @@ def _cmd_compile_batch(args) -> int:
         ),
     ]
     print(format_table(("property", "value"), rows, title="batch compile result"))
+    return 0
+
+
+def _cmd_config_show(args) -> int:
+    """Print the fully resolved ServiceConfig with per-field provenance."""
+    from repro.errors import ReproError
+    from repro.service import ServiceConfig
+
+    config, sources = ServiceConfig.from_env_with_sources()
+    overrides = {}
+    for field_name, arg_name in (
+        ("executor", "executor"),
+        ("max_workers", "jobs"),
+        ("cache_dir", "cache_dir"),
+        ("cache_shards", "cache_shards"),
+        ("cache_budget_mb", "cache_budget_mb"),
+        ("preset", "preset"),
+        ("scheduler_state_path", "scheduler_state"),
+    ):
+        value = getattr(args, arg_name, None)
+        if value is not None:
+            overrides[field_name] = value
+            sources[field_name] = "CLI"
+    if getattr(args, "prefetch", None) is not None:
+        overrides["prefetch"] = args.prefetch
+        sources["prefetch"] = "CLI"
+    try:
+        config = config.replace(**overrides) if overrides else config
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        (name, "(unset)" if value is None else value, sources[name])
+        for name, value in config.as_dict().items()
+    ]
+    print(
+        format_table(
+            ("field", "value", "source"),
+            rows,
+            title="resolved ServiceConfig (env < CLI)",
+        )
+    )
     return 0
 
 
@@ -448,8 +482,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_.add_argument(
         "--method",
-        choices=("gate", "strict", "flexible", "grape"),
+        choices=tuple(METHOD_STRATEGIES),
         default="gate",
+        help="compilation strategy (each maps to a service registry key)",
     )
     compile_.add_argument("--dt", type=float, default=0.5, help="GRAPE slice (ns)")
     compile_.add_argument("--fidelity", type=float, default=0.95)
@@ -534,6 +569,38 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: REPRO_CACHE_BUDGET_MB, else reconcile only)",
     )
     lib_gc.set_defaults(func=_cmd_library_gc)
+
+    config_ = sub.add_parser(
+        "config", help="inspect the resolved service configuration"
+    )
+    config_sub = config_.add_subparsers(dest="config_command", required=True)
+    show = config_sub.add_parser(
+        "show",
+        help="print the fully resolved ServiceConfig with per-field "
+        "provenance (default / env / CLI)",
+    )
+    show.add_argument("--executor", choices=EXECUTOR_CHOICES, default=None)
+    show.add_argument("--jobs", type=int, default=None, help="max_workers override")
+    show.add_argument("--cache-dir", default=None)
+    from repro.config import CACHE_SHARD_CHOICES
+
+    show.add_argument(
+        "--cache-shards", type=int, choices=CACHE_SHARD_CHOICES, default=None
+    )
+    show.add_argument("--cache-budget-mb", type=float, default=None)
+    show.add_argument(
+        "--prefetch",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="--prefetch / --no-prefetch override",
+    )
+    show.add_argument("--preset", default=None)
+    show.add_argument(
+        "--scheduler-state",
+        default=None,
+        help="scheduler_state_path override",
+    )
+    show.set_defaults(func=_cmd_config_show)
     return parser
 
 

@@ -22,10 +22,14 @@ Select a preset with the ``REPRO_PRESET`` environment variable or
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 from repro.errors import ReproError
+from repro.service.config import (  # re-exported for backwards compatibility
+    CACHE_SHARD_CHOICES,
+    EXECUTOR_CHOICES,
+    ServiceConfig,
+)
 
 #: Basis-gate pulse durations in nanoseconds (paper Table 1).  Gate-based
 #: compilation runtimes throughout the library are indexed to these values.
@@ -105,7 +109,11 @@ _PRESETS = {
     ),
 }
 
-_active_preset_name = os.environ.get("REPRO_PRESET", "ci")
+# All REPRO_* environment reading routes through ServiceConfig.from_env();
+# one import-time resolution seeds both the preset and the pipeline config.
+_env_config = ServiceConfig.from_env()
+
+_active_preset_name = _env_config.preset
 
 
 def available_presets() -> tuple:
@@ -130,23 +138,6 @@ def set_preset(name: str) -> Preset:
     preset = get_preset(name)
     _active_preset_name = preset.name
     return preset
-
-
-#: Executor names understood by the compilation pipeline.  The
-#: ``*-persistent`` variants keep one worker pool alive across every
-#: ``map`` call of a pipeline run instead of re-creating it per call.
-EXECUTOR_CHOICES = (
-    "serial",
-    "thread",
-    "process",
-    "thread-persistent",
-    "process-persistent",
-)
-
-#: Valid shard fan-outs for the on-disk pulse library: entries shard by a
-#: whole-hex-character prefix of their unitary fingerprint, so the count
-#: must be a power of 16.
-CACHE_SHARD_CHOICES = (16, 256, 4096)
 
 
 @dataclass(frozen=True)
@@ -214,92 +205,31 @@ class PipelineConfig:
             )
 
 
-def _pipeline_config_from_env() -> PipelineConfig:
-    """Read pipeline settings from the environment, tolerantly.
-
-    This runs at import time, so malformed values must not make
-    ``import repro`` crash: they fall back to defaults with a warning.
-    """
-    import warnings
-
-    executor = os.environ.get("REPRO_EXECUTOR", "serial")
-    if executor not in EXECUTOR_CHOICES:
-        warnings.warn(
-            f"ignoring REPRO_EXECUTOR={executor!r}; available: {EXECUTOR_CHOICES}",
-            stacklevel=2,
-        )
-        executor = "serial"
-    workers_raw = os.environ.get("REPRO_MAX_WORKERS")
-    workers = None
-    if workers_raw:
-        try:
-            workers = int(workers_raw)
-        except ValueError:
-            warnings.warn(
-                f"ignoring REPRO_MAX_WORKERS={workers_raw!r} (not an integer)",
-                stacklevel=2,
-            )
-        else:
-            if workers < 1:
-                warnings.warn(
-                    f"ignoring REPRO_MAX_WORKERS={workers} (must be >= 1)",
-                    stacklevel=2,
-                )
-                workers = None
-    shards_raw = os.environ.get("REPRO_CACHE_SHARDS")
-    shards = 16
-    if shards_raw:
-        try:
-            candidate = int(shards_raw)
-        except ValueError:
-            candidate = None
-        if candidate in CACHE_SHARD_CHOICES:
-            shards = candidate
-        else:
-            warnings.warn(
-                f"ignoring REPRO_CACHE_SHARDS={shards_raw!r}; "
-                f"available: {CACHE_SHARD_CHOICES}",
-                stacklevel=2,
-            )
-    budget_raw = os.environ.get("REPRO_CACHE_BUDGET_MB")
-    budget = None
-    if budget_raw:
-        try:
-            budget = float(budget_raw)
-        except ValueError:
-            warnings.warn(
-                f"ignoring REPRO_CACHE_BUDGET_MB={budget_raw!r} (not a number)",
-                stacklevel=2,
-            )
-        else:
-            if budget <= 0:
-                warnings.warn(
-                    f"ignoring REPRO_CACHE_BUDGET_MB={budget} (must be positive)",
-                    stacklevel=2,
-                )
-                budget = None
-    prefetch_raw = os.environ.get("REPRO_PREFETCH", "")
-    prefetch = False
-    if prefetch_raw:
-        lowered = prefetch_raw.strip().lower()
-        if lowered in ("1", "true", "yes", "on"):
-            prefetch = True
-        elif lowered not in ("0", "false", "no", "off"):
-            warnings.warn(
-                f"ignoring REPRO_PREFETCH={prefetch_raw!r} (expected a boolean)",
-                stacklevel=2,
-            )
+def _pipeline_config_of(service_config: ServiceConfig) -> PipelineConfig:
+    """Project the pipeline-relevant fields out of a service config."""
     return PipelineConfig(
-        executor=executor,
-        max_workers=workers,
-        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
-        cache_shards=shards,
-        cache_budget_mb=budget,
-        prefetch=prefetch,
+        executor=service_config.executor,
+        max_workers=service_config.max_workers,
+        cache_dir=service_config.cache_dir,
+        cache_shards=service_config.cache_shards,
+        cache_budget_mb=service_config.cache_budget_mb,
+        prefetch=service_config.prefetch,
     )
 
 
-_pipeline_config = _pipeline_config_from_env()
+def _pipeline_config_from_env() -> PipelineConfig:
+    """Read pipeline settings from the environment, tolerantly.
+
+    A compatibility wrapper over :meth:`ServiceConfig.from_env` — the one
+    supported env-reading path — kept because it predates the service
+    config.  Malformed values fall back to defaults with a warning instead
+    of raising (this used to run at import time and still must not make
+    ``import repro`` crash).
+    """
+    return _pipeline_config_of(ServiceConfig.from_env())
+
+
+_pipeline_config = _pipeline_config_of(_env_config)
 
 #: Sentinel distinguishing "not passed" from an explicit ``None``.
 _UNSET = object()

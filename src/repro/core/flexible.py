@@ -51,6 +51,7 @@ from repro.pulse.grape.engine import (
 from repro.pulse.grape.time_search import minimum_time_pulse
 from repro.pulse.hamiltonian import ControlSet, build_control_set
 from repro.pulse.schedule import PulseProgram, PulseSchedule, lookup_schedule
+from repro.service.config import warn_deprecated
 from repro.sim.unitary import circuit_unitary
 
 
@@ -208,7 +209,7 @@ def _compile_runtime_entry(
     return (schedule, iterations, True)
 
 
-class FlexiblePartialCompiler:
+class _FlexiblePartialCompiler:
     """Tuned-hyperparameter GRAPE per single-θ block at run time."""
 
     method = "flexible"
@@ -459,3 +460,19 @@ class FlexiblePartialCompiler:
             blocks_compiled=len(schedules),
             metadata={"fallback_blocks": fallbacks, "program_fallback": used_fallback},
         )
+
+
+class FlexiblePartialCompiler(_FlexiblePartialCompiler):
+    """Deprecated constructor shim for the ``"flexible-partial"`` strategy.
+
+    The implementation lives in :class:`_FlexiblePartialCompiler`, which
+    the strategy registry serves as ``"flexible-partial"``; this name
+    remains only so pre-service callers keep working.  Each construction —
+    direct or via ``precompile`` / ``precompile_many`` — emits one
+    :class:`~repro.service.config.ReproDeprecationWarning`.  Use
+    ``CompilationService.compile(CompileRequest(strategy="flexible-partial"))``.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warn_deprecated("FlexiblePartialCompiler", "flexible-partial")
+        super().__init__(*args, **kwargs)

@@ -25,6 +25,7 @@ from repro.core.results import CompiledPulse
 from repro.pipeline.strategies import full_grape_pipeline
 from repro.pulse.device import GmonDevice
 from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
+from repro.service.config import warn_deprecated
 
 
 def result_from_context(
@@ -70,7 +71,7 @@ def result_from_context(
     )
 
 
-class FullGrapeCompiler:
+class _FullGrapeCompiler:
     """Out-of-the-box GRAPE over every block of the circuit."""
 
     method = "grape"
@@ -187,3 +188,19 @@ class FullGrapeCompiler:
             [circuit.bind_parameters(values) for values in values_list],
             use_cache=use_cache,
         )
+
+
+class FullGrapeCompiler(_FullGrapeCompiler):
+    """Deprecated constructor shim for the ``"full-grape"`` service strategy.
+
+    The implementation lives in :class:`_FullGrapeCompiler`, which the
+    strategy registry serves as ``"full-grape"``; this name remains only
+    so pre-service callers keep working, and emits one
+    :class:`~repro.service.config.ReproDeprecationWarning` per
+    construction.  Use
+    ``CompilationService.compile(CompileRequest(strategy="full-grape"))``.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warn_deprecated("FullGrapeCompiler", "full-grape")
+        super().__init__(*args, **kwargs)

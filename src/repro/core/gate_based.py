@@ -19,9 +19,10 @@ from typing import Sequence
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.results import CompiledPulse
 from repro.pipeline.strategies import gate_based_pipeline
+from repro.service.config import warn_deprecated
 
 
-class GateBasedCompiler:
+class _GateBasedCompiler:
     """The paper's baseline compiler.
 
     Stateless: every gate's pulse is a pre-calibrated lookup, so runtime
@@ -58,3 +59,19 @@ class GateBasedCompiler:
             blocks_compiled=len(context.schedules),
             metadata={"stage_timings": context.stage_timing_dict()},
         )
+
+
+class GateBasedCompiler(_GateBasedCompiler):
+    """Deprecated constructor shim for the ``"gate"`` service strategy.
+
+    The implementation lives in :class:`_GateBasedCompiler`, which the
+    strategy registry serves as ``"gate"``; this name remains only so
+    pre-service callers keep working, and emits one
+    :class:`~repro.service.config.ReproDeprecationWarning` per
+    construction.  Use
+    ``CompilationService.compile(CompileRequest(strategy="gate"))``.
+    """
+
+    def __init__(self, pass_manager=None):
+        warn_deprecated("GateBasedCompiler", "gate")
+        super().__init__(pass_manager)

@@ -29,6 +29,7 @@ from repro.config import GATE_DURATIONS_NS
 from repro.core.results import CompiledPulse
 from repro.errors import CompilationError
 from repro.pulse.schedule import PulseProgram, lookup_schedule
+from repro.service.config import warn_deprecated
 
 __all__ = [
     "AngleRange",
@@ -159,7 +160,7 @@ def default_step_table() -> StepFunctionTable:
     )
 
 
-class StepFunctionGateCompiler:
+class _StepFunctionGateCompiler:
     """Lookup-table compilation with angle-dependent pulse durations.
 
     Same zero runtime latency as :class:`GateBasedCompiler`; the only
@@ -207,3 +208,19 @@ class StepFunctionGateCompiler:
             blocks_compiled=len(schedules),
             metadata={"refined_gates": self.table.refined_gates},
         )
+
+
+class StepFunctionGateCompiler(_StepFunctionGateCompiler):
+    """Deprecated constructor shim for the ``"step-function"`` strategy.
+
+    The implementation lives in :class:`_StepFunctionGateCompiler`, which
+    the strategy registry serves as ``"step-function"``; this name remains
+    only so pre-service callers keep working, and emits one
+    :class:`~repro.service.config.ReproDeprecationWarning` per
+    construction.  Use
+    ``CompilationService.compile(CompileRequest(strategy="step-function"))``.
+    """
+
+    def __init__(self, table=None):
+        warn_deprecated("StepFunctionGateCompiler", "step-function")
+        super().__init__(table)

@@ -30,6 +30,7 @@ from repro.pipeline.strategies import strict_precompile_pipeline
 from repro.pulse.device import GmonDevice
 from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
 from repro.pulse.schedule import PulseProgram, lookup_schedule
+from repro.service.config import warn_deprecated
 
 
 def _lookup_plan_entry(task: BlockTask) -> tuple:
@@ -38,7 +39,7 @@ def _lookup_plan_entry(task: BlockTask) -> tuple:
     return ("lookup", inst.qubits, inst.gate.name, inst.gate.params[0])
 
 
-class StrictPartialCompiler:
+class _StrictPartialCompiler:
     """Precompiled Fixed blocks + lookup ``Rz(θ)`` pulses."""
 
     method = "strict"
@@ -239,3 +240,20 @@ class StrictPartialCompiler:
                 "program_fallback": used_fallback,
             },
         )
+
+
+class StrictPartialCompiler(_StrictPartialCompiler):
+    """Deprecated constructor shim for the ``"strict-partial"`` strategy.
+
+    The implementation lives in :class:`_StrictPartialCompiler`, which the
+    strategy registry serves as ``"strict-partial"``; this name remains
+    only so pre-service callers keep working.  Each construction — direct
+    or via ``precompile`` / ``precompile_many`` (classmethods construct
+    through ``cls``) — emits one
+    :class:`~repro.service.config.ReproDeprecationWarning`.  Use
+    ``CompilationService.compile(CompileRequest(strategy="strict-partial"))``.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warn_deprecated("StrictPartialCompiler", "strict-partial")
+        super().__init__(*args, **kwargs)

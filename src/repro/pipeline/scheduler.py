@@ -36,11 +36,16 @@ cost zero GRAPE dispatches.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from functools import partial
+from pathlib import Path
+
+import numpy as np
 
 from repro.circuits.dag import critical_path_ns
-from repro.errors import PipelineError
+from repro.errors import PipelineError, ReproError
 from repro.perf import get_perf_registry
 from repro.pipeline.executors import BlockExecutor, SerialExecutor
 from repro.pipeline.stages import BlockTask, PipelineContext, _dispatch_task
@@ -91,6 +96,94 @@ class _SeenBlock:
 
     outcome: object  # the representative's BlockCompileOutcome
     cache_entry: object = None  # its CacheEntry when visible to this process
+
+
+#: Bump when the on-disk scheduler-state layout (or the meaning of a
+#: serialized field) changes; ``SchedulerState.load`` rejects mismatches.
+SCHEDULER_STATE_SCHEMA_VERSION = 1
+
+
+def _tuplify(obj):
+    """Recursively turn JSON lists back into the tuples dedup keys use."""
+    if isinstance(obj, list):
+        return tuple(_tuplify(item) for item in obj)
+    return obj
+
+
+def _encode_schedule(schedule) -> dict:
+    return {
+        "qubits": list(schedule.qubits),
+        "dt_ns": schedule.dt_ns,
+        "controls_shape": list(schedule.controls.shape),
+        # float(x) keeps each sample a Python float; json round-trips those
+        # via repr, so reloaded controls are bit-identical.
+        "controls": [float(x) for x in schedule.controls.ravel()],
+        "channel_names": list(schedule.channel_names),
+        "source": schedule.source,
+    }
+
+
+def _decode_schedule(data: dict):
+    from repro.pulse.schedule import PulseSchedule as Schedule
+
+    controls = np.array(data["controls"], dtype=float).reshape(
+        tuple(data["controls_shape"])
+    )
+    return Schedule(
+        qubits=tuple(data["qubits"]),
+        dt_ns=data["dt_ns"],
+        controls=controls,
+        channel_names=tuple(data["channel_names"]),
+        source=data["source"],
+    )
+
+
+def _encode_outcome(outcome) -> dict:
+    return {
+        "schedule": _encode_schedule(outcome.schedule),
+        "duration_ns": outcome.duration_ns,
+        "gate_based_ns": outcome.gate_based_ns,
+        "iterations": outcome.iterations,
+        "cache_hit": outcome.cache_hit,
+        "used_grape": outcome.used_grape,
+        "fidelity": outcome.fidelity,
+    }
+
+
+def _decode_outcome(data: dict):
+    from repro.core.compiler import BlockCompileOutcome
+
+    return BlockCompileOutcome(
+        schedule=_decode_schedule(data["schedule"]),
+        duration_ns=data["duration_ns"],
+        gate_based_ns=data["gate_based_ns"],
+        iterations=data["iterations"],
+        cache_hit=data["cache_hit"],
+        used_grape=data["used_grape"],
+        fidelity=data["fidelity"],
+    )
+
+
+def _encode_cache_entry(entry) -> dict:
+    return {
+        "schedule": _encode_schedule(entry.schedule),
+        "duration_ns": entry.duration_ns,
+        "fidelity": entry.fidelity,
+        "converged": entry.converged,
+        "iterations": entry.iterations,
+    }
+
+
+def _decode_cache_entry(data: dict):
+    from repro.core.cache import CacheEntry
+
+    return CacheEntry(
+        schedule=_decode_schedule(data["schedule"]),
+        duration_ns=data["duration_ns"],
+        fidelity=data["fidelity"],
+        converged=data["converged"],
+        iterations=data["iterations"],
+    )
 
 
 @dataclass
@@ -149,6 +242,91 @@ class SchedulerState:
             "batches": self.batches,
             "evictions": self.evictions,
         }
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path) -> int:
+        """Spill the dedup memory to ``path`` as schema-versioned JSON.
+
+        Every remembered representative — dedup key (fingerprint + control
+        context), compiled outcome, and its cache entry when visible — is
+        serialized in LRU order, so :meth:`load` reconstructs not just the
+        mapping but its eviction order.  Control samples round-trip through
+        JSON's repr-based floats bit-identically.  The write is atomic
+        (temp file + rename): a crash mid-save never corrupts an existing
+        state file.  Returns the number of entries written.
+        """
+        payload = {
+            "schema_version": SCHEDULER_STATE_SCHEMA_VERSION,
+            "max_entries": self.max_entries,
+            "cross_call_hits": self.cross_call_hits,
+            "batches": self.batches,
+            "evictions": self.evictions,
+            "entries": [
+                {
+                    "key": list(key),
+                    "outcome": _encode_outcome(block.outcome),
+                    "cache_entry": (
+                        _encode_cache_entry(block.cache_entry)
+                        if block.cache_entry is not None
+                        else None
+                    ),
+                }
+                for key, block in self.seen.items()
+            ],
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+        return len(payload["entries"])
+
+    @classmethod
+    def load(cls, path) -> "SchedulerState":
+        """Rebuild a state from a :meth:`save` file.
+
+        Raises :class:`~repro.errors.PipelineError` when the file is not a
+        scheduler-state file or its schema version does not match — callers
+        that want to tolerate stale files (the service facade does) catch
+        it and start fresh.
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise PipelineError(f"cannot read scheduler state {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise PipelineError(f"{path} is not a scheduler-state file")
+        version = payload.get("schema_version")
+        if version != SCHEDULER_STATE_SCHEMA_VERSION:
+            raise PipelineError(
+                f"scheduler state {path} has schema version {version!r}; "
+                f"this build reads {SCHEDULER_STATE_SCHEMA_VERSION}"
+            )
+        state = cls(max_entries=payload.get("max_entries", 4096))
+        state.cross_call_hits = payload.get("cross_call_hits", 0)
+        state.batches = payload.get("batches", 0)
+        state.evictions = payload.get("evictions", 0)
+        try:
+            for entry in payload["entries"]:
+                cache_entry = entry.get("cache_entry")
+                state.seen[_tuplify(entry["key"])] = _SeenBlock(
+                    outcome=_decode_outcome(entry["outcome"]),
+                    cache_entry=(
+                        _decode_cache_entry(cache_entry)
+                        if cache_entry is not None
+                        else None
+                    ),
+                )
+        except (KeyError, TypeError, ValueError, AttributeError, ReproError) as exc:
+            # Valid JSON + matching schema version but malformed entries
+            # (hand-edited, truncated, or from a buggy writer): the same
+            # "not a usable state file" contract as the checks above, so
+            # tolerant callers (the service facade) can start fresh.
+            raise PipelineError(
+                f"scheduler state {path} has malformed entries: {exc!r}"
+            ) from exc
+        return state
 
 
 def _retarget_outcome(outcome, task: BlockTask, cache_entry=None):

@@ -1,4 +1,11 @@
-"""The QAOA optimization loop."""
+"""The QAOA optimization loop.
+
+Like :class:`repro.vqe.VQEDriver`, the ``compiler`` hook's supported form
+is a :class:`repro.service.CompilationService` (``compiler=service``
+compiles every iteration through the service's shared executor, cache, and
+scheduler state); any object with ``compile_parametrized(circuit, values)``
+or ``compile(values)`` also works.
+"""
 
 from __future__ import annotations
 
@@ -27,6 +34,9 @@ class QAOAResult:
     history: list = field(default_factory=list)
     wall_time_s: float = 0.0
     compile_latency_s: float = 0.0
+    #: End-of-run telemetry from the compiler hook's ``stats()`` (e.g. a
+    #: ``CompilationService``'s folded counters); ``None`` otherwise.
+    compile_stats: dict | None = None
 
     @property
     def approximation_ratio(self) -> float:
@@ -113,6 +123,9 @@ class QAOADriver:
         counts = state.sample_counts(shots=256, seed=self.seed)
         best_cut = max(cut_value(self.problem.graph, bits) for bits in counts)
 
+        compile_stats = None
+        if self.compiler is not None and hasattr(self.compiler, "stats"):
+            compile_stats = self.compiler.stats()
         return QAOAResult(
             optimal_parameters=np.asarray(result.x),
             expected_cut=float(-result.fun),
@@ -122,4 +135,5 @@ class QAOADriver:
             history=history,
             wall_time_s=time.perf_counter() - start,
             compile_latency_s=compile_seconds,
+            compile_stats=compile_stats,
         )

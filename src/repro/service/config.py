@@ -1,0 +1,262 @@
+"""Typed, immutable configuration for the compilation service.
+
+:class:`ServiceConfig` consolidates every ``REPRO_*`` environment knob —
+executor, worker count, cache directory/sharding/budget, prefetch, preset,
+scheduler-state spill path — into one frozen dataclass.
+:meth:`ServiceConfig.from_env` is the **only** code path in the whole
+package that reads ``REPRO_*`` environment variables (a repo test greps
+for strays), so "what configuration am I actually running with?" always
+has one answer: ``python -m repro config show``.
+
+Parsing is tolerant by design: this runs at import time (via
+:mod:`repro.config`), so malformed values fall back to defaults with a
+warning instead of making ``import repro`` crash.
+
+This module sits *below* :mod:`repro.config` in the import graph (it
+depends only on :mod:`repro.errors`), which is why the executor and shard
+choice constants live here and are re-exported from :mod:`repro.config`
+for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ReproError
+
+#: Executor names understood by the compilation pipeline.  The
+#: ``*-persistent`` variants keep one worker pool alive across every
+#: ``map`` call of a pipeline run instead of re-creating it per call.
+EXECUTOR_CHOICES = (
+    "serial",
+    "thread",
+    "process",
+    "thread-persistent",
+    "process-persistent",
+)
+
+#: Valid shard fan-outs for the on-disk pulse library: entries shard by a
+#: whole-hex-character prefix of their unitary fingerprint, so the count
+#: must be a power of 16.
+CACHE_SHARD_CHOICES = (16, 256, 4096)
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Deprecation category for repro's legacy entry-point shims.
+
+    A dedicated subclass so CI can run the suite with
+    ``-W error::DeprecationWarning`` while downgrading exactly the shims'
+    warnings back to non-fatal
+    (``-W default::repro.service.config.ReproDeprecationWarning``), proving
+    the old constructors still work and warn without masking third-party
+    deprecations.
+    """
+
+
+def warn_deprecated(old: str, strategy: str) -> None:
+    """Emit the one-per-call shim warning pointing at the service facade."""
+    warnings.warn(
+        f"{old} is deprecated; use repro.service.CompilationService."
+        f"compile(CompileRequest(strategy={strategy!r})) — the legacy class "
+        "delegates to the same registered strategy implementation",
+        ReproDeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Execution settings for the compilation service (and everything
+    underneath it).
+
+    Attributes
+    ----------
+    executor:
+        How independent per-block GRAPE searches are dispatched
+        (``REPRO_EXECUTOR``): ``"serial"`` (default), ``"thread"``,
+        ``"process"``, or the ``"thread-persistent"`` /
+        ``"process-persistent"`` variants that amortize one long-lived
+        pool across every map of a run.
+    max_workers:
+        Worker count for the parallel executors (``REPRO_MAX_WORKERS``);
+        ``None`` means ``os.cpu_count()``.
+    cache_dir:
+        Directory for the persistent pulse cache (``REPRO_CACHE_DIR``).
+        ``None`` keeps the cache purely in memory.
+    cache_shards:
+        Shard fan-out of the on-disk pulse library
+        (``REPRO_CACHE_SHARDS``); one of :data:`CACHE_SHARD_CHOICES`.
+    cache_budget_mb:
+        Default size budget for :meth:`repro.library.PulseLibrary.gc`
+        (``REPRO_CACHE_BUDGET_MB``).  ``None`` means unbounded.
+    prefetch:
+        Manifest-aware shard prefetch for the on-disk pulse library
+        (``REPRO_PREFETCH``).
+    preset:
+        The active workload preset name (``REPRO_PRESET``); validated
+        lazily by :func:`repro.config.get_preset` so an unknown name only
+        errors when actually used.
+    scheduler_state_path:
+        Where the service spills its cross-call block-dedup memory
+        (``REPRO_SCHEDULER_STATE``).  When set, a new
+        :class:`~repro.service.CompilationService` resumes the dedup
+        memory a previous process saved there, and saves its own on
+        ``close()``.  ``None`` keeps scheduler state process-local.
+    """
+
+    executor: str = "serial"
+    max_workers: int | None = None
+    cache_dir: str | None = None
+    cache_shards: int = 16
+    cache_budget_mb: float | None = None
+    prefetch: bool = False
+    preset: str = "ci"
+    scheduler_state_path: str | None = None
+
+    def __post_init__(self):
+        if self.executor not in EXECUTOR_CHOICES:
+            raise ReproError(
+                f"unknown executor {self.executor!r}; available: {EXECUTOR_CHOICES}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.cache_shards not in CACHE_SHARD_CHOICES:
+            raise ReproError(
+                f"cache_shards must be one of {CACHE_SHARD_CHOICES}, "
+                f"got {self.cache_shards}"
+            )
+        if self.cache_budget_mb is not None and self.cache_budget_mb <= 0:
+            raise ReproError(
+                f"cache_budget_mb must be positive, got {self.cache_budget_mb}"
+            )
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_env(cls) -> "ServiceConfig":
+        """The configuration selected by the ``REPRO_*`` environment.
+
+        The single supported env-reading path: every other module obtains
+        environment-derived settings through this constructor (directly or
+        via :mod:`repro.config`'s compatibility wrappers).
+        """
+        config, _sources = cls.from_env_with_sources()
+        return config
+
+    @classmethod
+    def from_env_with_sources(cls) -> tuple:
+        """Like :meth:`from_env`, plus a ``{field: "env" | "default"}`` map.
+
+        The source map is what ``python -m repro config show`` prints, so
+        debugging a mis-set environment never requires a source dive.
+        """
+        values: dict = {}
+        sources = {f.name: "default" for f in fields(cls)}
+
+        executor = os.environ.get("REPRO_EXECUTOR")
+        if executor is not None:
+            if executor in EXECUTOR_CHOICES:
+                values["executor"] = executor
+                sources["executor"] = "env"
+            else:
+                warnings.warn(
+                    f"ignoring REPRO_EXECUTOR={executor!r}; "
+                    f"available: {EXECUTOR_CHOICES}",
+                    stacklevel=3,
+                )
+
+        workers_raw = os.environ.get("REPRO_MAX_WORKERS")
+        if workers_raw:
+            try:
+                workers = int(workers_raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring REPRO_MAX_WORKERS={workers_raw!r} (not an integer)",
+                    stacklevel=3,
+                )
+            else:
+                if workers < 1:
+                    warnings.warn(
+                        f"ignoring REPRO_MAX_WORKERS={workers} (must be >= 1)",
+                        stacklevel=3,
+                    )
+                else:
+                    values["max_workers"] = workers
+                    sources["max_workers"] = "env"
+
+        cache_dir = os.environ.get("REPRO_CACHE_DIR")
+        if cache_dir:
+            values["cache_dir"] = cache_dir
+            sources["cache_dir"] = "env"
+
+        shards_raw = os.environ.get("REPRO_CACHE_SHARDS")
+        if shards_raw:
+            try:
+                candidate = int(shards_raw)
+            except ValueError:
+                candidate = None
+            if candidate in CACHE_SHARD_CHOICES:
+                values["cache_shards"] = candidate
+                sources["cache_shards"] = "env"
+            else:
+                warnings.warn(
+                    f"ignoring REPRO_CACHE_SHARDS={shards_raw!r}; "
+                    f"available: {CACHE_SHARD_CHOICES}",
+                    stacklevel=3,
+                )
+
+        budget_raw = os.environ.get("REPRO_CACHE_BUDGET_MB")
+        if budget_raw:
+            try:
+                budget = float(budget_raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring REPRO_CACHE_BUDGET_MB={budget_raw!r} (not a number)",
+                    stacklevel=3,
+                )
+            else:
+                if budget <= 0:
+                    warnings.warn(
+                        f"ignoring REPRO_CACHE_BUDGET_MB={budget} (must be positive)",
+                        stacklevel=3,
+                    )
+                else:
+                    values["cache_budget_mb"] = budget
+                    sources["cache_budget_mb"] = "env"
+
+        prefetch_raw = os.environ.get("REPRO_PREFETCH", "")
+        if prefetch_raw:
+            lowered = prefetch_raw.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                values["prefetch"] = True
+                sources["prefetch"] = "env"
+            elif lowered in ("0", "false", "no", "off"):
+                values["prefetch"] = False
+                sources["prefetch"] = "env"
+            else:
+                warnings.warn(
+                    f"ignoring REPRO_PREFETCH={prefetch_raw!r} (expected a boolean)",
+                    stacklevel=3,
+                )
+
+        preset = os.environ.get("REPRO_PRESET")
+        if preset:
+            values["preset"] = preset
+            sources["preset"] = "env"
+
+        state_path = os.environ.get("REPRO_SCHEDULER_STATE")
+        if state_path:
+            values["scheduler_state_path"] = state_path
+            sources["scheduler_state_path"] = "env"
+
+        return cls(**values), sources
+
+    # -- utilities -----------------------------------------------------------
+    def replace(self, **overrides) -> "ServiceConfig":
+        """A copy with ``overrides`` applied (validation re-runs)."""
+        return replace(self, **overrides)
+
+    def as_dict(self) -> dict:
+        """Field → value, in declaration order (for stats and the CLI)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

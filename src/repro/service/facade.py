@@ -1,0 +1,301 @@
+"""`CompilationService` — the single supported way to compile.
+
+One service instance owns the machinery every request shares:
+
+* one typed, immutable :class:`~repro.service.config.ServiceConfig`
+  (the only consumer of the ``REPRO_*`` environment),
+* one resolved block executor (persistent pools stay warm across every
+  request),
+* one open pulse cache (in-memory, or the sharded on-disk
+  :class:`~repro.library.PulseLibrary` when ``cache_dir`` is set),
+* one cross-call :class:`~repro.pipeline.scheduler.SchedulerState`
+  (optionally resumed from — and spilled back to —
+  ``scheduler_state_path``, so a *new process* inherits a previous
+  session's dedup memory).
+
+Requests are typed (:class:`~repro.service.requests.CompileRequest` in,
+:class:`~repro.service.requests.CompileResult` out) and strategy dispatch
+goes through the string-keyed registry, so drivers, the CLI, and any
+future network frontend sit on one stable seam.
+
+Concurrency model: ``submit()`` accepts requests from any number of
+threads.  Strategy execution serializes on an internal lock — the
+scheduler state and plan assembly are single-writer by design — while the
+*block-level* parallelism inside each request still fans out through the
+shared block executor.  Results are therefore bit-identical to a serial
+``compile()`` of the same requests, which is what makes concurrent
+submission safe to adopt.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.errors import PipelineError, ReproError
+from repro.service.config import ServiceConfig
+from repro.service.registry import get_strategy
+from repro.service.requests import CompileRequest, CompileResult
+
+
+class CompilationService:
+    """One typed front door over the five compilation strategies.
+
+    Parameters
+    ----------
+    config:
+        The service configuration; ``None`` reads the environment once via
+        :meth:`ServiceConfig.from_env`.
+    device:
+        Optional fixed :class:`~repro.pulse.device.GmonDevice`.  ``None``
+        (the default) sizes a gmon grid per request, exactly like the
+        legacy compilers.
+    settings / hyperparameters:
+        Service-wide GRAPE defaults applied when a request leaves them
+        ``None``.
+    default_strategy:
+        The registry key :meth:`compile_parametrized` (the
+        :class:`~repro.vqe.VQEDriver` / :class:`~repro.qaoa.QAOADriver`
+        compiler-hook path) uses.
+    max_block_width:
+        Default block width for :meth:`compile_parametrized` requests.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        device=None,
+        settings=None,
+        hyperparameters=None,
+        default_strategy: str = "full-grape",
+        max_block_width: int | None = None,
+    ):
+        from repro.core.cache import PersistentPulseCache, PulseCache
+        from repro.pipeline.executors import resolve_executor
+        from repro.pipeline.scheduler import SchedulerState
+
+        self.config = config if config is not None else ServiceConfig.from_env()
+        self.device = device
+        self.settings = settings
+        self.hyperparameters = hyperparameters
+        self.default_strategy = default_strategy
+        self.max_block_width = max_block_width
+        self.cache = (
+            PersistentPulseCache(self.config.cache_dir)
+            if self.config.cache_dir
+            else PulseCache()
+        )
+        self.executor = resolve_executor(
+            self.config.executor, self.config.max_workers
+        )
+        self.scheduler_state = self._load_scheduler_state(SchedulerState)
+        self._lock = threading.RLock()
+        self._submit_pool = None
+        self._submit_pool_lock = threading.Lock()
+        # ``_draining`` rejects new work the moment close() starts;
+        # ``_closed`` flips only after the submission pool has drained, so
+        # already-accepted futures complete instead of erroring.
+        self._draining = False
+        self._closed = False
+        self.requests_total = 0
+        self.requests_by_strategy: dict = {}
+        self.submitted_total = 0
+
+    def _load_scheduler_state(self, state_cls):
+        """Resume spilled dedup memory when configured, else start fresh.
+
+        A missing file is a fresh start; an unreadable or schema-mismatched
+        file is *also* a fresh start (with a warning) — stale state must
+        never prevent the service from coming up.
+        """
+        path = self.config.scheduler_state_path
+        if path:
+            from pathlib import Path
+
+            if Path(path).exists():
+                try:
+                    return state_cls.load(path)
+                except PipelineError as exc:
+                    warnings.warn(
+                        f"ignoring scheduler state at {path}: {exc}", stacklevel=2
+                    )
+        return state_cls()
+
+    # -- core API ------------------------------------------------------------
+    def compile(self, request: CompileRequest) -> CompileResult:
+        """Serve one request through its registered strategy.
+
+        Thread-safe; see the module docstring for the serialization model.
+        """
+        if not isinstance(request, CompileRequest):
+            raise ReproError(
+                f"compile() takes a CompileRequest, got {type(request).__name__}"
+            )
+        strategy = get_strategy(request.strategy)
+        with self._lock:
+            if self._closed:
+                raise PipelineError("this CompilationService is closed")
+            result = strategy.compile(self, request)
+            self.requests_total += 1
+            self.requests_by_strategy[request.strategy] = (
+                self.requests_by_strategy.get(request.strategy, 0) + 1
+            )
+        return result
+
+    def submit(self, request: CompileRequest) -> Future:
+        """Enqueue one request; returns a ``concurrent.futures.Future``.
+
+        Callable from any number of threads: all submissions share this
+        service's executor, cache, and scheduler state, so concurrent
+        requests reuse each other's blocks exactly as serial ones do.
+        """
+        if not isinstance(request, CompileRequest):
+            raise ReproError(
+                f"submit() takes a CompileRequest, got {type(request).__name__}"
+            )
+        with self._submit_pool_lock:
+            if self._draining or self._closed:
+                raise PipelineError("this CompilationService is closed")
+            if self._submit_pool is None:
+                self._submit_pool = ThreadPoolExecutor(
+                    max_workers=4, thread_name_prefix="repro-service"
+                )
+            # Enqueue under the lock: a close() racing this call cannot
+            # shut the pool down between the drain check and the submit,
+            # so an accepted future can never hit a shut-down pool.
+            future = self._submit_pool.submit(self.compile, request)
+            self.submitted_total += 1
+        return future
+
+    def compile_batch(self, requests) -> list:
+        """Serve a batch of requests, deduplicating blocks batch-wide.
+
+        When every request targets the same strategy and that strategy
+        implements ``compile_batch`` (full GRAPE does), the whole batch
+        flows through one scheduler pass — N circuits sharing a block pay
+        for it once even on a cold cache.  Mixed batches fall back to
+        sequential :meth:`compile` calls (which still share the service's
+        cross-call state).
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        names = {request.strategy for request in requests}
+        if len(names) == 1:
+            strategy = get_strategy(requests[0].strategy)
+            batch = getattr(strategy, "compile_batch", None)
+            if batch is not None:
+                with self._lock:
+                    if self._closed:
+                        raise PipelineError("this CompilationService is closed")
+                    results = batch(self, requests)
+                    self.requests_total += len(requests)
+                    key = requests[0].strategy
+                    self.requests_by_strategy[key] = (
+                        self.requests_by_strategy.get(key, 0) + len(requests)
+                    )
+                return results
+        return [self.compile(request) for request in requests]
+
+    def compile_parametrized(self, circuit, values):
+        """The driver compiler-hook signature: bind ``values`` and compile.
+
+        Lets a service drop straight into
+        ``VQEDriver(compiler=service)`` / ``QAOADriver(compiler=service)``;
+        returns the bare :class:`~repro.core.results.CompiledPulse` the
+        drivers expect.  Uses :attr:`default_strategy`.
+        """
+        result = self.compile(
+            CompileRequest(
+                circuit=circuit,
+                values=list(values),
+                strategy=self.default_strategy,
+                max_block_width=self.max_block_width,
+            )
+        )
+        return result.compiled
+
+    def device_for(self, circuit):
+        """The service device, or the default grid sized for ``circuit``."""
+        if self.device is not None:
+            return self.device
+        from repro.core.compiler import default_device_for
+
+        return default_device_for(circuit)
+
+    # -- telemetry -----------------------------------------------------------
+    def stats(self) -> dict:
+        """One report folding scheduler, cache, executor, and pool counters."""
+        from repro.pipeline.executors import persistent_executor_stats
+
+        return {
+            "config": self.config.as_dict(),
+            "requests": {
+                "total": self.requests_total,
+                "submitted": self.submitted_total,
+                "by_strategy": dict(self.requests_by_strategy),
+            },
+            "scheduler": self.scheduler_state.as_dict(),
+            "cache": self.cache.stats(),
+            "executor": self.executor.describe(),
+            "pools": persistent_executor_stats(),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+    def save_scheduler_state(self, path=None) -> int:
+        """Spill the dedup memory to ``path`` (default: the configured
+        ``scheduler_state_path``).  Returns the entry count written."""
+        target = path or self.config.scheduler_state_path
+        if not target:
+            raise ReproError(
+                "no path given and ServiceConfig.scheduler_state_path is unset"
+            )
+        with self._lock:
+            return self.scheduler_state.save(target)
+
+    def close(self) -> None:
+        """Shut the service down (idempotent).
+
+        New submissions are rejected immediately, but
+        already-accepted submissions drain to completion first — a future
+        returned before ``close()`` never fails just because the service
+        is shutting down.  Then the scheduler state spills (when
+        ``scheduler_state_path`` is configured, so it includes the drained
+        work) and the block executor's workers are released.  The pulse
+        cache (and its on-disk library) stays valid — a later service
+        pointed at the same directory starts warm.
+        """
+        with self._submit_pool_lock:
+            if self._draining or self._closed:
+                return
+            self._draining = True
+            pool, self._submit_pool = self._submit_pool, None
+        # Queued futures still run self.compile here: _closed is not set
+        # yet, only new submissions are being refused.
+        if pool is not None:
+            pool.shutdown(wait=True)
+        try:
+            with self._lock:
+                self._closed = True
+                if self.config.scheduler_state_path:
+                    self.scheduler_state.save(self.config.scheduler_state_path)
+        finally:
+            # A failed state spill (unwritable path) must not leak the
+            # executor's live workers.
+            if hasattr(self.executor, "close"):
+                self.executor.close()
+
+    def __enter__(self) -> "CompilationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"CompilationService(requests={self.requests_total}, "
+            f"executor={self.executor.name!r}, "
+            f"known_blocks={len(self.scheduler_state)})"
+        )

@@ -6,12 +6,16 @@ optional compiler hook compiles the circuit at every iteration, which is how
 the aggregate-latency numbers of paper section 8.4 are reproduced: strict
 partial compilation pays ~0 per iteration where full GRAPE pays minutes.
 
-The compiler hook accepts any of the strategy compilers *or* a long-lived
-:class:`repro.pipeline.session.VariationalSession` — a session keeps block
-dedup state alive across the optimizer iterations, so iteration N+1
-dispatches GRAPE only for blocks the whole run has never seen.  When the
-hook exposes ``stats()`` (sessions do), its end-of-run snapshot lands in
-:attr:`VQEResult.compile_stats`.
+The supported compiler hook is a
+:class:`repro.service.CompilationService` — ``VQEDriver(compiler=service)``
+routes every iteration's compilation through the service's
+``compile_parametrized`` hook, so the whole optimizer loop shares one
+executor, one pulse cache, and one block-dedup scheduler state (iteration
+N+1 dispatches GRAPE only for blocks the whole run has never seen).  Any
+object exposing ``compile_parametrized(circuit, values)`` (the legacy
+strategy compilers, a :class:`repro.pipeline.session.VariationalSession`)
+still works.  When the hook exposes ``stats()`` (services and sessions
+do), its end-of-run snapshot lands in :attr:`VQEResult.compile_stats`.
 """
 
 from __future__ import annotations

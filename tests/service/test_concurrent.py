@@ -1,0 +1,129 @@
+"""Satellite: concurrent ``service.submit()`` from ≥4 threads.
+
+Results must be bit-identical to a serial ``compile()`` of the same
+requests, exactly one pool/library/scheduler may be instantiated, and the
+stats counters must stay consistent.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.cache import PulseCache
+from repro.pipeline.scheduler import SchedulerState
+from repro.service import CompilationService, CompileRequest, ServiceConfig
+
+
+THREADS = 4
+
+
+@pytest.fixture(scope="module")
+def thetas():
+    return [[0.4, 0.9], [0.1, 1.2], [0.7, 0.3], [1.0, 0.5]]
+
+
+def _requests(circuit, thetas):
+    return [
+        CompileRequest(circuit, theta, strategy="full-grape", max_block_width=2)
+        for theta in thetas
+    ]
+
+
+class _InstanceCounter:
+    """Counts constructions of a class via an ``__init__`` wrapper."""
+
+    def __init__(self, monkeypatch, cls):
+        self.count = 0
+        original = cls.__init__
+
+        def counting(obj, *args, **kwargs):
+            self.count += 1
+            original(obj, *args, **kwargs)
+
+        monkeypatch.setattr(cls, "__init__", counting)
+
+
+def test_concurrent_submit_matches_serial(
+    monkeypatch, workload, thetas, coarse_settings, coarse_hyper, programs_identical
+):
+    circuit, _ = workload
+
+    # Serial reference: one service, sequential compile() calls.
+    with CompilationService(
+        settings=coarse_settings, hyperparameters=coarse_hyper
+    ) as serial_service:
+        serial = [
+            serial_service.compile(request)
+            for request in _requests(circuit, thetas)
+        ]
+
+    # Concurrent run on a fresh service, instrumented: constructing the
+    # service builds exactly one scheduler state and one cache, and the
+    # concurrent phase must not build any more.
+    schedulers = _InstanceCounter(monkeypatch, SchedulerState)
+    caches = _InstanceCounter(monkeypatch, PulseCache)
+    service = CompilationService(
+        settings=coarse_settings, hyperparameters=coarse_hyper
+    )
+    assert schedulers.count == 1
+    assert caches.count == 1
+
+    futures = [None] * THREADS
+    barrier = threading.Barrier(THREADS)
+    requests = _requests(circuit, thetas)
+
+    def submit(index):
+        barrier.wait()  # all four threads hit submit() together
+        futures[index] = service.submit(requests[index])
+
+    threads = [
+        threading.Thread(target=submit, args=(i,)) for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    concurrent = [future.result(timeout=300) for future in futures]
+
+    # Bit-identical programs, request-for-request.
+    for serial_result, concurrent_result in zip(serial, concurrent):
+        assert programs_identical(
+            serial_result.program, concurrent_result.program
+        )
+
+    # Exactly one scheduler/cache for the whole concurrent phase, and the
+    # shared instances are the ones every request went through.
+    assert schedulers.count == 1
+    assert caches.count == 1
+    assert all(result.metadata["scheduler"] is not None for result in concurrent)
+
+    # Counter consistency: every submission accounted for, once.
+    stats = service.stats()
+    assert stats["requests"]["total"] == THREADS
+    assert stats["requests"]["submitted"] == THREADS
+    assert stats["requests"]["by_strategy"] == {"full-grape": THREADS}
+    assert stats["scheduler"]["batches"] == THREADS
+    # The later requests reuse the first request's θ-independent blocks.
+    assert stats["scheduler"]["cross_call_hits"] > 0
+    service.close()
+
+
+def test_shared_persistent_pool_created_once(
+    workload, thetas, coarse_settings, coarse_hyper
+):
+    """Under a persistent executor, the whole concurrent run amortizes one
+    worker pool (the "one pool" half of the satellite)."""
+    circuit, _ = workload
+    service = CompilationService(
+        config=ServiceConfig(executor="thread-persistent", max_workers=2),
+        settings=coarse_settings,
+        hyperparameters=coarse_hyper,
+    )
+    pools_before = service.executor.pools_created
+    futures = [service.submit(request) for request in _requests(circuit, thetas)]
+    results = [future.result(timeout=300) for future in futures]
+    assert len(results) == THREADS
+    assert service.executor.pools_created - pools_before <= 1
+    executors = {id(service.executor)}
+    assert len(executors) == 1
+    service.close()

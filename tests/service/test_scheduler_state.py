@@ -1,0 +1,172 @@
+"""SchedulerState disk spill/resume and the service's use of it."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline.scheduler import (
+    SCHEDULER_STATE_SCHEMA_VERSION,
+    SchedulerState,
+)
+from repro.service import CompilationService, CompileRequest, ServiceConfig
+
+
+
+def _populated_state(workload, coarse_settings, coarse_hyper):
+    """Run one compile through a service to fill its scheduler state."""
+    circuit, theta = workload
+    service = CompilationService(
+        settings=coarse_settings, hyperparameters=coarse_hyper
+    )
+    result = service.compile(
+        CompileRequest(circuit, theta, strategy="full-grape", max_block_width=2)
+    )
+    return service, result
+
+
+class TestSaveLoad:
+    def test_round_trip_bit_identical(
+        self, tmp_path, workload, coarse_settings, coarse_hyper
+    ):
+        service, _ = _populated_state(workload, coarse_settings, coarse_hyper)
+        state = service.scheduler_state
+        assert len(state) > 0
+        path = tmp_path / "state.json"
+        written = state.save(path)
+        assert written == len(state)
+
+        loaded = SchedulerState.load(path)
+        assert set(loaded.seen) == set(state.seen)
+        assert loaded.max_entries == state.max_entries
+        assert loaded.batches == state.batches
+        for key, block in state.seen.items():
+            restored = loaded.seen[key]
+            assert np.array_equal(
+                restored.outcome.schedule.controls, block.outcome.schedule.controls
+            )
+            assert restored.outcome.duration_ns == block.outcome.duration_ns
+            assert restored.outcome.used_grape == block.outcome.used_grape
+            if block.cache_entry is not None:
+                assert np.array_equal(
+                    restored.cache_entry.schedule.controls,
+                    block.cache_entry.schedule.controls,
+                )
+        service.close()
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "state.json"
+        SchedulerState().save(path)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = SCHEDULER_STATE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PipelineError, match="schema version"):
+            SchedulerState.load(path)
+
+    def test_malformed_entries_rejected_as_pipeline_error(self, tmp_path):
+        """Right schema version but broken entries must not escape as
+        KeyError — tolerant callers catch PipelineError only."""
+        path = tmp_path / "state.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": SCHEDULER_STATE_SCHEMA_VERSION,
+                    "entries": [{}],
+                }
+            )
+        )
+        with pytest.raises(PipelineError, match="malformed entries"):
+            SchedulerState.load(path)
+
+    def test_service_comes_up_over_malformed_entries(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": SCHEDULER_STATE_SCHEMA_VERSION,
+                    "entries": [{"key": ["x"], "outcome": {"bad": 1}}],
+                }
+            )
+        )
+        config = ServiceConfig(scheduler_state_path=str(path))
+        with pytest.warns(UserWarning, match="ignoring scheduler state"):
+            service = CompilationService(config=config)
+        assert len(service.scheduler_state) == 0
+        service.close()
+
+    def test_non_state_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{\"hello\": 1}")
+        with pytest.raises(PipelineError):
+            SchedulerState.load(path)
+        path.write_text("not json at all")
+        with pytest.raises(PipelineError):
+            SchedulerState.load(path)
+
+    def test_save_is_atomic(self, tmp_path, workload, coarse_settings, coarse_hyper):
+        service, _ = _populated_state(workload, coarse_settings, coarse_hyper)
+        path = tmp_path / "state.json"
+        service.scheduler_state.save(path)
+        assert not (tmp_path / "state.json.tmp").exists()
+        service.close()
+
+
+class TestServiceResume:
+    """Satellite: a new process resumes a session's dedup memory."""
+
+    def test_new_service_resumes_dedup_memory(
+        self, tmp_path, workload, coarse_settings, coarse_hyper, programs_identical
+    ):
+        circuit, theta = workload
+        path = tmp_path / "scheduler.json"
+        config = ServiceConfig(scheduler_state_path=str(path))
+        with CompilationService(
+            config=config, settings=coarse_settings, hyperparameters=coarse_hyper
+        ) as first:
+            cold = first.compile(
+                CompileRequest(
+                    circuit, theta, strategy="full-grape", max_block_width=2
+                )
+            )
+        assert path.exists()  # close() spilled the state
+        assert cold.metadata["scheduler"]["reused_blocks"] == 0
+        assert cold.metadata["scheduler"]["dispatched_tasks"] > 0
+
+        # A second service (a "new process") starts from the spilled file:
+        # every block is served from the resumed memory, zero dispatches.
+        with CompilationService(
+            config=config, settings=coarse_settings, hyperparameters=coarse_hyper
+        ) as second:
+            warm = second.compile(
+                CompileRequest(
+                    circuit, theta, strategy="full-grape", max_block_width=2
+                )
+            )
+        assert warm.metadata["scheduler"]["dispatched_tasks"] == 0
+        assert warm.metadata["scheduler"]["reused_blocks"] > 0
+        assert programs_identical(cold.program, warm.program)
+
+    def test_corrupt_state_file_starts_fresh_with_warning(
+        self, tmp_path, workload, coarse_settings, coarse_hyper
+    ):
+        circuit, theta = workload
+        path = tmp_path / "scheduler.json"
+        path.write_text("corrupted")
+        config = ServiceConfig(scheduler_state_path=str(path))
+        with pytest.warns(UserWarning, match="ignoring scheduler state"):
+            service = CompilationService(
+                config=config, settings=coarse_settings, hyperparameters=coarse_hyper
+            )
+        assert len(service.scheduler_state) == 0
+        service.close()
+        # close() replaced the corrupt file with a valid (empty) state.
+        assert SchedulerState.load(path).batches == 0
+
+    def test_explicit_save_requires_a_path_when_unconfigured(self):
+        service = CompilationService()
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            service.save_scheduler_state()
+        service.close()

@@ -1,0 +1,148 @@
+"""Tests for the typed service configuration and its env consolidation."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service import ServiceConfig
+from repro.service.config import CACHE_SHARD_CHOICES, EXECUTOR_CHOICES
+
+REPO = Path(__file__).parent.parent.parent
+SRC_MODULES = sorted((REPO / "src").rglob("*.py"))
+ENV_READER = REPO / "src" / "repro" / "service" / "config.py"
+
+
+class TestEnvConsolidation:
+    """Acceptance criterion: every REPRO_* env read routes through
+    ``ServiceConfig.from_env()`` — grep-enforced."""
+
+    @pytest.mark.parametrize(
+        "path", SRC_MODULES, ids=lambda p: str(p.relative_to(REPO))
+    )
+    def test_only_service_config_touches_the_environment(self, path):
+        if path == ENV_READER:
+            return
+        source = path.read_text()
+        for marker in ("os.environ", "getenv", "environb"):
+            assert marker not in source, (
+                f"{path.relative_to(REPO)} reads the environment directly; "
+                "route REPRO_* lookups through ServiceConfig.from_env()"
+            )
+
+    def test_the_one_reader_covers_every_documented_variable(self):
+        source = ENV_READER.read_text()
+        for name in (
+            "REPRO_EXECUTOR",
+            "REPRO_MAX_WORKERS",
+            "REPRO_CACHE_DIR",
+            "REPRO_CACHE_SHARDS",
+            "REPRO_CACHE_BUDGET_MB",
+            "REPRO_PREFETCH",
+            "REPRO_PRESET",
+            "REPRO_SCHEDULER_STATE",
+        ):
+            assert name in source
+
+
+class TestFromEnv:
+    def test_defaults_without_env(self, monkeypatch):
+        for name in (
+            "REPRO_EXECUTOR",
+            "REPRO_MAX_WORKERS",
+            "REPRO_CACHE_DIR",
+            "REPRO_CACHE_SHARDS",
+            "REPRO_CACHE_BUDGET_MB",
+            "REPRO_PREFETCH",
+            "REPRO_PRESET",
+            "REPRO_SCHEDULER_STATE",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        config, sources = ServiceConfig.from_env_with_sources()
+        assert config == ServiceConfig()
+        assert set(sources.values()) == {"default"}
+
+    def test_env_values_and_sources(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread-persistent")
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/pulses")
+        monkeypatch.setenv("REPRO_CACHE_SHARDS", "256")
+        monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "32.5")
+        monkeypatch.setenv("REPRO_PREFETCH", "yes")
+        monkeypatch.setenv("REPRO_PRESET", "paper")
+        monkeypatch.setenv("REPRO_SCHEDULER_STATE", "/tmp/state.json")
+        config, sources = ServiceConfig.from_env_with_sources()
+        assert config.executor == "thread-persistent"
+        assert config.max_workers == 3
+        assert config.cache_dir == "/tmp/pulses"
+        assert config.cache_shards == 256
+        assert config.cache_budget_mb == 32.5
+        assert config.prefetch is True
+        assert config.preset == "paper"
+        assert config.scheduler_state_path == "/tmp/state.json"
+        assert set(sources.values()) == {"env"}
+
+    def test_garbage_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "quantum-annealer")
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "-2")
+        monkeypatch.setenv("REPRO_CACHE_SHARDS", "7")
+        monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "lots")
+        monkeypatch.setenv("REPRO_PREFETCH", "maybe")
+        with pytest.warns(UserWarning):
+            config, sources = ServiceConfig.from_env_with_sources()
+        assert config == ServiceConfig()
+        assert set(sources.values()) == {"default"}
+
+
+class TestValidation:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(executor="fpga")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(max_workers=0)
+
+    def test_bad_shards_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(cache_shards=100)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(cache_budget_mb=0)
+
+    def test_choices_match_config_module(self):
+        from repro import config as legacy
+
+        assert legacy.EXECUTOR_CHOICES is EXECUTOR_CHOICES
+        assert legacy.CACHE_SHARD_CHOICES is CACHE_SHARD_CHOICES
+
+
+class TestUtilities:
+    def test_replace_revalidates(self):
+        config = ServiceConfig()
+        assert config.replace(executor="thread").executor == "thread"
+        with pytest.raises(ReproError):
+            config.replace(executor="fpga")
+
+    def test_as_dict_field_order(self):
+        keys = list(ServiceConfig().as_dict())
+        assert keys[0] == "executor"
+        assert "scheduler_state_path" in keys
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ServiceConfig().executor = "thread"
+
+
+class TestLegacyWrappers:
+    def test_pipeline_config_from_env_routes_through_service_config(
+        self, monkeypatch
+    ):
+        from repro.config import _pipeline_config_from_env
+
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        monkeypatch.setenv("REPRO_CACHE_SHARDS", "4096")
+        config = _pipeline_config_from_env()
+        assert config.executor == "thread"
+        assert config.cache_shards == 4096

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.pulse",
     "repro.pulse.grape",
     "repro.qaoa",
+    "repro.service",
     "repro.sim",
     "repro.transpile",
     "repro.vqe",
@@ -58,23 +59,27 @@ class TestErrorHierarchy:
 
 class TestReadmeQuickstart:
     def test_readme_flow(self):
-        # The literal flow from README.md's quickstart section (with a fast
-        # preset so the test stays quick).
-        from repro.core import GateBasedCompiler, StrictPartialCompiler
+        # The literal flow from README.md's quickstart section (with fast
+        # settings so the test stays quick).
         from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
         from repro.qaoa import maxcut_problem, qaoa_circuit
+        from repro.service import CompilationService, CompileRequest
         from repro.transpile import transpile
 
         problem = maxcut_problem("3regular", 6, seed=0)
         circuit = transpile(qaoa_circuit(problem, p=1))
-        strict = StrictPartialCompiler.precompile(
-            circuit,
+        theta = [0.4, 0.9]
+        with CompilationService(
             settings=GrapeSettings(dt_ns=0.5, target_fidelity=0.98),
             hyperparameters=GrapeHyperparameters(0.05, 0.002, max_iterations=120),
-            max_block_width=2,
-        )
-        theta = [0.4, 0.9]
-        pulse = strict.compile(theta)
-        baseline = GateBasedCompiler().compile_parametrized(circuit, theta)
+        ) as service:
+            pulse = service.compile(
+                CompileRequest(
+                    circuit, theta, strategy="strict-partial", max_block_width=2
+                )
+            )
+            baseline = service.compile(
+                CompileRequest(circuit, theta, strategy="gate")
+            )
         assert pulse.pulse_duration_ns <= baseline.pulse_duration_ns + 1e-9
         assert pulse.runtime_iterations == 0

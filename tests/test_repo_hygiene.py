@@ -49,7 +49,8 @@ def test_every_subpackage_reachable_from_root():
     import repro
 
     for sub in ("analysis", "blocking", "circuits", "core", "linalg",
-                "pipeline", "pulse", "qaoa", "sim", "transpile", "vqe"):
+                "pipeline", "pulse", "qaoa", "service", "sim", "transpile",
+                "vqe"):
         assert hasattr(repro, sub)
 
 
