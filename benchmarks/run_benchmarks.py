@@ -22,6 +22,12 @@ itself* are machine-checkable and accumulate over time:
   compiling one parametrized ansatz at a stream of random θ draws: the
   cold iteration 0 pays for every block, steady-state iteration k pays
   only for the θ-dependent block (cross-call dedup must make it faster).
+* ``service_concurrency`` — the service front door under variational and
+  concurrent load: a hot θ-loop on one ansatz must build its
+  content-addressed plan once and skip the blocking pass on every later
+  iteration, and N disjoint ``submit()`` requests running concurrently
+  must never be slower than serial ``compile()`` (the 1-CPU-safe gate CI
+  enforces), bit-identical results both ways.
 * ``time_search`` — the minimum-time binary search on a block whose
   initial feasibility bound (and its half) fail, so the doubling phase
   triggers: lazy sequential doublings vs ``probe_executor="thread"``
@@ -459,6 +465,199 @@ def bench_session(quick: bool) -> dict:
     return {"entries": entries, "derived": derived}
 
 
+def bench_service_concurrency(quick: bool) -> dict:
+    """Plan cache + unlocked strategy execution through the service.
+
+    Two measurements:
+
+    * ``hot loop`` — one ansatz compiled at a stream of θ draws through one
+      :class:`~repro.service.CompilationService`: iteration 0 pays for the
+      blocking pass and every GRAPE block; iterations ≥ 1 must replay the
+      content-addressed plan (``blocking_passes_skipped`` increments) and
+      serve θ-independent blocks from scheduler state.
+    * ``throughput`` — N *disjoint* requests (no shared blocks, so no
+      single-flight coordination) submitted concurrently vs compiled
+      serially.  The in-bench assertion is the CI satellite: concurrent
+      must never be slower than serial beyond a noise margin — safe on a
+      1-CPU runner, where overlap degenerates to interleaving.
+    """
+    from repro.circuits.parameters import Parameter
+
+    num_qubits = 6
+    settings = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
+    hyper = GrapeHyperparameters(
+        learning_rate=0.05,
+        decay_rate=0.002,
+        max_iterations=100 if quick else 200,
+    )
+    entries = []
+    derived: dict = {}
+
+    # -- hot variational loop: plan replay + cross-call dedup --------------
+    ansatz = QuantumCircuit(num_qubits, name="service_ansatz")
+    for q, angle in ((0, 0.3), (2, 1.1)):
+        ansatz.h(q)
+        ansatz.cx(q, q + 1)
+        ansatz.rz(angle, q + 1)
+        ansatz.cx(q, q + 1)
+    ansatz.rz(Parameter("theta"), 4)
+    ansatz.cx(4, 5)
+
+    iterations = 3 if quick else 6
+    rng = np.random.default_rng(11)
+    walls = []
+    service = CompilationService(
+        device=GmonDevice(line_topology(num_qubits)),
+        settings=settings,
+        hyperparameters=hyper,
+    )
+    try:
+        for k in range(iterations):
+            values = [float(rng.uniform(-np.pi / 2, np.pi / 2))]
+            start = time.perf_counter()
+            result = service.compile(
+                CompileRequest(
+                    circuit=ansatz,
+                    values=values,
+                    strategy="full-grape",
+                    max_block_width=2,
+                )
+            ).compiled
+            wall = time.perf_counter() - start
+            walls.append(wall)
+            entries.append(
+                {
+                    "name": f"hot_iteration_{k}",
+                    "wall_s": round(wall, 4),
+                    "plan_cache": result.metadata["plan_cache"],
+                    "blocking_stage_s": round(
+                        result.metadata["stage_timings"].get("block", 0.0), 6
+                    ),
+                }
+            )
+            print(
+                f"  service_concurrency hot iteration {k}: {wall:.3f} s "
+                f"(plan {result.metadata['plan_cache']})"
+            )
+        plan_stats = service.stats()["plan_cache"]
+    finally:
+        service.close()
+    derived.update(
+        {
+            "hot_cold_wall_s": round(walls[0], 4),
+            "hot_steady_wall_s": round(min(walls[1:]), 4),
+            "hot_loop_speedup": round(walls[0] / min(walls[1:]), 3),
+            "plan_hits": plan_stats["plan_hits"],
+            "plan_misses": plan_stats["plan_misses"],
+            "blocking_passes_skipped": plan_stats["blocking_passes_skipped"],
+        }
+    )
+    if plan_stats["plan_misses"] != 1:
+        raise AssertionError(
+            f"one ansatz must build exactly one plan, got "
+            f"{plan_stats['plan_misses']} misses"
+        )
+    if plan_stats["blocking_passes_skipped"] != iterations - 1:
+        raise AssertionError(
+            "every hot iteration after the first must skip the blocking "
+            f"pass: skipped {plan_stats['blocking_passes_skipped']} of "
+            f"{iterations - 1}"
+        )
+
+    # -- concurrent submit() throughput vs serial compile() ----------------
+    def _disjoint_circuit(offset: float) -> QuantumCircuit:
+        circuit = QuantumCircuit(num_qubits, name=f"disjoint_{offset}")
+        for q in range(0, num_qubits - 1, 2):
+            circuit.h(q)
+            circuit.cx(q, q + 1)
+            circuit.rz(0.3 + 0.2 * q + offset, q + 1)
+            circuit.cx(q, q + 1)
+        return circuit
+
+    n_requests = 4
+    circuits = [_disjoint_circuit(0.05 * (i + 1)) for i in range(n_requests)]
+
+    def _requests():
+        return [
+            CompileRequest(
+                circuit=circuit, strategy="full-grape", max_block_width=2
+            )
+            for circuit in circuits
+        ]
+
+    def _service():
+        return CompilationService(
+            device=GmonDevice(line_topology(num_qubits)),
+            settings=settings,
+            hyperparameters=hyper,
+        )
+
+    with _service() as serial_service:
+        start = time.perf_counter()
+        serial_results = [
+            serial_service.compile(request) for request in _requests()
+        ]
+        serial_wall = time.perf_counter() - start
+
+    with _service() as concurrent_service:
+        start = time.perf_counter()
+        futures = [
+            concurrent_service.submit(request) for request in _requests()
+        ]
+        concurrent_results = [future.result(timeout=600) for future in futures]
+        concurrent_wall = time.perf_counter() - start
+        submit_workers = concurrent_service.config.submit_workers
+
+    durations_match = all(
+        np.isclose(s.program.duration_ns, c.program.duration_ns)
+        for s, c in zip(serial_results, concurrent_results)
+    )
+    entries.append(
+        {
+            "name": "serial_compile",
+            "wall_s": round(serial_wall, 4),
+            "requests": n_requests,
+        }
+    )
+    entries.append(
+        {
+            "name": "concurrent_submit",
+            "wall_s": round(concurrent_wall, 4),
+            "requests": n_requests,
+            "submit_workers": submit_workers,
+        }
+    )
+    derived.update(
+        {
+            "serial_wall_s": round(serial_wall, 4),
+            "concurrent_wall_s": round(concurrent_wall, 4),
+            "throughput_speedup": round(serial_wall / concurrent_wall, 3),
+            "submit_workers": submit_workers,
+            "durations_match": bool(durations_match),
+        }
+    )
+    print(
+        f"  service_concurrency throughput: serial {serial_wall:.2f} s, "
+        f"concurrent {concurrent_wall:.2f} s "
+        f"({serial_wall / concurrent_wall:.2f}x, "
+        f"{submit_workers} submit workers)"
+    )
+    if not durations_match:
+        raise AssertionError(
+            "concurrent submit() disagreed with serial compile()"
+        )
+    # The CI "never slower" gate: on a 1-CPU runner overlap degenerates to
+    # interleaving, so concurrent must stay within a noise margin of
+    # serial; on multi-core it should win outright.
+    if concurrent_wall > serial_wall * 1.25:
+        raise AssertionError(
+            f"concurrent submit() was slower than serial compile() beyond "
+            f"the noise margin: {concurrent_wall:.2f} s vs "
+            f"{serial_wall:.2f} s"
+        )
+    return {"entries": entries, "derived": derived}
+
+
 def bench_time_search(quick: bool) -> dict:
     """Minimum-time search: lazy sequential vs speculative parallel probes.
 
@@ -549,6 +748,7 @@ BENCHES = {
     "cache": bench_cache,
     "grape_kernel": bench_grape_kernel,
     "pipeline": bench_pipeline,
+    "service_concurrency": bench_service_concurrency,
     "session": bench_session,
     "time_search": bench_time_search,
 }

@@ -9,6 +9,7 @@ and slicing by instruction index.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -32,7 +33,7 @@ from repro.circuits.gates import (
     YGate,
     ZGate,
 )
-from repro.circuits.parameters import Parameter
+from repro.circuits.parameters import Parameter, angle_token
 from repro.errors import CircuitError
 
 
@@ -203,6 +204,32 @@ class QuantumCircuit:
         for inst in self._instructions:
             used.update(inst.qubits)
         return tuple(sorted(used))
+
+    def content_fingerprint(self) -> str:
+        """A structural content hash of this circuit.
+
+        The digest covers the circuit width and, per instruction, the gate
+        name, qubit tuple, and the canonical token of each angle
+        (:func:`repro.circuits.parameters.angle_token`): numeric angles by
+        exact value, symbolic angles by their parameter skeleton.  Two
+        consequences matter for content-addressed caching: every binding of
+        one symbolic ansatz shares the ansatz's fingerprint (the plan cache
+        keys on the pre-binding circuit), and circuits that differ in any
+        gate, qubit, or angle get distinct keys.  The digest is independent
+        of the circuit ``name``, interpreter hash randomization, and
+        pickling, so it is safe to key on-disk state.
+        """
+        items = [("width", self.num_qubits)]
+        for inst in self._instructions:
+            items.append(
+                (
+                    inst.gate.name,
+                    inst.qubits,
+                    tuple(angle_token(p) for p in inst.gate.params),
+                )
+            )
+        payload = repr(items).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
 
     # -- transformations --------------------------------------------------------
     def copy(self, name: str | None = None) -> "QuantumCircuit":

@@ -244,3 +244,25 @@ def angle_parameters(angle) -> frozenset:
     if isinstance(angle, Parameter):
         return frozenset({angle})
     return frozenset()
+
+
+def angle_token(angle) -> tuple:
+    """A canonical, process-stable token for a gate angle.
+
+    Content fingerprints hash these tokens, so two requirements shape the
+    encoding: a symbolic angle is represented by its *skeleton* (which
+    parameters appear, with what coefficients) rather than any bound value,
+    and every numeric component is rendered via ``float.hex`` so the token
+    is exact and independent of interpreter hash randomization.
+    """
+    if isinstance(angle, Parameter):
+        return ("p", angle.name, angle.index)
+    if isinstance(angle, ParameterExpression):
+        coeffs = tuple(
+            sorted(
+                (p.name, p.index, float(c).hex())
+                for p, c in angle._coeffs.items()
+            )
+        )
+        return ("e", coeffs, float(angle._const).hex())
+    return ("c", float(angle).hex())

@@ -278,6 +278,7 @@ def _cmd_compile_batch(args) -> int:
                 )
             )
         executor_name = service.executor.name
+        plan_stats = service.stats()["plan_cache"]
 
     shared = totals["deduped"] + totals["reused"]
     rows = [
@@ -294,6 +295,9 @@ def _cmd_compile_batch(args) -> int:
             round(shared / totals["total"], 4) if totals["total"] else 0.0,
         ),
         ("executor", executor_name),
+        ("plan hits", plan_stats["plan_hits"]),
+        ("plan misses", plan_stats["plan_misses"]),
+        ("blocking passes skipped", plan_stats["blocking_passes_skipped"]),
         *round_rows,
         (
             "pulse durations (ns, last round)",
@@ -318,6 +322,7 @@ def _cmd_config_show(args) -> int:
     for field_name, arg_name in (
         ("executor", "executor"),
         ("max_workers", "jobs"),
+        ("submit_workers", "submit_workers"),
         ("cache_dir", "cache_dir"),
         ("cache_shards", "cache_shards"),
         ("cache_budget_mb", "cache_budget_mb"),
@@ -581,6 +586,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     show.add_argument("--executor", choices=EXECUTOR_CHOICES, default=None)
     show.add_argument("--jobs", type=int, default=None, help="max_workers override")
+    show.add_argument(
+        "--submit-workers",
+        type=int,
+        default=None,
+        dest="submit_workers",
+        help="submit_workers override (service submit() thread pool size)",
+    )
     show.add_argument("--cache-dir", default=None)
     from repro.config import CACHE_SHARD_CHOICES
 

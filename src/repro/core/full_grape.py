@@ -56,6 +56,7 @@ def result_from_context(
         "executor": context.executor_info,
         "stage_timings": context.stage_timing_dict(),
         "cache": cache_stats if cache_stats is not None else cache.stats(),
+        "plan_cache": context.metadata.get("plan_cache", "miss"),
     }
     if extra_metadata:
         metadata.update(extra_metadata)

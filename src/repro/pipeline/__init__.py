@@ -12,6 +12,10 @@ transformer framework:
 * :mod:`repro.pipeline.pipeline` — :class:`CompilationPipeline`, an ordered
   stage list with per-stage wall-time telemetry, plus the batch entry
   point ``run_many``.
+* :mod:`repro.pipeline.plan` — :class:`CompilationPlan` /
+  :class:`PlanCache`, content-addressed reuse of the blocking output: the
+  aggregation pass and the per-block dedup-key hashing run once per ansatz
+  fingerprint, not once per compile call.
 * :mod:`repro.pipeline.scheduler` — :class:`BlockScheduler`, which
   deduplicates block compilations across a batch of circuits before
   dispatch (N variational circuits sharing blocks compile each block once),
@@ -36,6 +40,7 @@ from repro.pipeline.executors import (
     shutdown_persistent_executors,
 )
 from repro.pipeline.pipeline import CompilationPipeline
+from repro.pipeline.plan import CompilationPlan, PlanCache
 from repro.pipeline.scheduler import BlockScheduler, SchedulerReport, SchedulerState
 from repro.pipeline.session import VariationalSession
 from repro.pipeline.stages import (
@@ -64,6 +69,8 @@ __all__ = [
     "BlockTask",
     "BlockingStage",
     "CompilationPipeline",
+    "CompilationPlan",
+    "PlanCache",
     "SchedulerReport",
     "SchedulerState",
     "VariationalSession",

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
@@ -202,6 +203,19 @@ class SchedulerState:
     pinning full pulse schedules) would grow with the iteration count.
     The θ-independent blocks the bound exists to protect are re-touched
     every iteration, so LRU keeps exactly them.
+
+    Every mutation is serialized on an internal lock: a
+    :class:`~repro.service.facade.CompilationService` runs overlapping
+    ``submit()`` requests through one shared state, so lookup/record must
+    be safe under concurrent schedulers.  Cold misses on the same key are
+    *single-flighted*: the first scheduler to :meth:`claim` a key owns its
+    compilation, and concurrent schedulers that want the same key
+    :meth:`wait_for` the owner's record instead of racing a duplicate
+    GRAPE run.  Waiting always happens after a pass has dispatched its own
+    owned work (see :meth:`BlockScheduler.run`), so two passes can never
+    deadlock on each other's claims.  GRAPE is deterministic for a given
+    (target, context, settings), so serving an owner's pulse to a waiter
+    is bit-identical to the waiter compiling it itself.
     """
 
     seen: dict = field(default_factory=dict)  # key -> _SeenBlock, LRU order
@@ -210,38 +224,117 @@ class SchedulerState:
     batches: int = 0
     evictions: int = 0
 
+    def __post_init__(self):
+        self._lock = threading.RLock()
+        # Single-flight coordination: key -> threading.Event for keys some
+        # scheduler is compiling *right now*.  Concurrent schedulers that
+        # want the same key wait for the owner's record instead of racing
+        # a duplicate GRAPE run.
+        self._pending: dict = {}
+
     def __len__(self) -> int:
-        return len(self.seen)
+        with self._lock:
+            return len(self.seen)
 
     def lookup(self, key) -> "_SeenBlock | None":
         """The remembered block for ``key``, refreshing its LRU position."""
-        block = self.seen.get(key)
-        if block is not None:
-            # dicts preserve insertion order: re-insert to mark as fresh.
-            del self.seen[key]
-            self.seen[key] = block
-            self.cross_call_hits += 1
-        return block
+        with self._lock:
+            block = self.seen.get(key)
+            if block is not None:
+                # dicts preserve insertion order: re-insert to mark as fresh.
+                del self.seen[key]
+                self.seen[key] = block
+                self.cross_call_hits += 1
+            return block
 
     def record(self, key, block: "_SeenBlock") -> None:
-        """Remember ``key``'s compiled representative, evicting LRU entries."""
-        self.seen.pop(key, None)
-        self.seen[key] = block
-        while len(self.seen) > self.max_entries:
-            self.seen.pop(next(iter(self.seen)))
-            self.evictions += 1
+        """Remember ``key``'s compiled representative, evicting LRU entries.
+
+        Also resolves any in-flight :meth:`claim` on ``key``: waiters
+        blocked in :meth:`wait_for` wake up and find the entry.
+        """
+        with self._lock:
+            self.seen.pop(key, None)
+            self.seen[key] = block
+            while len(self.seen) > self.max_entries:
+                self.seen.pop(next(iter(self.seen)))
+                self.evictions += 1
+            pending = self._pending.pop(key, None)
+            if pending is not None:
+                pending.set()
+
+    def claim(self, key) -> tuple:
+        """Atomically look up ``key`` or claim the right to compile it.
+
+        Returns ``("hit", block)`` when the key is already remembered
+        (LRU-refreshed, counted as a cross-call hit), ``("owned", None)``
+        when the caller is now responsible for compiling it — it *must*
+        eventually :meth:`record` or :meth:`release` the key — and
+        ``("pending", None)`` when another scheduler owns it right now,
+        in which case the caller should :meth:`wait_for` the result
+        after dispatching its own work.
+        """
+        with self._lock:
+            block = self.seen.get(key)
+            if block is not None:
+                del self.seen[key]
+                self.seen[key] = block
+                self.cross_call_hits += 1
+                return "hit", block
+            if key in self._pending:
+                return "pending", None
+            self._pending[key] = threading.Event()
+            return "owned", None
+
+    def release(self, key) -> None:
+        """Abandon a :meth:`claim` without recording (the dispatch raised).
+
+        Waiters wake up, find no entry and no pending owner, and compile
+        the key themselves instead of blocking forever.
+        """
+        with self._lock:
+            pending = self._pending.pop(key, None)
+            if pending is not None:
+                pending.set()
+
+    def wait_for(self, key) -> "_SeenBlock | None":
+        """Block until ``key``'s owner records or releases it.
+
+        Returns the remembered block (counted as a cross-call hit) when
+        the owner succeeded, ``None`` when the owner released the claim
+        without recording — the caller compiles the key itself.
+        """
+        while True:
+            with self._lock:
+                block = self.seen.get(key)
+                if block is not None:
+                    del self.seen[key]
+                    self.seen[key] = block
+                    self.cross_call_hits += 1
+                    return block
+                pending = self._pending.get(key)
+                if pending is None:
+                    return None
+            pending.wait()
+
+    def count_batch(self) -> None:
+        """Count one completed scheduling pass."""
+        with self._lock:
+            self.batches += 1
 
     def clear(self) -> None:
         """Forget every remembered block (counters are kept)."""
-        self.seen.clear()
+        with self._lock:
+            self.seen.clear()
 
     def as_dict(self) -> dict:
-        return {
-            "known_blocks": len(self.seen),
-            "cross_call_hits": self.cross_call_hits,
-            "batches": self.batches,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "known_blocks": len(self.seen),
+                "cross_call_hits": self.cross_call_hits,
+                "batches": self.batches,
+                "evictions": self.evictions,
+            }
 
     # -- persistence ---------------------------------------------------------
     def save(self, path) -> int:
@@ -255,25 +348,26 @@ class SchedulerState:
         (temp file + rename): a crash mid-save never corrupts an existing
         state file.  Returns the number of entries written.
         """
-        payload = {
-            "schema_version": SCHEDULER_STATE_SCHEMA_VERSION,
-            "max_entries": self.max_entries,
-            "cross_call_hits": self.cross_call_hits,
-            "batches": self.batches,
-            "evictions": self.evictions,
-            "entries": [
-                {
-                    "key": list(key),
-                    "outcome": _encode_outcome(block.outcome),
-                    "cache_entry": (
-                        _encode_cache_entry(block.cache_entry)
-                        if block.cache_entry is not None
-                        else None
-                    ),
-                }
-                for key, block in self.seen.items()
-            ],
-        }
+        with self._lock:
+            payload = {
+                "schema_version": SCHEDULER_STATE_SCHEMA_VERSION,
+                "max_entries": self.max_entries,
+                "cross_call_hits": self.cross_call_hits,
+                "batches": self.batches,
+                "evictions": self.evictions,
+                "entries": [
+                    {
+                        "key": list(key),
+                        "outcome": _encode_outcome(block.outcome),
+                        "cache_entry": (
+                            _encode_cache_entry(block.cache_entry)
+                            if block.cache_entry is not None
+                            else None
+                        ),
+                    }
+                    for key, block in self.seen.items()
+                ],
+            }
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
@@ -418,6 +512,8 @@ class BlockScheduler:
         groups: dict = {}  # key -> list[(context_index, task_index, task)]
         order: list = []  # (kind, payload) in dispatch order
         slots: dict = {}  # (context_index, task_index) -> result
+        waits: list = []  # (ci, ti, task, key) owned by a concurrent pass
+        owned: set = set()  # state keys this pass claimed and must resolve
         for ci, context in enumerate(contexts):
             if context.tasks is None:
                 raise PipelineError(
@@ -429,9 +525,14 @@ class BlockScheduler:
                     report.parametrized_blocks += 1
                     order.append(("task", (ci, ti, task)))
                     continue
-                key = self.block_compiler.task_key(
-                    task.subcircuit, task.device_qubits
-                )
+                if task.dedup_key_known:
+                    # Plan replay (or a prior build_plan pass) already paid
+                    # for this block's fingerprint; trust it.
+                    key = task.dedup_key
+                else:
+                    key = self.block_compiler.task_key(
+                        task.subcircuit, task.device_qubits
+                    )
                 if key is None:
                     # Empty / zero-duration blocks: no GRAPE, compile inline.
                     report.trivial_blocks += 1
@@ -439,9 +540,14 @@ class BlockScheduler:
                         task.subcircuit, task.device_qubits
                     )
                     continue
+                members = groups.get(key)
+                if members is not None:
+                    # In-batch duplicate of a group this pass already owns.
+                    members.append((ci, ti, task))
+                    continue
                 if self.state is not None:
-                    seen = self.state.lookup(key)
-                    if seen is not None:
+                    status, seen = self.state.claim(key)
+                    if status == "hit":
                         # An earlier batch through this scheduler already
                         # compiled this block: serve it like a duplicate,
                         # judged against this task's own gate time.
@@ -450,10 +556,15 @@ class BlockScheduler:
                             seen.outcome, task, seen.cache_entry
                         )
                         continue
-                members = groups.get(key)
-                if members is None:
-                    groups[key] = members = []
-                    order.append(("group", key))
+                    if status == "pending":
+                        # A concurrent pass is compiling this key right
+                        # now.  Don't duplicate its GRAPE run — dispatch
+                        # our own work first, then wait for its record.
+                        waits.append((ci, ti, task, key))
+                        continue
+                    owned.add(key)
+                groups[key] = members = []
+                order.append(("group", key))
                 members.append((ci, ti, task))
 
         dispatch_tasks = []
@@ -464,34 +575,64 @@ class BlockScheduler:
                 dispatch_tasks.append(payload[2])
         report.dispatched_tasks = len(dispatch_tasks)
         report.unique_blocks = len(groups)
-        results = self.executor.map(self._dispatch, dispatch_tasks)
+        try:
+            results = self.executor.map(self._dispatch, dispatch_tasks)
 
-        for (kind, payload), result in zip(order, results):
-            if kind == "task":
-                ci, ti, _task = payload
-                slots[(ci, ti)] = result
+            for (kind, payload), result in zip(order, results):
+                if kind == "task":
+                    ci, ti, _task = payload
+                    slots[(ci, ti)] = result
+                    continue
+                members = groups[payload]
+                rep_ci, rep_ti, _rep_task = members[0]
+                slots[(rep_ci, rep_ti)] = result
+                # The representative's cache entry (when its write is visible
+                # to this process) lets fan-out judge duplicates exactly as a
+                # per-circuit cache hit would; see _retarget_outcome.  A
+                # stateful scheduler fetches it even for singleton groups so
+                # future cross-call reuse gets the same exact judgment.
+                cache_entry = (
+                    self.block_compiler.cache.get(payload)
+                    if len(members) > 1 or self.state is not None
+                    else None
+                )
+                for ci, ti, task in members[1:]:
+                    report.deduped_blocks += 1
+                    slots[(ci, ti)] = _retarget_outcome(result, task, cache_entry)
+                if self.state is not None:
+                    # Recorded only on this (post-``map``) success path: a
+                    # representative whose dispatch raised never reaches here,
+                    # so no later call can fan out a pulse that does not exist.
+                    self.state.record(payload, _SeenBlock(result, cache_entry))
+                    owned.discard(payload)
+        finally:
+            if self.state is not None and owned:
+                # A dispatch raised before every owned key was recorded:
+                # release the leftover claims so concurrent waiters (and
+                # future passes) compile those keys themselves instead of
+                # blocking on a result that will never arrive.
+                for key in owned:
+                    self.state.release(key)
+
+        # Blocks owned by concurrent passes: our own dispatch is done, so
+        # waiting here can never deadlock — every pass resolves its owned
+        # keys without waiting on anyone else's.
+        for ci, ti, task, key in waits:
+            seen = self.state.wait_for(key)
+            if seen is not None:
+                report.reused_blocks += 1
+                slots[(ci, ti)] = _retarget_outcome(
+                    seen.outcome, task, seen.cache_entry
+                )
                 continue
-            members = groups[payload]
-            rep_ci, rep_ti, _rep_task = members[0]
-            slots[(rep_ci, rep_ti)] = result
-            # The representative's cache entry (when its write is visible
-            # to this process) lets fan-out judge duplicates exactly as a
-            # per-circuit cache hit would; see _retarget_outcome.  A
-            # stateful scheduler fetches it even for singleton groups so
-            # future cross-call reuse gets the same exact judgment.
-            cache_entry = (
-                self.block_compiler.cache.get(payload)
-                if len(members) > 1 or self.state is not None
-                else None
-            )
-            for ci, ti, task in members[1:]:
-                report.deduped_blocks += 1
-                slots[(ci, ti)] = _retarget_outcome(result, task, cache_entry)
-            if self.state is not None:
-                # Recorded only on this (post-``map``) success path: a
-                # representative whose dispatch raised never reaches here,
-                # so no later call can fan out a pulse that does not exist.
-                self.state.record(payload, _SeenBlock(result, cache_entry))
+            # The owner released without recording (its dispatch raised,
+            # or the entry was evicted already): compile it ourselves.
+            outcome = self._dispatch(task)
+            cache_entry = self.block_compiler.cache.get(key)
+            self.state.record(key, _SeenBlock(outcome, cache_entry))
+            report.unique_blocks += 1
+            report.dispatched_tasks += 1
+            slots[(ci, ti)] = outcome
 
         for ci, context in enumerate(contexts):
             context.block_results = [
@@ -500,7 +641,7 @@ class BlockScheduler:
             context.executor_info = self.executor.describe()
 
         if self.state is not None:
-            self.state.batches += 1
+            self.state.count_batch()
         perf = get_perf_registry()
         perf.count("scheduler.batches")
         perf.count("scheduler.unique_blocks", report.unique_blocks)

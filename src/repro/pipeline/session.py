@@ -37,6 +37,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.errors import PipelineError
 from repro.perf import get_perf_registry
 from repro.pipeline.executors import resolve_executor
+from repro.pipeline.plan import PlanCache
 from repro.pipeline.scheduler import SchedulerState
 from repro.pipeline.strategies import full_grape_pipeline
 
@@ -71,6 +72,11 @@ class VariationalSession:
         self.cache = cache if cache is not None else default_pulse_cache()
         self.executor = resolve_executor(executor)
         self.state = SchedulerState()
+        # Blocking plans keyed by ansatz content: iteration N ≥ 2 of a
+        # variational loop replays blocking instead of recomputing it.
+        # Plan keys embed the device token, so the cache survives device
+        # growth — stale plans simply stop hitting.
+        self.plan_cache = PlanCache()
         self.compile_calls = 0
         self.circuits_compiled = 0
         self.total_blocks = 0
@@ -134,7 +140,13 @@ class VariationalSession:
             return []
         self._ensure_pipeline(circuits)
         start = time.perf_counter()
-        contexts, report = self._pipeline.run_many(circuits, values, state=self.state)
+        contexts, report = self._pipeline.run_many(
+            circuits,
+            values,
+            state=self.state,
+            plan_cache=self.plan_cache,
+            plan_scope=self.method,
+        )
         elapsed = time.perf_counter() - start
         self.compile_calls += 1
         self.circuits_compiled += len(circuits)
@@ -186,6 +198,7 @@ class VariationalSession:
             "deduped_blocks": self.deduped_blocks,
             "reused_blocks": self.reused_blocks,
             "known_blocks": len(self.state),
+            "plan_cache": self.plan_cache.as_dict(),
             "cache": self.cache.stats(),
             "executor": self.executor.describe(),
         }

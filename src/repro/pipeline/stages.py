@@ -50,6 +50,13 @@ class BlockTask:
         slice in slicer mode.  Strategies that derive per-block seeds use
         this so adding or removing earlier slices does not shift the
         randomness of later ones.
+    dedup_key:
+        Precomputed scheduler/cache identity of the block, valid only when
+        ``dedup_key_known`` is set.  Plan replay
+        (:mod:`repro.pipeline.plan`) attaches keys it already paid for;
+        the batch scheduler computes the key itself for tasks that arrive
+        without one.  ``None`` with ``dedup_key_known=True`` marks a
+        trivial (zero-duration) block.
     """
 
     index: int
@@ -58,6 +65,8 @@ class BlockTask:
     kind: str = "fixed"
     instruction: Any = None
     local_index: int = 0
+    dedup_key: Any = None
+    dedup_key_known: bool = False
 
 
 @dataclass

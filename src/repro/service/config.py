@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.errors import ReproError
 
@@ -82,6 +82,12 @@ class ServiceConfig:
     max_workers:
         Worker count for the parallel executors (``REPRO_MAX_WORKERS``);
         ``None`` means ``os.cpu_count()``.
+    submit_workers:
+        Size of the request-level thread pool behind
+        :meth:`repro.service.CompilationService.submit`
+        (``REPRO_SUBMIT_WORKERS``).  Defaults to
+        ``min(8, os.cpu_count())`` — enough to overlap non-conflicting
+        requests without oversubscribing block-level workers.
     cache_dir:
         Directory for the persistent pulse cache (``REPRO_CACHE_DIR``).
         ``None`` keeps the cache purely in memory.
@@ -108,6 +114,9 @@ class ServiceConfig:
 
     executor: str = "serial"
     max_workers: int | None = None
+    submit_workers: int = field(
+        default_factory=lambda: min(8, os.cpu_count() or 1)
+    )
     cache_dir: str | None = None
     cache_shards: int = 16
     cache_budget_mb: float | None = None
@@ -122,6 +131,10 @@ class ServiceConfig:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ReproError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.submit_workers < 1:
+            raise ReproError(
+                f"submit_workers must be >= 1, got {self.submit_workers}"
+            )
         if self.cache_shards not in CACHE_SHARD_CHOICES:
             raise ReproError(
                 f"cache_shards must be one of {CACHE_SHARD_CHOICES}, "
@@ -184,6 +197,27 @@ class ServiceConfig:
                 else:
                     values["max_workers"] = workers
                     sources["max_workers"] = "env"
+
+        submit_raw = os.environ.get("REPRO_SUBMIT_WORKERS")
+        if submit_raw:
+            try:
+                submit_workers = int(submit_raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring REPRO_SUBMIT_WORKERS={submit_raw!r} "
+                    "(not an integer)",
+                    stacklevel=3,
+                )
+            else:
+                if submit_workers < 1:
+                    warnings.warn(
+                        f"ignoring REPRO_SUBMIT_WORKERS={submit_workers} "
+                        "(must be >= 1)",
+                        stacklevel=3,
+                    )
+                else:
+                    values["submit_workers"] = submit_workers
+                    sources["submit_workers"] = "env"
 
         cache_dir = os.environ.get("REPRO_CACHE_DIR")
         if cache_dir:

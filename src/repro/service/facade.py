@@ -19,12 +19,18 @@ goes through the string-keyed registry, so drivers, the CLI, and any
 future network frontend sit on one stable seam.
 
 Concurrency model: ``submit()`` accepts requests from any number of
-threads.  Strategy execution serializes on an internal lock — the
-scheduler state and plan assembly are single-writer by design — while the
-*block-level* parallelism inside each request still fans out through the
-shared block executor.  Results are therefore bit-identical to a serial
-``compile()`` of the same requests, which is what makes concurrent
-submission safe to adopt.
+threads and strategy execution (blocking + GRAPE) runs *outside* the
+service lock, so non-conflicting requests genuinely overlap.  The shared
+mutable pieces each carry their own short-lived lock: the
+:class:`~repro.pipeline.scheduler.SchedulerState` serializes its
+lookup/record operations internally, the
+:class:`~repro.pipeline.plan.PlanCache` its lookups/inserts, and
+``self._lock`` shrinks to the request counters and lifecycle flags.
+GRAPE is deterministic for a given (target, control context, settings),
+so results stay bit-identical to a serial ``compile()`` of the same
+requests — a cold race on one block can at worst duplicate work, never
+change output.  See DESIGN.md "Concurrency model" for the lock-scope
+table.
 """
 
 from __future__ import annotations
@@ -74,6 +80,7 @@ class CompilationService:
     ):
         from repro.core.cache import PersistentPulseCache, PulseCache
         from repro.pipeline.executors import resolve_executor
+        from repro.pipeline.plan import PlanCache
         from repro.pipeline.scheduler import SchedulerState
 
         self.config = config if config is not None else ServiceConfig.from_env()
@@ -91,7 +98,16 @@ class CompilationService:
             self.config.executor, self.config.max_workers
         )
         self.scheduler_state = self._load_scheduler_state(SchedulerState)
+        # Blocking plans keyed by ansatz content: repeated requests for one
+        # symbolic circuit replay blocking instead of recomputing it.
+        self.plan_cache = PlanCache()
+        # ``_lock`` guards only the counters and lifecycle flags; strategy
+        # execution runs outside it (the scheduler state and plan cache
+        # serialize themselves).  ``_idle`` lets close() wait for in-flight
+        # direct compile() calls before releasing the block executor.
         self._lock = threading.RLock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
         self._submit_pool = None
         self._submit_pool_lock = threading.Lock()
         # ``_draining`` rejects new work the moment close() starts;
@@ -124,25 +140,44 @@ class CompilationService:
         return state_cls()
 
     # -- core API ------------------------------------------------------------
+    def _begin_request(self) -> None:
+        """Admit one request: reject when closed, else count it in-flight."""
+        with self._lock:
+            if self._closed:
+                raise PipelineError("this CompilationService is closed")
+            self._inflight += 1
+
+    def _end_request(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def _count_requests(self, strategy_name: str, n: int = 1) -> None:
+        with self._lock:
+            self.requests_total += n
+            self.requests_by_strategy[strategy_name] = (
+                self.requests_by_strategy.get(strategy_name, 0) + n
+            )
+
     def compile(self, request: CompileRequest) -> CompileResult:
         """Serve one request through its registered strategy.
 
-        Thread-safe; see the module docstring for the serialization model.
+        Thread-safe; strategy execution runs outside the service lock (see
+        the module docstring), so concurrent callers overlap.
         """
         if not isinstance(request, CompileRequest):
             raise ReproError(
                 f"compile() takes a CompileRequest, got {type(request).__name__}"
             )
         strategy = get_strategy(request.strategy)
-        with self._lock:
-            if self._closed:
-                raise PipelineError("this CompilationService is closed")
+        self._begin_request()
+        try:
             result = strategy.compile(self, request)
-            self.requests_total += 1
-            self.requests_by_strategy[request.strategy] = (
-                self.requests_by_strategy.get(request.strategy, 0) + 1
-            )
-        return result
+            self._count_requests(request.strategy)
+            return result
+        finally:
+            self._end_request()
 
     def submit(self, request: CompileRequest) -> Future:
         """Enqueue one request; returns a ``concurrent.futures.Future``.
@@ -160,7 +195,8 @@ class CompilationService:
                 raise PipelineError("this CompilationService is closed")
             if self._submit_pool is None:
                 self._submit_pool = ThreadPoolExecutor(
-                    max_workers=4, thread_name_prefix="repro-service"
+                    max_workers=self.config.submit_workers,
+                    thread_name_prefix="repro-service",
                 )
             # Enqueue under the lock: a close() racing this call cannot
             # shut the pool down between the drain check and the submit,
@@ -187,16 +223,13 @@ class CompilationService:
             strategy = get_strategy(requests[0].strategy)
             batch = getattr(strategy, "compile_batch", None)
             if batch is not None:
-                with self._lock:
-                    if self._closed:
-                        raise PipelineError("this CompilationService is closed")
+                self._begin_request()
+                try:
                     results = batch(self, requests)
-                    self.requests_total += len(requests)
-                    key = requests[0].strategy
-                    self.requests_by_strategy[key] = (
-                        self.requests_by_strategy.get(key, 0) + len(requests)
-                    )
-                return results
+                    self._count_requests(requests[0].strategy, len(requests))
+                    return results
+                finally:
+                    self._end_request()
         return [self.compile(request) for request in requests]
 
     def compile_parametrized(self, circuit, values):
@@ -238,6 +271,7 @@ class CompilationService:
                 "by_strategy": dict(self.requests_by_strategy),
             },
             "scheduler": self.scheduler_state.as_dict(),
+            "plan_cache": self.plan_cache.as_dict(),
             "cache": self.cache.stats(),
             "executor": self.executor.describe(),
             "pools": persistent_executor_stats(),
@@ -252,8 +286,8 @@ class CompilationService:
             raise ReproError(
                 "no path given and ServiceConfig.scheduler_state_path is unset"
             )
-        with self._lock:
-            return self.scheduler_state.save(target)
+        # SchedulerState.save snapshots under the state's own lock.
+        return self.scheduler_state.save(target)
 
     def close(self) -> None:
         """Shut the service down (idempotent).
@@ -279,6 +313,11 @@ class CompilationService:
         try:
             with self._lock:
                 self._closed = True
+                # Direct compile() callers on other threads run outside
+                # the lock; wait until the last one leaves before spilling
+                # state and releasing the executor under their feet.
+                while self._inflight:
+                    self._idle.wait()
                 if self.config.scheduler_state_path:
                     self.scheduler_state.save(self.config.scheduler_state_path)
         finally:

@@ -104,9 +104,14 @@ class FullGrapeStrategy(_StrategyBase):
         from repro.core.full_grape import result_from_context
         from repro.pipeline.strategies import full_grape_pipeline
 
+        # The *symbolic* circuit goes into the pipeline (the bind stage
+        # applies the values): the plan cache keys blocking output on the
+        # ansatz's content fingerprint, so every binding of one ansatz
+        # replays one plan.
         circuit = request.circuit
-        if request.values is not None:
-            circuit = circuit.bind_parameters(request.normalized_values())
+        values = (
+            request.normalized_values() if request.values is not None else None
+        )
         cache = service.cache if request.use_cache else PulseCache()
         block_compiler = BlockPulseCompiler(
             service.device_for(circuit),
@@ -118,10 +123,17 @@ class FullGrapeStrategy(_StrategyBase):
             block_compiler, request.max_block_width, service.executor
         )
         # An uncached request must pay the honest out-of-the-box latency,
-        # so it also skips the cross-call dedup memory.
+        # so it also skips the cross-call dedup memory and the plan cache.
         state = service.scheduler_state if request.use_cache else None
+        plan_cache = service.plan_cache if request.use_cache else None
         start = time.perf_counter()
-        contexts, report = pipeline.run_many([circuit], state=state)
+        contexts, report = pipeline.run_many(
+            [circuit],
+            [values],
+            state=state,
+            plan_cache=plan_cache,
+            plan_scope=self.name,
+        )
         elapsed = time.perf_counter() - start
         extra = {
             "scheduler": report.as_dict() if report is not None else None,
@@ -156,12 +168,11 @@ class FullGrapeStrategy(_StrategyBase):
                     "max_block_width/use_cache across the batch; mix "
                     "strategies or options via individual compile() calls"
                 )
-        circuits = []
-        for request in requests:
-            circuit = request.circuit
-            if request.values is not None:
-                circuit = circuit.bind_parameters(request.normalized_values())
-            circuits.append(circuit)
+        circuits = [request.circuit for request in requests]
+        values = [
+            request.normalized_values() if request.values is not None else None
+            for request in requests
+        ]
         widest = max(circuits, key=lambda c: c.num_qubits)
         cache = service.cache if first.use_cache else PulseCache()
         block_compiler = BlockPulseCompiler(
@@ -174,8 +185,15 @@ class FullGrapeStrategy(_StrategyBase):
             block_compiler, first.max_block_width, service.executor
         )
         state = service.scheduler_state if first.use_cache else None
+        plan_cache = service.plan_cache if first.use_cache else None
         start = time.perf_counter()
-        contexts, report = pipeline.run_many(circuits, state=state)
+        contexts, report = pipeline.run_many(
+            circuits,
+            values,
+            state=state,
+            plan_cache=plan_cache,
+            plan_scope=self.name,
+        )
         elapsed = time.perf_counter() - start
         extra = {
             "scheduler": report.as_dict() if report is not None else None,

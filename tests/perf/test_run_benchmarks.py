@@ -97,6 +97,34 @@ class TestSessionBench:
         assert len(rows) == 2
 
 
+class TestServiceConcurrencyBench:
+    @pytest.fixture(scope="class")
+    def payload(self, harness, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench_service_concurrency")
+        harness.main(
+            ["--quick", "--only", "service_concurrency", "--output-dir", str(out)]
+        )
+        return json.loads((out / "BENCH_service_concurrency.json").read_text())
+
+    def test_hot_loop_skips_blocking(self, payload):
+        """The bench's own gates already enforce this (it raises when an
+        iteration ≥ 1 misses the plan); the smoke re-checks the artifact."""
+        derived = payload["derived"]
+        assert derived["plan_misses"] == 1
+        hot = [e for e in payload["entries"] if e["name"].startswith("hot_")]
+        assert derived["blocking_passes_skipped"] == len(hot) - 1
+        assert hot[0]["plan_cache"] == "miss"
+        assert all(e["plan_cache"] == "hit" for e in hot[1:])
+
+    def test_concurrent_never_slower_within_margin(self, payload):
+        """The CI satellite gate, re-checked from the artifact: 1-CPU safe
+        (the bench asserts ≤1.25× serial before writing the file)."""
+        derived = payload["derived"]
+        assert derived["concurrent_wall_s"] <= derived["serial_wall_s"] * 1.25
+        assert derived["durations_match"] is True
+        assert derived["submit_workers"] >= 1
+
+
 @pytest.mark.slow
 class TestPipelineBench:
     def test_writes_json_with_pool_telemetry(self, harness, tmp_path):

@@ -2,9 +2,14 @@
 
 Results must be bit-identical to a serial ``compile()`` of the same
 requests, exactly one pool/library/scheduler may be instantiated, and the
-stats counters must stay consistent.
+stats counters must stay consistent.  Strategy execution runs *outside*
+the facade lock, so these tests exercise genuine overlap — the module
+fixture arms a faulthandler guard that dumps every thread's stack and
+kills the run if a deadlock ever sneaks in, instead of hanging to the CI
+timeout.
 """
 
+import faulthandler
 import threading
 
 import pytest
@@ -15,6 +20,14 @@ from repro.service import CompilationService, CompileRequest, ServiceConfig
 
 
 THREADS = 4
+
+
+@pytest.fixture(autouse=True)
+def deadlock_guard():
+    """Fail loud on hangs: dump all stacks and exit after 300 s."""
+    faulthandler.dump_traceback_later(300, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture(scope="module")
@@ -104,6 +117,61 @@ def test_concurrent_submit_matches_serial(
     assert stats["requests"]["by_strategy"] == {"full-grape": THREADS}
     assert stats["scheduler"]["batches"] == THREADS
     # The later requests reuse the first request's θ-independent blocks.
+    assert stats["scheduler"]["cross_call_hits"] > 0
+    service.close()
+
+
+def test_stress_submit_bit_identical_and_deadlock_free(
+    workload, thetas, coarse_settings, coarse_hyper, programs_identical
+):
+    """2×THREADS barrier-synced submits, duplicate requests included.
+
+    Threads ``i`` and ``i + THREADS`` submit the *same* request, so the
+    single-flight scheduler-state path runs under maximum contention:
+    identical keys claimed by one pass while concurrent passes wait for
+    its record.  Every result must still be bit-identical to the serial
+    reference; the module's ``deadlock_guard`` turns any hang into a
+    stack dump instead of a silent timeout.
+    """
+    circuit, _ = workload
+    stress_thetas = thetas + thetas
+    with CompilationService(
+        settings=coarse_settings, hyperparameters=coarse_hyper
+    ) as serial_service:
+        serial = [
+            serial_service.compile(request)
+            for request in _requests(circuit, stress_thetas)
+        ]
+
+    service = CompilationService(
+        settings=coarse_settings, hyperparameters=coarse_hyper
+    )
+    requests = _requests(circuit, stress_thetas)
+    futures = [None] * len(requests)
+    barrier = threading.Barrier(len(requests))
+
+    def submit(index):
+        barrier.wait()
+        futures[index] = service.submit(requests[index])
+
+    threads = [
+        threading.Thread(target=submit, args=(i,))
+        for i in range(len(requests))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    concurrent = [future.result(timeout=300) for future in futures]
+
+    for serial_result, concurrent_result in zip(serial, concurrent):
+        assert programs_identical(
+            serial_result.program, concurrent_result.program
+        )
+
+    stats = service.stats()
+    assert stats["requests"]["total"] == len(requests)
+    assert stats["scheduler"]["batches"] == len(requests)
     assert stats["scheduler"]["cross_call_hits"] > 0
     service.close()
 

@@ -35,6 +35,7 @@ class TestEnvConsolidation:
         for name in (
             "REPRO_EXECUTOR",
             "REPRO_MAX_WORKERS",
+            "REPRO_SUBMIT_WORKERS",
             "REPRO_CACHE_DIR",
             "REPRO_CACHE_SHARDS",
             "REPRO_CACHE_BUDGET_MB",
@@ -50,6 +51,7 @@ class TestFromEnv:
         for name in (
             "REPRO_EXECUTOR",
             "REPRO_MAX_WORKERS",
+            "REPRO_SUBMIT_WORKERS",
             "REPRO_CACHE_DIR",
             "REPRO_CACHE_SHARDS",
             "REPRO_CACHE_BUDGET_MB",
@@ -65,6 +67,7 @@ class TestFromEnv:
     def test_env_values_and_sources(self, monkeypatch):
         monkeypatch.setenv("REPRO_EXECUTOR", "thread-persistent")
         monkeypatch.setenv("REPRO_MAX_WORKERS", "3")
+        monkeypatch.setenv("REPRO_SUBMIT_WORKERS", "6")
         monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/pulses")
         monkeypatch.setenv("REPRO_CACHE_SHARDS", "256")
         monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "32.5")
@@ -74,6 +77,7 @@ class TestFromEnv:
         config, sources = ServiceConfig.from_env_with_sources()
         assert config.executor == "thread-persistent"
         assert config.max_workers == 3
+        assert config.submit_workers == 6
         assert config.cache_dir == "/tmp/pulses"
         assert config.cache_shards == 256
         assert config.cache_budget_mb == 32.5
@@ -85,6 +89,7 @@ class TestFromEnv:
     def test_garbage_warns_and_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_EXECUTOR", "quantum-annealer")
         monkeypatch.setenv("REPRO_MAX_WORKERS", "-2")
+        monkeypatch.setenv("REPRO_SUBMIT_WORKERS", "zero")
         monkeypatch.setenv("REPRO_CACHE_SHARDS", "7")
         monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "lots")
         monkeypatch.setenv("REPRO_PREFETCH", "maybe")
@@ -102,6 +107,15 @@ class TestValidation:
     def test_bad_worker_count_rejected(self):
         with pytest.raises(ReproError):
             ServiceConfig(max_workers=0)
+
+    def test_bad_submit_worker_count_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(submit_workers=0)
+
+    def test_submit_workers_default_is_bounded(self):
+        import os
+
+        assert ServiceConfig().submit_workers == min(8, os.cpu_count() or 1)
 
     def test_bad_shards_rejected(self):
         with pytest.raises(ReproError):
