@@ -328,6 +328,7 @@ def _cmd_config_show(args) -> int:
         ("cache_budget_mb", "cache_budget_mb"),
         ("preset", "preset"),
         ("scheduler_state_path", "scheduler_state"),
+        ("grape_batch_size", "grape_batch_size"),
     ):
         value = getattr(args, arg_name, None)
         if value is not None:
@@ -336,6 +337,9 @@ def _cmd_config_show(args) -> int:
     if getattr(args, "prefetch", None) is not None:
         overrides["prefetch"] = args.prefetch
         sources["prefetch"] = "CLI"
+    if getattr(args, "grape_batch", None) is not None:
+        overrides["grape_batch"] = args.grape_batch
+        sources["grape_batch"] = "CLI"
     try:
         config = config.replace(**overrides) if overrides else config
     except ReproError as exc:
@@ -611,6 +615,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduler-state",
         default=None,
         help="scheduler_state_path override",
+    )
+    show.add_argument(
+        "--grape-batch",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        dest="grape_batch",
+        help="--grape-batch / --no-grape-batch override (cross-block "
+        "batched GRAPE kernel)",
+    )
+    show.add_argument(
+        "--grape-batch-size",
+        type=int,
+        default=None,
+        dest="grape_batch_size",
+        help="grape_batch_size override (blocks per batched group)",
     )
     show.set_defaults(func=_cmd_config_show)
     return parser

@@ -148,11 +148,14 @@ class PipelineConfig:
     ----------
     executor:
         How independent per-block GRAPE searches are dispatched:
-        ``"serial"`` (default), ``"thread"`` (ThreadPoolExecutor),
-        ``"process"`` (ProcessPoolExecutor; pair it with ``cache_dir`` so
-        worker results persist across processes), or the
-        ``"thread-persistent"`` / ``"process-persistent"`` variants that
-        amortize one long-lived pool across every map of a pipeline run.
+        ``"auto"`` (default) picks per host — inline execution plus
+        cross-block batched GRAPE on 1–2 CPU machines, the shared thread
+        pool for large maps elsewhere — or force ``"serial"``,
+        ``"thread"`` (ThreadPoolExecutor), ``"process"``
+        (ProcessPoolExecutor; pair it with ``cache_dir`` so worker results
+        persist across processes), or the ``"thread-persistent"`` /
+        ``"process-persistent"`` variants that amortize one long-lived
+        pool across every map of a pipeline run.
     max_workers:
         Worker count for the parallel executors; ``None`` means
         ``os.cpu_count()``.
@@ -178,14 +181,22 @@ class PipelineConfig:
         long-lived sessions streaming over a warm library pay one
         sequential sweep per shard instead of one file open per lookup.
         Off by default (the seed behavior).
+    grape_batch:
+        Whether the batch scheduler may stack same-shape cold blocks into
+        the cross-block batched GRAPE kernel when the executor runs tasks
+        inline (``REPRO_GRAPE_BATCH``).  Bit-identical results either way.
+    grape_batch_size:
+        Cap on blocks per batched GRAPE group (``REPRO_GRAPE_BATCH_SIZE``).
     """
 
-    executor: str = "serial"
+    executor: str = "auto"
     max_workers: int | None = None
     cache_dir: str | None = None
     cache_shards: int = 16
     cache_budget_mb: float | None = None
     prefetch: bool = False
+    grape_batch: bool = True
+    grape_batch_size: int = 16
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_CHOICES:
@@ -203,6 +214,10 @@ class PipelineConfig:
             raise ReproError(
                 f"cache_budget_mb must be positive, got {self.cache_budget_mb}"
             )
+        if self.grape_batch_size < 1:
+            raise ReproError(
+                f"grape_batch_size must be >= 1, got {self.grape_batch_size}"
+            )
 
 
 def _pipeline_config_of(service_config: ServiceConfig) -> PipelineConfig:
@@ -214,6 +229,8 @@ def _pipeline_config_of(service_config: ServiceConfig) -> PipelineConfig:
         cache_shards=service_config.cache_shards,
         cache_budget_mb=service_config.cache_budget_mb,
         prefetch=service_config.prefetch,
+        grape_batch=service_config.grape_batch,
+        grape_batch_size=service_config.grape_batch_size,
     )
 
 
@@ -247,6 +264,8 @@ def set_pipeline_config(
     cache_shards=_UNSET,
     cache_budget_mb=_UNSET,
     prefetch=_UNSET,
+    grape_batch=_UNSET,
+    grape_batch_size=_UNSET,
 ) -> PipelineConfig:
     """Update the active pipeline settings (unpassed fields keep their value)."""
     global _pipeline_config
@@ -260,5 +279,11 @@ def set_pipeline_config(
             current.cache_budget_mb if cache_budget_mb is _UNSET else cache_budget_mb
         ),
         prefetch=current.prefetch if prefetch is _UNSET else prefetch,
+        grape_batch=current.grape_batch if grape_batch is _UNSET else grape_batch,
+        grape_batch_size=(
+            current.grape_batch_size
+            if grape_batch_size is _UNSET
+            else grape_batch_size
+        ),
     )
     return _pipeline_config

@@ -87,79 +87,55 @@ class BlockPulseCompiler:
             self.settings.resolved_target(),
         )
 
-    def compile_block(
-        self,
-        subcircuit: QuantumCircuit,
-        device_qubits: tuple,
-        hyperparameters: GrapeHyperparameters | None = None,
+    # -- outcome construction (one rulebook for serial and batched paths) --
+    def _trivial_outcome(
+        self, device_qubits: tuple, gate_ns: float
     ) -> BlockCompileOutcome:
-        """Produce the pulse for one block.
-
-        Parameters
-        ----------
-        subcircuit:
-            Bound circuit on local qubits ``0 … k-1``.
-        device_qubits:
-            The device qubits behind each local index (sorted ascending).
-        hyperparameters:
-            Optional per-block override (flexible partial compilation passes
-            its tuned values here).
-        """
-        if subcircuit.is_parameterized():
-            raise CompilationError("block must be bound before pulse compilation")
-        gate_ns = critical_path_ns(subcircuit)
-        if len(subcircuit) == 0 or gate_ns <= 0:
-            empty = lookup_schedule(device_qubits, max(gate_ns, 0.0) or 1e-9)
-            return BlockCompileOutcome(
-                schedule=empty,
-                duration_ns=0.0,
-                gate_based_ns=gate_ns,
-                iterations=0,
-                cache_hit=False,
-                used_grape=False,
-                fidelity=1.0,
-            )
-
-        control_set = build_control_set(self.device, device_qubits)
-        target = circuit_unitary(subcircuit)
-        dt = self.settings.resolved_dt()
-        fid_target = self.settings.resolved_target()
-        key = self.cache.key(target, control_set, dt, fid_target)
-        cached = self.cache.get(key)
-        if cached is not None:
-            usable = cached.converged and cached.duration_ns <= gate_ns + 1e-9
-            if usable:
-                schedule = PulseSchedule(
-                    qubits=tuple(device_qubits),
-                    dt_ns=cached.schedule.dt_ns,
-                    controls=cached.schedule.controls,
-                    channel_names=cached.schedule.channel_names,
-                    source="cache",
-                )
-                duration = cached.duration_ns
-            else:
-                # Same rule as the fresh path: a pulse that does not beat the
-                # lookup table falls back to it.
-                schedule = lookup_schedule(device_qubits, gate_ns, source="fallback")
-                duration = gate_ns
-            return BlockCompileOutcome(
-                schedule=schedule,
-                duration_ns=duration,
-                gate_based_ns=gate_ns,
-                iterations=0,
-                cache_hit=True,
-                used_grape=usable,
-                fidelity=cached.fidelity,
-            )
-
-        hyper = hyperparameters or self.hyperparameters
-        result = minimum_time_pulse(
-            control_set,
-            target,
-            upper_bound_ns=max(gate_ns, dt),
-            hyperparameters=hyper,
-            settings=self.settings,
+        """Outcome for an empty or zero-duration block (no GRAPE, no cache)."""
+        empty = lookup_schedule(device_qubits, max(gate_ns, 0.0) or 1e-9)
+        return BlockCompileOutcome(
+            schedule=empty,
+            duration_ns=0.0,
+            gate_based_ns=gate_ns,
+            iterations=0,
+            cache_hit=False,
+            used_grape=False,
+            fidelity=1.0,
         )
+
+    def _cache_hit_outcome(
+        self, device_qubits: tuple, gate_ns: float, cached: CacheEntry
+    ) -> BlockCompileOutcome:
+        """Outcome for a cached pulse, applying the strictly-not-worse rule."""
+        usable = cached.converged and cached.duration_ns <= gate_ns + 1e-9
+        if usable:
+            schedule = PulseSchedule(
+                qubits=tuple(device_qubits),
+                dt_ns=cached.schedule.dt_ns,
+                controls=cached.schedule.controls,
+                channel_names=cached.schedule.channel_names,
+                source="cache",
+            )
+            duration = cached.duration_ns
+        else:
+            # Same rule as the fresh path: a pulse that does not beat the
+            # lookup table falls back to it.
+            schedule = lookup_schedule(device_qubits, gate_ns, source="fallback")
+            duration = gate_ns
+        return BlockCompileOutcome(
+            schedule=schedule,
+            duration_ns=duration,
+            gate_based_ns=gate_ns,
+            iterations=0,
+            cache_hit=True,
+            used_grape=usable,
+            fidelity=cached.fidelity,
+        )
+
+    def _fresh_outcome(
+        self, device_qubits: tuple, gate_ns: float, key, result
+    ) -> BlockCompileOutcome:
+        """Cache + judge one fresh minimum-time search result."""
         self.cache.put(
             key,
             CacheEntry(
@@ -198,6 +174,136 @@ class BlockPulseCompiler:
             used_grape=False,
             fidelity=result.fidelity,
         )
+
+    def compile_block(
+        self,
+        subcircuit: QuantumCircuit,
+        device_qubits: tuple,
+        hyperparameters: GrapeHyperparameters | None = None,
+    ) -> BlockCompileOutcome:
+        """Produce the pulse for one block.
+
+        Parameters
+        ----------
+        subcircuit:
+            Bound circuit on local qubits ``0 … k-1``.
+        device_qubits:
+            The device qubits behind each local index (sorted ascending).
+        hyperparameters:
+            Optional per-block override (flexible partial compilation passes
+            its tuned values here).
+        """
+        if subcircuit.is_parameterized():
+            raise CompilationError("block must be bound before pulse compilation")
+        gate_ns = critical_path_ns(subcircuit)
+        if len(subcircuit) == 0 or gate_ns <= 0:
+            return self._trivial_outcome(device_qubits, gate_ns)
+
+        control_set = build_control_set(self.device, device_qubits)
+        target = circuit_unitary(subcircuit)
+        dt = self.settings.resolved_dt()
+        fid_target = self.settings.resolved_target()
+        key = self.cache.key(target, control_set, dt, fid_target)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return self._cache_hit_outcome(device_qubits, gate_ns, cached)
+
+        hyper = hyperparameters or self.hyperparameters
+        result = minimum_time_pulse(
+            control_set,
+            target,
+            upper_bound_ns=max(gate_ns, dt),
+            hyperparameters=hyper,
+            settings=self.settings,
+        )
+        return self._fresh_outcome(device_qubits, gate_ns, key, result)
+
+    def compile_blocks_batched(
+        self,
+        blocks: list,
+        hyperparameters: GrapeHyperparameters | None = None,
+        max_group: int | None = None,
+    ) -> tuple:
+        """Compile many blocks at once, batching same-shape GRAPE searches.
+
+        ``blocks`` is a list of ``(subcircuit, device_qubits)`` pairs.  Each
+        block runs the exact same path as :meth:`compile_block` — trivial
+        blocks, cache hits, and the strictly-not-worse judgment are
+        per-block and unchanged — but cache misses are grouped by control
+        shape ``(dim, n_controls)`` and each group's minimum-time searches
+        run through the cross-block batched kernel
+        (:func:`repro.pulse.grape.batched.minimum_time_pulse_batch`), which
+        is bit-identical to the serial searches.  Singleton groups take the
+        per-block kernel directly.
+
+        Returns ``(outcomes, stats)`` with outcomes in input order and
+        ``stats = {"batched_groups": ..., "batched_blocks": ...}``.
+        """
+        from repro.pulse.grape.batched import minimum_time_pulse_batch
+
+        dt = self.settings.resolved_dt()
+        fid_target = self.settings.resolved_target()
+        hyper = hyperparameters or self.hyperparameters
+
+        outcomes: list = [None] * len(blocks)
+        cold: list = []  # (index, control_set, target, gate_ns, key)
+        for i, (subcircuit, device_qubits) in enumerate(blocks):
+            if subcircuit.is_parameterized():
+                raise CompilationError(
+                    "block must be bound before pulse compilation"
+                )
+            gate_ns = critical_path_ns(subcircuit)
+            if len(subcircuit) == 0 or gate_ns <= 0:
+                outcomes[i] = self._trivial_outcome(device_qubits, gate_ns)
+                continue
+            control_set = build_control_set(self.device, device_qubits)
+            target = circuit_unitary(subcircuit)
+            key = self.cache.key(target, control_set, dt, fid_target)
+            cached = self.cache.get(key)
+            if cached is not None:
+                outcomes[i] = self._cache_hit_outcome(
+                    device_qubits, gate_ns, cached
+                )
+                continue
+            cold.append((i, control_set, target, gate_ns, key))
+
+        by_shape: dict = {}
+        for entry in cold:
+            control_set = entry[1]
+            by_shape.setdefault(
+                (control_set.dim, control_set.num_controls), []
+            ).append(entry)
+
+        stats = {"batched_groups": 0, "batched_blocks": 0}
+        for members in by_shape.values():
+            if len(members) == 1:
+                i, control_set, target, gate_ns, key = members[0]
+                result = minimum_time_pulse(
+                    control_set,
+                    target,
+                    upper_bound_ns=max(gate_ns, dt),
+                    hyperparameters=hyper,
+                    settings=self.settings,
+                )
+                outcomes[i] = self._fresh_outcome(
+                    blocks[i][1], gate_ns, key, result
+                )
+                continue
+            stats["batched_groups"] += 1
+            stats["batched_blocks"] += len(members)
+            results = minimum_time_pulse_batch(
+                [entry[1] for entry in members],
+                [entry[2] for entry in members],
+                [max(entry[3], dt) for entry in members],
+                hyperparameters=hyper,
+                settings=self.settings,
+                max_group=max_group,
+            )
+            for (i, _, _, gate_ns, key), result in zip(members, results):
+                outcomes[i] = self._fresh_outcome(
+                    blocks[i][1], gate_ns, key, result
+                )
+        return outcomes, stats
 
     def compile_circuit_blocks(
         self, circuit: QuantumCircuit, max_width: int | None = None, executor=None

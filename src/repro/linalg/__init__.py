@@ -21,6 +21,11 @@ from repro.linalg.operators import (
     pauli_matrix,
 )
 from repro.linalg.expm import expm_hermitian, expm_hermitian_frechet
+from repro.linalg.scan import (
+    backward_partial_products,
+    forward_partial_products,
+    scan_block_size,
+)
 from repro.linalg.unitaries import (
     average_gate_fidelity,
     closest_unitary,
@@ -42,6 +47,9 @@ __all__ = [
     "PAULI_Z",
     "annihilation_operator",
     "average_gate_fidelity",
+    "backward_partial_products",
+    "forward_partial_products",
+    "scan_block_size",
     "closest_unitary",
     "creation_operator",
     "embed_operator",

@@ -102,6 +102,8 @@ class CompilationPipeline:
         state=None,
         plan_cache=None,
         plan_scope: str = "",
+        grape_batch: bool | None = None,
+        grape_batch_size: int | None = None,
     ) -> tuple:
         """Flow a *batch* of circuits through the pipeline, deduplicating
         block compilations across the whole batch.
@@ -134,6 +136,11 @@ class CompilationPipeline:
         aggregation and per-block dedup-key hashing run once per ansatz,
         not once per call.  Misses build and insert the plan.
         ``plan_scope`` namespaces the cache keys per caller.
+
+        ``grape_batch`` / ``grape_batch_size`` override the configured
+        cross-block batched-GRAPE dispatch for this pass's scheduler
+        (``None`` defers to the pipeline config; both are ignored when a
+        caller-owned ``scheduler`` is supplied).
         """
         from repro.pipeline.scheduler import BlockScheduler
         from repro.pipeline.stages import BindStage, BlockingStage, PulseStage
@@ -186,6 +193,8 @@ class CompilationPipeline:
                 pulse.executor,
                 pulse.parametrized_handler,
                 state=state,
+                grape_batch=grape_batch,
+                grape_batch_size=grape_batch_size,
             )
         start = time.perf_counter()
         report = scheduler.run(contexts)

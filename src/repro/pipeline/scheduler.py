@@ -71,6 +71,8 @@ class SchedulerReport:
     parametrized_blocks: int = 0
     trivial_blocks: int = 0
     dispatched_tasks: int = 0
+    batched_groups: int = 0  # same-shape groups sent to the batched kernel
+    batched_blocks: int = 0  # unique blocks those groups covered
     group_sizes: dict = field(default_factory=dict)  # key-size histogram
 
     def as_dict(self) -> dict:
@@ -83,6 +85,8 @@ class SchedulerReport:
             "parametrized_blocks": self.parametrized_blocks,
             "trivial_blocks": self.trivial_blocks,
             "dispatched_tasks": self.dispatched_tasks,
+            "batched_groups": self.batched_groups,
+            "batched_blocks": self.batched_blocks,
             "dedup_ratio": round(
                 (self.deduped_blocks + self.reused_blocks) / self.total_blocks, 4
             )
@@ -484,7 +488,10 @@ class BlockScheduler:
         executor: BlockExecutor | None = None,
         parametrized_handler=None,
         state: SchedulerState | None = None,
+        grape_batch: bool | None = None,
+        grape_batch_size: int | None = None,
     ):
+        from repro.config import get_pipeline_config
         from repro.pipeline.strategies import compile_fixed_block
 
         self.block_compiler = block_compiler
@@ -493,11 +500,78 @@ class BlockScheduler:
         # ``state`` makes the scheduler long-lived: representatives compiled
         # in one ``run`` are remembered and served for free in the next.
         self.state = state
+        # Cross-block batched GRAPE dispatch (``None`` → configuration):
+        # when the executor runs tasks inline, same-shape representatives
+        # are stacked through the batched kernel instead of mapped.
+        config = get_pipeline_config()
+        self.grape_batch = (
+            config.grape_batch if grape_batch is None else bool(grape_batch)
+        )
+        self.grape_batch_size = (
+            config.grape_batch_size
+            if grape_batch_size is None
+            else max(1, int(grape_batch_size))
+        )
         self._dispatch = partial(
             _dispatch_task,
             partial(compile_fixed_block, block_compiler),
             parametrized_handler,
         )
+
+    def _batched_dispatch_allowed(self, fixed_count: int) -> bool:
+        """Whether this pass should stack fixed tasks into the batched kernel.
+
+        Requires an executor that *prefers* batching (serial, or auto in
+        inline mode — a pool executor genuinely overlaps per-block maps, so
+        stacking would serialize it), at least two fixed representatives,
+        and a compiler whose dispatch path batching cannot change: a
+        subclass that overrides ``compile_block`` (failure injection,
+        custom judgment) without overriding ``compile_blocks_batched``
+        must keep its override on the dispatch path.
+        """
+        if not self.grape_batch or fixed_count < 2:
+            return False
+        if not getattr(self.executor, "prefers_batched", False):
+            return False
+        from repro.core.compiler import BlockPulseCompiler
+
+        compiler = self.block_compiler
+        if not isinstance(compiler, BlockPulseCompiler):
+            return False
+        cls = type(compiler)
+        if (
+            cls.compile_block is not BlockPulseCompiler.compile_block
+            and cls.compile_blocks_batched
+            is BlockPulseCompiler.compile_blocks_batched
+        ):
+            return False
+        return True
+
+    def _dispatch_all(self, order: list, dispatch_tasks: list) -> tuple:
+        """Run every dispatch task; batch fixed ones when it pays.
+
+        Returns ``(results, stats)`` with results aligned to
+        ``dispatch_tasks`` and ``stats`` the compiler's batching summary
+        (empty counts when the per-task map ran instead).
+        """
+        no_stats = {"batched_groups": 0, "batched_blocks": 0}
+        fixed_idx = [j for j, (kind, _) in enumerate(order) if kind == "group"]
+        if not self._batched_dispatch_allowed(len(fixed_idx)):
+            return self.executor.map(self._dispatch, dispatch_tasks), no_stats
+        results: list = [None] * len(dispatch_tasks)
+        outcomes, stats = self.block_compiler.compile_blocks_batched(
+            [
+                (dispatch_tasks[j].subcircuit, dispatch_tasks[j].device_qubits)
+                for j in fixed_idx
+            ],
+            max_group=self.grape_batch_size,
+        )
+        for j, outcome in zip(fixed_idx, outcomes):
+            results[j] = outcome
+        for j, (kind, _) in enumerate(order):
+            if kind != "group":
+                results[j] = self._dispatch(dispatch_tasks[j])
+        return results, stats
 
     def run(self, contexts: list) -> SchedulerReport:
         """Compile every context's tasks, deduplicating across the batch.
@@ -576,7 +650,9 @@ class BlockScheduler:
         report.dispatched_tasks = len(dispatch_tasks)
         report.unique_blocks = len(groups)
         try:
-            results = self.executor.map(self._dispatch, dispatch_tasks)
+            results, batch_stats = self._dispatch_all(order, dispatch_tasks)
+            report.batched_groups = batch_stats["batched_groups"]
+            report.batched_blocks = batch_stats["batched_blocks"]
 
             for (kind, payload), result in zip(order, results):
                 if kind == "task":
@@ -648,4 +724,7 @@ class BlockScheduler:
         perf.count("scheduler.deduped_blocks", report.deduped_blocks)
         if report.reused_blocks:
             perf.count("scheduler.reused_blocks", report.reused_blocks)
+        if report.batched_blocks:
+            perf.count("scheduler.batched_groups", report.batched_groups)
+            perf.count("scheduler.batched_blocks", report.batched_blocks)
         return report

@@ -83,6 +83,7 @@ class VariationalSession:
         self.dispatched_blocks = 0
         self.deduped_blocks = 0
         self.reused_blocks = 0
+        self.batched_blocks = 0
         self._device = device
         self._explicit_device = device is not None
         self._block_compiler = None
@@ -155,6 +156,7 @@ class VariationalSession:
             self.dispatched_blocks += report.dispatched_tasks
             self.deduped_blocks += report.deduped_blocks
             self.reused_blocks += report.reused_blocks
+            self.batched_blocks += report.batched_blocks
         get_perf_registry().count("session.compile_calls")
         extra = {
             "scheduler": report.as_dict() if report is not None else None,
@@ -197,6 +199,7 @@ class VariationalSession:
             "dispatched_blocks": self.dispatched_blocks,
             "deduped_blocks": self.deduped_blocks,
             "reused_blocks": self.reused_blocks,
+            "batched_blocks": self.batched_blocks,
             "known_blocks": len(self.state),
             "plan_cache": self.plan_cache.as_dict(),
             "cache": self.cache.stats(),

@@ -18,17 +18,27 @@ from repro.pulse.grape.engine import (
     optimize_pulse,
 )
 from repro.pulse.grape.time_search import MinimumTimeResult, minimum_time_pulse
+from repro.pulse.grape.batched import (
+    BatchedGrapeCost,
+    batch_telemetry,
+    minimum_time_pulse_batch,
+    optimize_pulse_batch,
+)
 
 __all__ = [
     "AdamOptimizer",
     "LBFGSOptimizer",
+    "BatchedGrapeCost",
     "GrapeCost",
     "GrapeHyperparameters",
     "GrapeResult",
     "GrapeSettings",
     "MinimumTimeResult",
     "RegularizationSettings",
+    "batch_telemetry",
     "initial_controls",
     "minimum_time_pulse",
+    "minimum_time_pulse_batch",
     "optimize_pulse",
+    "optimize_pulse_batch",
 ]

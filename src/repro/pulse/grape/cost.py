@@ -26,6 +26,10 @@ batched kernel rather than a per-step Python loop:
 * the target ``E†`` is folded into the backward scan, so the gradient
   contraction ``G_k = A_{k-1} E† B_k`` costs one batched matmul instead
   of two;
+* both propagator scans run through the blocked prefix-product scan of
+  :mod:`repro.linalg.scan` — ``≈ 2√S`` batched GEMMs instead of ``S``
+  sequential ones — and ``propagate`` reuses the same code path, so there
+  is exactly one way a pulse is propagated anywhere in the package;
 * the per-control contraction is fused through the kernel matrix
   ``K_k = V̄_k (Γ_k ∘ (V_k† G_k V_k)ᵀ) V_kᵀ`` so the expensive ``O(d³)``
   transforms happen once per *step* instead of once per *step × control*,
@@ -50,6 +54,7 @@ from repro.linalg.expm import (
     expm_hermitian,
     expm_hermitian_factorized,
 )
+from repro.linalg.scan import backward_partial_products, forward_partial_products
 from repro.pulse.hamiltonian import ControlSet, embed_target_unitary
 
 
@@ -160,10 +165,7 @@ class GrapeCost:
     def propagate(self, controls: np.ndarray) -> np.ndarray:
         """Total unitary produced by ``controls`` (shape (n_controls, n_steps))."""
         props = expm_hermitian(self._step_hamiltonians(controls), self.dt_ns)
-        total = np.eye(props.shape[-1], dtype=complex)
-        for k in range(props.shape[0]):
-            total = props[k] @ total
-        return total
+        return forward_partial_products(props)[-1]
 
     def fidelity(self, controls: np.ndarray) -> float:
         overlap = np.trace(self._target_embedded.conj().T @ self.propagate(controls))
@@ -190,16 +192,13 @@ class GrapeCost:
         )
 
         forward, bwd = self._buffers(n_steps, dim)
-        # Forward partial products A_k = U_k … U_1 (A[0] = identity).
-        forward[0] = np.eye(dim)
-        for k in range(n_steps):
-            np.matmul(props[k], forward[k], out=forward[k + 1])
-        # Backward partial products with the target folded in:
-        # bwd[k] = E† B_k where B_k = U_{N-1} … U_{k+1} (so bwd[N-1] = E†).
+        # Forward partial products A_k = U_k … U_1 (A[0] = identity) and the
+        # backward partial products with the target folded in — bwd[k] = E† B_k
+        # where B_k = U_{N-1} … U_{k+1} (so bwd[N-1] = E†) — via the shared
+        # blocked prefix-product scan (~2√S batched GEMMs instead of S).
         e_dag = self._e_dag
-        bwd[n_steps - 1] = e_dag
-        for k in range(n_steps - 2, -1, -1):
-            np.matmul(bwd[k + 1], props[k + 1], out=bwd[k])
+        forward_partial_products(props, out=forward)
+        backward_partial_products(props, e_dag, out=bwd)
 
         total = forward[n_steps]
         overlap = np.einsum("ij,ji->", e_dag, total) / self._dim_comp

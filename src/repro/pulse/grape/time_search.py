@@ -73,7 +73,13 @@ def _resolve_probe_executor(spec):
         return None
     from repro.pipeline.executors import resolve_executor
 
-    return resolve_executor(spec)
+    executor = resolve_executor(spec)
+    # An executor that declares speculation unhelpful (auto on a 1–2 CPU
+    # host: no spare cores to hide the extra probes behind) degrades to the
+    # lazy sequential doubling path, which does strictly less GRAPE work.
+    if not getattr(executor, "speculation_helps", True):
+        return None
+    return executor
 
 
 def _feasibility_probe(

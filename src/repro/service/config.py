@@ -31,6 +31,7 @@ from repro.errors import ReproError
 #: ``map`` call of a pipeline run instead of re-creating it per call.
 EXECUTOR_CHOICES = (
     "serial",
+    "auto",
     "thread",
     "process",
     "thread-persistent",
@@ -75,10 +76,12 @@ class ServiceConfig:
     ----------
     executor:
         How independent per-block GRAPE searches are dispatched
-        (``REPRO_EXECUTOR``): ``"serial"`` (default), ``"thread"``,
-        ``"process"``, or the ``"thread-persistent"`` /
-        ``"process-persistent"`` variants that amortize one long-lived
-        pool across every map of a run.
+        (``REPRO_EXECUTOR``): ``"auto"`` (default) picks per host —
+        inline execution plus cross-block batched GRAPE on 1–2 CPU
+        machines, the shared thread pool for large maps elsewhere — or
+        force ``"serial"``, ``"thread"``, ``"process"``, or the
+        ``"thread-persistent"`` / ``"process-persistent"`` variants that
+        amortize one long-lived pool across every map of a run.
     max_workers:
         Worker count for the parallel executors (``REPRO_MAX_WORKERS``);
         ``None`` means ``os.cpu_count()``.
@@ -110,9 +113,19 @@ class ServiceConfig:
         :class:`~repro.service.CompilationService` resumes the dedup
         memory a previous process saved there, and saves its own on
         ``close()``.  ``None`` keeps scheduler state process-local.
+    grape_batch:
+        Whether the batch scheduler may stack same-shape cold blocks into
+        the cross-block batched GRAPE kernel
+        (:mod:`repro.pulse.grape.batched`) when the executor runs tasks
+        inline (``REPRO_GRAPE_BATCH``).  Results are bit-identical to the
+        per-block kernel; this knob exists for debugging and A/B timing.
+    grape_batch_size:
+        Cap on how many blocks one batched GRAPE group stacks
+        (``REPRO_GRAPE_BATCH_SIZE``); bounds the stacked kernel's
+        working-set memory.
     """
 
-    executor: str = "serial"
+    executor: str = "auto"
     max_workers: int | None = None
     submit_workers: int = field(
         default_factory=lambda: min(8, os.cpu_count() or 1)
@@ -123,6 +136,8 @@ class ServiceConfig:
     prefetch: bool = False
     preset: str = "ci"
     scheduler_state_path: str | None = None
+    grape_batch: bool = True
+    grape_batch_size: int = 16
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_CHOICES:
@@ -143,6 +158,10 @@ class ServiceConfig:
         if self.cache_budget_mb is not None and self.cache_budget_mb <= 0:
             raise ReproError(
                 f"cache_budget_mb must be positive, got {self.cache_budget_mb}"
+            )
+        if self.grape_batch_size < 1:
+            raise ReproError(
+                f"grape_batch_size must be >= 1, got {self.grape_batch_size}"
             )
 
     # -- construction --------------------------------------------------------
@@ -283,6 +302,43 @@ class ServiceConfig:
         if state_path:
             values["scheduler_state_path"] = state_path
             sources["scheduler_state_path"] = "env"
+
+        batch_raw = os.environ.get("REPRO_GRAPE_BATCH", "")
+        if batch_raw:
+            lowered = batch_raw.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                values["grape_batch"] = True
+                sources["grape_batch"] = "env"
+            elif lowered in ("0", "false", "no", "off"):
+                values["grape_batch"] = False
+                sources["grape_batch"] = "env"
+            else:
+                warnings.warn(
+                    f"ignoring REPRO_GRAPE_BATCH={batch_raw!r} "
+                    "(expected a boolean)",
+                    stacklevel=3,
+                )
+
+        batch_size_raw = os.environ.get("REPRO_GRAPE_BATCH_SIZE")
+        if batch_size_raw:
+            try:
+                batch_size = int(batch_size_raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring REPRO_GRAPE_BATCH_SIZE={batch_size_raw!r} "
+                    "(not an integer)",
+                    stacklevel=3,
+                )
+            else:
+                if batch_size < 1:
+                    warnings.warn(
+                        f"ignoring REPRO_GRAPE_BATCH_SIZE={batch_size} "
+                        "(must be >= 1)",
+                        stacklevel=3,
+                    )
+                else:
+                    values["grape_batch_size"] = batch_size
+                    sources["grape_batch_size"] = "env"
 
         return cls(**values), sources
 

@@ -262,6 +262,7 @@ class CompilationService:
     def stats(self) -> dict:
         """One report folding scheduler, cache, executor, and pool counters."""
         from repro.pipeline.executors import persistent_executor_stats
+        from repro.pulse.grape.batched import batch_telemetry
 
         return {
             "config": self.config.as_dict(),
@@ -275,6 +276,7 @@ class CompilationService:
             "cache": self.cache.stats(),
             "executor": self.executor.describe(),
             "pools": persistent_executor_stats(),
+            "grape_batch": batch_telemetry(),
         }
 
     # -- lifecycle -----------------------------------------------------------

@@ -133,6 +133,8 @@ class FullGrapeStrategy(_StrategyBase):
             state=state,
             plan_cache=plan_cache,
             plan_scope=self.name,
+            grape_batch=service.config.grape_batch,
+            grape_batch_size=service.config.grape_batch_size,
         )
         elapsed = time.perf_counter() - start
         extra = {
@@ -193,6 +195,8 @@ class FullGrapeStrategy(_StrategyBase):
             state=state,
             plan_cache=plan_cache,
             plan_scope=self.name,
+            grape_batch=service.config.grape_batch,
+            grape_batch_size=service.config.grape_batch_size,
         )
         elapsed = time.perf_counter() - start
         extra = {

@@ -125,12 +125,49 @@ class TestServiceConcurrencyBench:
         assert derived["submit_workers"] >= 1
 
 
+class TestGrapeBatchBench:
+    @pytest.fixture(scope="class")
+    def payload(self, harness, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench_grape_batch")
+        harness.main(["--quick", "--only", "grape_batch", "--output-dir", str(out)])
+        return json.loads((out / "BENCH_grape_batch.json").read_text())
+
+    def test_batched_matches_per_block_and_never_loses(self, payload):
+        """The bench's own gates enforce ≤1e-10 equivalence and the
+        never-slower margin before writing; the smoke re-checks the
+        artifact."""
+        by_name = {entry["name"]: entry for entry in payload["entries"]}
+        for batch in (4, 8, 16):
+            per_block = by_name[f"per-block-{batch}"]
+            batched = by_name[f"batched-{batch}"]
+            assert batched["max_abs_deviation"] <= 1e-10
+            assert batched["iterations"] == per_block["iterations"]
+            assert batched["wall_s"] <= per_block["wall_s"] * 1.10
+            assert payload["derived"][f"speedup_batch_{batch}"] > 0
+
+    def test_headline_tracks_the_8_block_case(self, payload):
+        derived = payload["derived"]
+        assert derived["headline_speedup"] == derived["speedup_batch_8"]
+
+    def test_scan_sweep_covers_sequential_and_default(self, payload):
+        sweep = [e for e in payload["entries"] if e["name"].startswith("scan-")]
+        sizes = {e["block_size"] for e in sweep}
+        assert 1 in sizes
+        assert payload["derived"]["scan_default_block_size"] in sizes
+        assert all(e["per_call_ms"] > 0 for e in sweep)
+
+
 @pytest.mark.slow
 class TestPipelineBench:
-    def test_writes_json_with_pool_telemetry(self, harness, tmp_path):
+    def test_auto_never_slower_than_serial(self, harness, tmp_path):
+        """The CI satellite gate: whatever mode ``auto`` picked for this
+        host, the bench raises (writing nothing) if it lost to serial
+        beyond the noise margin."""
         harness.main(["--quick", "--only", "pipeline", "--output-dir", str(tmp_path)])
         payload = json.loads((tmp_path / "BENCH_pipeline.json").read_text())
-        assert payload["derived"]["pools_created"] == 1
         assert payload["derived"]["durations_match"] is True
         names = [entry["name"] for entry in payload["entries"]]
-        assert names == ["serial", "process-persistent"]
+        assert names == ["serial", "auto"]
+        by_name = {entry["name"]: entry for entry in payload["entries"]}
+        assert by_name["auto"]["wall_s"] <= by_name["serial"]["wall_s"] * 1.15
+        assert payload["derived"]["auto_mode"] in ("inline", "thread-persistent")

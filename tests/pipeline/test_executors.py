@@ -78,6 +78,99 @@ class TestResolveExecutor:
         assert ThreadPoolBlockExecutor(max_workers=5).max_workers == 5
 
 
+class TestAutoExecutor:
+    """``auto`` resolves per host: inline + batched on small machines,
+    delegated pool maps on large ones."""
+
+    def test_resolves_to_auto_executor(self):
+        from repro.pipeline.executors import AutoExecutor
+
+        executor = resolve_executor("auto")
+        assert isinstance(executor, AutoExecutor)
+        assert executor.name == "auto"
+
+    def test_auto_is_a_registered_choice_and_the_default(self):
+        from repro.config import EXECUTOR_CHOICES, PipelineConfig
+        from repro.service.config import ServiceConfig
+
+        assert "auto" in EXECUTOR_CHOICES
+        assert PipelineConfig().executor == "auto"
+        assert ServiceConfig().executor == "auto"
+
+    def test_policy_flags_follow_cpu_count(self, monkeypatch):
+        import repro.pipeline.executors as executors_module
+
+        monkeypatch.setattr(executors_module.os, "cpu_count", lambda: 1)
+        small = executors_module.AutoExecutor()
+        assert small.prefers_inline is True
+        assert small.prefers_batched is True
+        assert small.speculation_helps is False
+
+        monkeypatch.setattr(executors_module.os, "cpu_count", lambda: 8)
+        large = executors_module.AutoExecutor()
+        assert large.prefers_inline is False
+        assert large.prefers_batched is False
+        assert large.speculation_helps is True
+
+    def test_inline_mode_runs_in_calling_thread(self, monkeypatch):
+        import threading
+
+        import repro.pipeline.executors as executors_module
+
+        monkeypatch.setattr(executors_module.os, "cpu_count", lambda: 2)
+        executor = executors_module.AutoExecutor()
+        seen = []
+        result = executor.map(
+            lambda x: seen.append(threading.current_thread()) or x * x,
+            range(5),
+        )
+        assert result == [x * x for x in range(5)]
+        assert all(t is threading.main_thread() for t in seen)
+        assert executor.inline_maps == 1
+        assert executor.delegated_maps == 0
+
+    def test_many_core_host_delegates_large_maps(self, monkeypatch):
+        import repro.pipeline.executors as executors_module
+
+        monkeypatch.setattr(executors_module.os, "cpu_count", lambda: 8)
+        executor = executors_module.AutoExecutor(max_workers=2)
+        assert executor.map(_square, range(6)) == [x * x for x in range(6)]
+        assert executor.delegated_maps == 1
+        # Tiny maps stay inline even on a big host — pool overhead loses.
+        assert executor.map(_square, range(2)) == [0, 1]
+        assert executor.inline_maps == 1
+
+    def test_describe_reports_mode(self):
+        info = resolve_executor("auto").describe()
+        assert info["executor"] == "auto"
+        assert info["mode"] in ("inline", "thread-persistent")
+        assert info["cpu_count"] >= 1
+
+    def test_serial_prefers_batched_pools_do_not(self):
+        from repro.pipeline.executors import (
+            PersistentThreadPoolBlockExecutor,
+        )
+
+        assert SerialExecutor().prefers_batched is True
+        assert ThreadPoolBlockExecutor(max_workers=2).prefers_batched is False
+        pool = PersistentThreadPoolBlockExecutor(max_workers=2)
+        try:
+            assert pool.prefers_batched is False
+            assert pool.speculation_helps is True
+        finally:
+            pool.close()
+
+    def test_auto_compile_matches_serial(self):
+        serial = _compile("serial")
+        auto = _compile("auto")
+        assert auto.blocks_compiled == serial.blocks_compiled
+        assert np.isclose(auto.pulse_duration_ns, serial.pulse_duration_ns)
+        for ours, theirs in zip(
+            auto.program.schedules, serial.program.schedules
+        ):
+            np.testing.assert_allclose(ours.controls, theirs.controls)
+
+
 class TestMapContract:
     @pytest.mark.parametrize("executor_name", ["serial", "thread", "process"])
     def test_order_preserved(self, executor_name):

@@ -307,3 +307,111 @@ class TestTaskKey:
         key = block_compiler.task_key(sub, (0, 1))
         block_compiler.compile_block(sub, (0, 1))
         assert cache.put_keys == [key]
+
+
+def _two_distinct_blocks_circuit() -> QuantumCircuit:
+    """Two *different* 2-qubit blocks sharing one control shape — the
+    batched dispatch's target workload (dedup can't collapse them)."""
+    circuit = QuantumCircuit(4)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.h(2)
+    circuit.cx(2, 3)
+    circuit.rz(0.3, 3)
+    return circuit
+
+
+class TestBatchedDispatch:
+    def _run(self, grape_batch: bool):
+        from repro.pipeline import SerialExecutor
+
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+        )
+        pipeline = full_grape_pipeline(block_compiler, 2)
+        scheduler = BlockScheduler(
+            block_compiler, SerialExecutor(), grape_batch=grape_batch
+        )
+        return pipeline.run_many(
+            [_two_distinct_blocks_circuit()], scheduler=scheduler
+        )
+
+    def test_same_shape_representatives_batch(self):
+        contexts, report = self._run(grape_batch=True)
+        assert report.batched_groups == 1
+        assert report.batched_blocks == 2
+        assert report.dispatched_tasks == 2
+        assert contexts[0].program is not None
+        assert report.as_dict()["batched_blocks"] == 2
+
+    def test_batched_run_matches_unbatched(self):
+        import numpy as np
+
+        batched, batched_report = self._run(grape_batch=True)
+        serial, serial_report = self._run(grape_batch=False)
+        assert serial_report.batched_groups == 0
+        assert serial_report.batched_blocks == 0
+        assert batched[0].program.duration_ns == pytest.approx(
+            serial[0].program.duration_ns, abs=1e-12
+        )
+        for ours, theirs in zip(
+            batched[0].program.schedules, serial[0].program.schedules
+        ):
+            assert ours.qubits == theirs.qubits
+            assert np.array_equal(ours.controls, theirs.controls)
+
+    def test_pool_executor_keeps_mapped_dispatch(self):
+        """A pool executor genuinely overlaps per-block maps, so stacking
+        would serialize it — batched dispatch must stand down."""
+        from repro.pipeline import ThreadPoolBlockExecutor
+
+        block_compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+        )
+        pipeline = full_grape_pipeline(block_compiler, 2)
+        scheduler = BlockScheduler(
+            block_compiler,
+            ThreadPoolBlockExecutor(max_workers=2),
+            grape_batch=True,
+        )
+        contexts, report = pipeline.run_many(
+            [_two_distinct_blocks_circuit()], scheduler=scheduler
+        )
+        assert report.batched_groups == 0
+        assert report.batched_blocks == 0
+        assert contexts[0].program is not None
+
+    def test_compile_block_override_disables_batching(self):
+        """A subclass that customizes compile_block (failure injection,
+        custom judgment) must keep its override on the dispatch path."""
+        from repro.pipeline import SerialExecutor
+
+        calls = []
+
+        class TracingCompiler(BlockPulseCompiler):
+            def compile_block(self, subcircuit, device_qubits, hyperparameters=None):
+                calls.append(tuple(device_qubits))
+                return super().compile_block(
+                    subcircuit, device_qubits, hyperparameters
+                )
+
+        block_compiler = TracingCompiler(
+            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+        )
+        pipeline = full_grape_pipeline(block_compiler, 2)
+        scheduler = BlockScheduler(
+            block_compiler, SerialExecutor(), grape_batch=True
+        )
+        _, report = pipeline.run_many(
+            [_two_distinct_blocks_circuit()], scheduler=scheduler
+        )
+        assert report.batched_groups == 0
+        assert len(calls) == 2
+
+    def test_perf_counters_record_batching(self):
+        registry = get_perf_registry()
+        before_groups = registry.counter("scheduler.batched_groups")
+        before_blocks = registry.counter("scheduler.batched_blocks")
+        self._run(grape_batch=True)
+        assert registry.counter("scheduler.batched_groups") == before_groups + 1
+        assert registry.counter("scheduler.batched_blocks") == before_blocks + 2

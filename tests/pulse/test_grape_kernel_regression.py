@@ -94,14 +94,20 @@ class TestKernelMatchesPreRewrite:
 class TestSharedPropagatorPath:
     def test_propagate_uses_expm_hermitian(self):
         """``propagate`` and the kernel share one propagator code path."""
+        from repro.linalg.scan import forward_partial_products
+
         cost, controls = _fixture(2, 2, 12)
         total = cost.propagate(controls)
         hams = cost._step_hamiltonians(controls)
         props = expm_hermitian(hams, cost.dt_ns)
+        # The blocked scan is the single propagation path everywhere:
+        # ``propagate`` must match it exactly, and the sequential product
+        # to float reassociation accuracy.
+        np.testing.assert_array_equal(total, forward_partial_products(props)[-1])
         expected = np.eye(props.shape[-1], dtype=complex)
         for k in range(props.shape[0]):
             expected = props[k] @ expected
-        np.testing.assert_array_equal(total, expected)
+        np.testing.assert_allclose(total, expected, atol=TOLERANCE)
         # And the product is unitary.
         np.testing.assert_allclose(
             total @ total.conj().T, np.eye(total.shape[0]), atol=1e-12

@@ -42,6 +42,8 @@ class TestEnvConsolidation:
             "REPRO_PREFETCH",
             "REPRO_PRESET",
             "REPRO_SCHEDULER_STATE",
+            "REPRO_GRAPE_BATCH",
+            "REPRO_GRAPE_BATCH_SIZE",
         ):
             assert name in source
 
@@ -58,6 +60,8 @@ class TestFromEnv:
             "REPRO_PREFETCH",
             "REPRO_PRESET",
             "REPRO_SCHEDULER_STATE",
+            "REPRO_GRAPE_BATCH",
+            "REPRO_GRAPE_BATCH_SIZE",
         ):
             monkeypatch.delenv(name, raising=False)
         config, sources = ServiceConfig.from_env_with_sources()
@@ -74,6 +78,8 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_PREFETCH", "yes")
         monkeypatch.setenv("REPRO_PRESET", "paper")
         monkeypatch.setenv("REPRO_SCHEDULER_STATE", "/tmp/state.json")
+        monkeypatch.setenv("REPRO_GRAPE_BATCH", "off")
+        monkeypatch.setenv("REPRO_GRAPE_BATCH_SIZE", "8")
         config, sources = ServiceConfig.from_env_with_sources()
         assert config.executor == "thread-persistent"
         assert config.max_workers == 3
@@ -84,6 +90,8 @@ class TestFromEnv:
         assert config.prefetch is True
         assert config.preset == "paper"
         assert config.scheduler_state_path == "/tmp/state.json"
+        assert config.grape_batch is False
+        assert config.grape_batch_size == 8
         assert set(sources.values()) == {"env"}
 
     def test_garbage_warns_and_falls_back(self, monkeypatch):
@@ -93,6 +101,8 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_CACHE_SHARDS", "7")
         monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "lots")
         monkeypatch.setenv("REPRO_PREFETCH", "maybe")
+        monkeypatch.setenv("REPRO_GRAPE_BATCH", "sometimes")
+        monkeypatch.setenv("REPRO_GRAPE_BATCH_SIZE", "0")
         with pytest.warns(UserWarning):
             config, sources = ServiceConfig.from_env_with_sources()
         assert config == ServiceConfig()
@@ -124,6 +134,10 @@ class TestValidation:
     def test_nonpositive_budget_rejected(self):
         with pytest.raises(ReproError):
             ServiceConfig(cache_budget_mb=0)
+
+    def test_bad_grape_batch_size_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(grape_batch_size=0)
 
     def test_choices_match_config_module(self):
         from repro import config as legacy
