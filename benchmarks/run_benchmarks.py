@@ -35,6 +35,12 @@ itself* are machine-checkable and accumulate over time:
   iteration, and N disjoint ``submit()`` requests running concurrently
   must never be slower than serial ``compile()`` (the 1-CPU-safe gate CI
   enforces), bit-identical results both ways.
+* ``warm_start`` — warm-started GRAPE: near-miss variants of a cached
+  block compiled cold vs neighbor-seeded (approximate-match retrieval
+  from the pulse cache) vs KAK-seeded (analytic fallback, empty cache).
+  The CI gate: neighbor seeding never costs iterations and never
+  lengthens the pulses; the committed full run must show the ≥30%
+  iteration-reduction headline.
 * ``time_search`` — the minimum-time binary search on a block whose
   initial feasibility bound (and its half) fail, so the doubling phase
   triggers: lazy sequential doublings vs ``probe_executor="auto"`` (which
@@ -944,6 +950,142 @@ def bench_time_search(quick: bool) -> dict:
     return {"entries": entries, "derived": derived}
 
 
+def bench_warm_start(quick: bool) -> dict:
+    """Warm-started GRAPE: cold vs neighbor-seeded vs KAK-seeded compiles.
+
+    One base two-qubit block is compiled and cached, then a set of
+    near-miss variants (small Rz perturbations, within the default
+    neighbor distance threshold) is compiled three ways:
+
+    * ``cold`` — warm start disabled; every variant pays the full search.
+    * ``neighbor`` — warm start enabled against the pre-populated cache;
+      every variant must seed from the base block's pulse.
+    * ``kak`` — warm start enabled against an *empty* cache, so every
+      variant falls back to the analytic KAK seed.
+
+    Iterations (ADAM steps summed over every probe) are the
+    hardware-independent latency measure.  The CI gate in both modes:
+    neighbor-seeded compiles are never slower than cold.  The full run
+    additionally enforces the headline ≥30% iteration reduction.  KAK
+    numbers are recorded but ungated — the analytic seed's payoff varies
+    with how far the random targets sit from the native interactions.
+    """
+    from repro.core.compiler import BlockPulseCompiler
+    from repro.pulse.grape.seeding import warm_start_telemetry
+
+    settings = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
+    hyper = GrapeHyperparameters(
+        learning_rate=0.05,
+        decay_rate=0.002,
+        max_iterations=100 if quick else 200,
+    )
+    base_angle = 0.3
+    deltas = [0.02, -0.03] if quick else [0.02, -0.03, 0.05, -0.05, 0.03, -0.04]
+    variants = [base_angle + d for d in deltas]
+
+    def block(angle: float) -> QuantumCircuit:
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        circuit.rz(angle, 1)
+        return circuit
+
+    def compile_variants(warm_start: bool, prepopulate: bool) -> dict:
+        compiler = BlockPulseCompiler(
+            GmonDevice(line_topology(2)),
+            settings,
+            hyper,
+            PulseCache(),
+            warm_start=warm_start,
+        )
+        if prepopulate:
+            compiler.compile_block(block(base_angle), (0, 1))
+        iterations = 0
+        duration_ns = 0.0
+        start = time.perf_counter()
+        for angle in variants:
+            outcome = compiler.compile_block(block(angle), (0, 1))
+            if outcome.fidelity < settings.target_fidelity:
+                raise AssertionError(
+                    f"variant rz({angle}) missed the fidelity target: "
+                    f"{outcome.fidelity:.4f}"
+                )
+            iterations += outcome.iterations
+            duration_ns += outcome.duration_ns
+        return {
+            "iterations": iterations,
+            "duration_ns": round(duration_ns, 3),
+            "wall_s": round(time.perf_counter() - start, 4),
+        }
+
+    perf = get_perf_registry()
+    modes = {}
+    entries = []
+    for name, warm, prepopulate in (
+        ("cold", False, True),
+        ("neighbor", True, True),
+        ("kak", True, False),
+    ):
+        seeds_before = perf.counter("grape.warm_start.neighbor_seeds")
+        modes[name] = compile_variants(warm, prepopulate)
+        # Per-mode count: the kak run legitimately neighbor-seeds its own
+        # later variants from its earlier ones, so a global delta would
+        # conflate the modes.
+        modes[name]["neighbor_seeds"] = (
+            perf.counter("grape.warm_start.neighbor_seeds") - seeds_before
+        )
+        entries.append({"name": name, "variants": len(variants), **modes[name]})
+        print(
+            f"  warm_start {name}: {modes[name]['iterations']} iterations, "
+            f"total pulse {modes[name]['duration_ns']} ns, "
+            f"{modes[name]['wall_s']:.3f} s"
+        )
+    neighbor_seeds_used = modes["neighbor"]["neighbor_seeds"]
+
+    cold_iters = modes["cold"]["iterations"]
+    derived = {
+        "iteration_reduction_neighbor": round(
+            1.0 - modes["neighbor"]["iterations"] / cold_iters, 4
+        ),
+        "iteration_reduction_kak": round(
+            1.0 - modes["kak"]["iterations"] / cold_iters, 4
+        ),
+        "cold_iterations": cold_iters,
+        "neighbor_iterations": modes["neighbor"]["iterations"],
+        "kak_iterations": modes["kak"]["iterations"],
+        "neighbor_seeds_used": neighbor_seeds_used,
+        "duration_ratio_neighbor": round(
+            modes["neighbor"]["duration_ns"] / modes["cold"]["duration_ns"], 4
+        ),
+        "telemetry": warm_start_telemetry(),
+    }
+    if neighbor_seeds_used < len(variants):
+        raise AssertionError(
+            f"only {neighbor_seeds_used} of {len(variants)} variants "
+            "neighbor-seeded — the bench cache pre-population is broken"
+        )
+    # CI gate (both modes): seeding must never cost iterations.
+    if modes["neighbor"]["iterations"] > cold_iters:
+        raise AssertionError(
+            f"neighbor-seeded compiles used more iterations than cold: "
+            f"{modes['neighbor']['iterations']} vs {cold_iters}"
+        )
+    # Seeded pulses must never be longer than cold ones in aggregate —
+    # fewer iterations would be a hollow win if pulse quality regressed.
+    if modes["neighbor"]["duration_ns"] > modes["cold"]["duration_ns"] + 1e-9:
+        raise AssertionError(
+            f"neighbor-seeded pulses are longer than cold: "
+            f"{modes['neighbor']['duration_ns']} ns vs "
+            f"{modes['cold']['duration_ns']} ns"
+        )
+    # The headline claim, enforced in the committed full run only (quick
+    # mode's tiny workload is too noisy to hold a ratio to).
+    if not quick and derived["iteration_reduction_neighbor"] < 0.30:
+        raise AssertionError(
+            "neighbor-seeded iteration reduction fell below the 30% "
+            f"headline: {derived['iteration_reduction_neighbor']:.1%}"
+        )
+    return {"entries": entries, "derived": derived}
+
+
 BENCHES = {
     "cache": bench_cache,
     "grape_batch": bench_grape_batch,
@@ -952,6 +1094,7 @@ BENCHES = {
     "service_concurrency": bench_service_concurrency,
     "session": bench_session,
     "time_search": bench_time_search,
+    "warm_start": bench_warm_start,
 }
 
 

@@ -329,6 +329,8 @@ def _cmd_config_show(args) -> int:
         ("preset", "preset"),
         ("scheduler_state_path", "scheduler_state"),
         ("grape_batch_size", "grape_batch_size"),
+        ("warm_start_max_dist", "warm_start_max_dist"),
+        ("scan_block", "scan_block"),
     ):
         value = getattr(args, arg_name, None)
         if value is not None:
@@ -340,6 +342,9 @@ def _cmd_config_show(args) -> int:
     if getattr(args, "grape_batch", None) is not None:
         overrides["grape_batch"] = args.grape_batch
         sources["grape_batch"] = "CLI"
+    if getattr(args, "warm_start", None) is not None:
+        overrides["warm_start"] = args.warm_start
+        sources["warm_start"] = "CLI"
     try:
         config = config.replace(**overrides) if overrides else config
     except ReproError as exc:
@@ -630,6 +635,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="grape_batch_size",
         help="grape_batch_size override (blocks per batched group)",
+    )
+    show.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        dest="warm_start",
+        help="--warm-start / --no-warm-start override (seed GRAPE from "
+        "the nearest cached pulse or the analytic KAK decomposition)",
+    )
+    show.add_argument(
+        "--warm-start-max-dist",
+        type=float,
+        default=None,
+        dest="warm_start_max_dist",
+        help="warm_start_max_dist override (neighbor acceptance "
+        "threshold, phase-invariant trace distance in (0, 1])",
+    )
+    show.add_argument(
+        "--scan-block",
+        type=int,
+        default=None,
+        dest="scan_block",
+        help="scan_block override (blocked propagator-scan chunk length; "
+        "unset keeps the auto sqrt heuristic)",
     )
     show.set_defaults(func=_cmd_config_show)
     return parser

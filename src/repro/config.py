@@ -187,6 +187,19 @@ class PipelineConfig:
         inline (``REPRO_GRAPE_BATCH``).  Bit-identical results either way.
     grape_batch_size:
         Cap on blocks per batched GRAPE group (``REPRO_GRAPE_BATCH_SIZE``).
+    warm_start:
+        Whether cache-missing blocks warm-start GRAPE from the nearest
+        cached pulse, or from the analytic KAK seed for seedless
+        two-qubit blocks (``REPRO_WARM_START``).  Guarded best-of against
+        the cold start, so disabling it only changes iteration counts.
+    warm_start_max_dist:
+        Neighbor-acceptance threshold for approximate-match retrieval
+        (``REPRO_WARM_START_MAX_DIST``), a phase-invariant trace distance
+        in ``(0, 1]``.
+    scan_block:
+        Fixed chunk length for the blocked propagator scan
+        (``REPRO_SCAN_BLOCK``); ``None`` keeps the ``≈√n_steps``
+        auto heuristic of :func:`repro.linalg.scan.scan_block_size`.
     """
 
     executor: str = "auto"
@@ -197,6 +210,9 @@ class PipelineConfig:
     prefetch: bool = False
     grape_batch: bool = True
     grape_batch_size: int = 16
+    warm_start: bool = True
+    warm_start_max_dist: float = 0.25
+    scan_block: int | None = None
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_CHOICES:
@@ -218,6 +234,15 @@ class PipelineConfig:
             raise ReproError(
                 f"grape_batch_size must be >= 1, got {self.grape_batch_size}"
             )
+        if not 0.0 < self.warm_start_max_dist <= 1.0:
+            raise ReproError(
+                "warm_start_max_dist must be in (0, 1], "
+                f"got {self.warm_start_max_dist}"
+            )
+        if self.scan_block is not None and self.scan_block < 1:
+            raise ReproError(
+                f"scan_block must be >= 1, got {self.scan_block}"
+            )
 
 
 def _pipeline_config_of(service_config: ServiceConfig) -> PipelineConfig:
@@ -231,6 +256,9 @@ def _pipeline_config_of(service_config: ServiceConfig) -> PipelineConfig:
         prefetch=service_config.prefetch,
         grape_batch=service_config.grape_batch,
         grape_batch_size=service_config.grape_batch_size,
+        warm_start=service_config.warm_start,
+        warm_start_max_dist=service_config.warm_start_max_dist,
+        scan_block=service_config.scan_block,
     )
 
 
@@ -266,6 +294,9 @@ def set_pipeline_config(
     prefetch=_UNSET,
     grape_batch=_UNSET,
     grape_batch_size=_UNSET,
+    warm_start=_UNSET,
+    warm_start_max_dist=_UNSET,
+    scan_block=_UNSET,
 ) -> PipelineConfig:
     """Update the active pipeline settings (unpassed fields keep their value)."""
     global _pipeline_config
@@ -285,5 +316,12 @@ def set_pipeline_config(
             if grape_batch_size is _UNSET
             else grape_batch_size
         ),
+        warm_start=current.warm_start if warm_start is _UNSET else warm_start,
+        warm_start_max_dist=(
+            current.warm_start_max_dist
+            if warm_start_max_dist is _UNSET
+            else warm_start_max_dist
+        ),
+        scan_block=current.scan_block if scan_block is _UNSET else scan_block,
     )
     return _pipeline_config

@@ -79,6 +79,21 @@ class CacheEntry:
     iterations: int
 
 
+@dataclass
+class NeighborMatch:
+    """An approximate-match cache entry (the warm-start seed source).
+
+    ``distance`` is the phase-invariant trace distance of
+    :func:`repro.library.neighbors.signature_distance`; ``source`` records
+    which tier found it (``"memory"`` or ``"library"``).
+    """
+
+    entry: CacheEntry
+    distance: float
+    name: str
+    source: str
+
+
 class PulseCache:
     """In-memory cache of minimum-time GRAPE results.
 
@@ -93,6 +108,11 @@ class PulseCache:
 
     def __init__(self):
         self._entries: dict = {}
+        self._targets: dict = {}  # key -> target unitary (warm-start index)
+        # While frozen, neighbor search sees only the keys present at
+        # freeze time (see freeze_neighbors); depth-counted for nesting.
+        self._frozen_depth = 0
+        self._frozen_keys: set | None = None
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -138,15 +158,100 @@ class PulseCache:
             self.lookup_time_s += time.perf_counter() - start
         return entry
 
-    def put(self, key: tuple, entry: CacheEntry) -> None:
-        """Store ``entry`` under ``key`` (overwrites)."""
+    def put(
+        self, key: tuple, entry: CacheEntry, target: np.ndarray | None = None
+    ) -> None:
+        """Store ``entry`` under ``key`` (overwrites).
+
+        ``target`` — the block's target unitary — feeds the approximate-match
+        warm-start index; hashing throws it away, so callers that hold it
+        pass it along here.  ``None`` keeps the entry exact-match only.
+        """
         start = time.perf_counter()
         with self._lock:
             self._entries[key] = entry
+            if target is not None:
+                self._targets[key] = np.asarray(target, dtype=complex)
         # Durable writes are atomic (temp + replace), so they need no lock.
-        self._persist(key, entry)
+        self._persist(key, entry, target)
         with self._lock:
             self.store_time_s += time.perf_counter() - start
+
+    def annotate_target(self, key: tuple, target: np.ndarray) -> None:
+        """Record the target unitary behind an already-cached ``key``.
+
+        Called at cache-hit time: the caller holds the target the hash
+        threw away, so the warm-start index learns it for free.  Subclasses
+        extend this to heal their durable index too.
+        """
+        with self._lock:
+            if key in self._entries and key not in self._targets:
+                self._targets[key] = np.asarray(target, dtype=complex)
+
+    def freeze_neighbors(self) -> None:
+        """Pin neighbor search to the current cache contents.
+
+        Dispatchers call this around a pass that compiles many blocks
+        concurrently: sibling results land in the cache as they finish, at
+        executor-dependent times, so without the pin a serial executor
+        would warm-start later blocks from earlier siblings while a
+        parallel one would not — and compiled pulses would depend on the
+        executor.  Frozen, every block of the pass sees exactly the
+        pre-pass candidates.  Nests (depth-counted); thaw with
+        :meth:`thaw_neighbors` in a ``finally``.
+        """
+        with self._lock:
+            self._frozen_depth += 1
+            if self._frozen_keys is None:
+                self._frozen_keys = set(self._targets)
+
+    def thaw_neighbors(self) -> None:
+        """Undo one :meth:`freeze_neighbors` (outermost thaw unpins)."""
+        with self._lock:
+            self._frozen_depth = max(0, self._frozen_depth - 1)
+            if self._frozen_depth == 0:
+                self._frozen_keys = None
+
+    def find_neighbor(
+        self, key: tuple, target: np.ndarray, max_dist: float
+    ) -> NeighborMatch | None:
+        """The nearest cached entry for ``target`` within ``max_dist``.
+
+        Only entries whose physical context matches ``key``'s (and whose
+        target unitary is known — see :meth:`put`'s ``target`` argument and
+        :meth:`annotate_target`) are candidates; the exact ``key`` itself
+        never matches.  Returns ``None`` when nothing is close enough.
+        """
+        from repro.library.neighbors import signature_distance
+
+        target = np.asarray(target, dtype=complex)
+        context = key[1]
+        with self._lock:
+            frozen = self._frozen_keys
+            candidates = [
+                (other, cached_target)
+                for other, cached_target in self._targets.items()
+                if other != key
+                and other[1] == context
+                and cached_target.shape == target.shape
+                and (frozen is None or other in frozen)
+            ]
+        best: NeighborMatch | None = None
+        for other, cached_target in candidates:
+            dist = signature_distance(target, cached_target)
+            if dist > max_dist:
+                continue
+            if best is None or dist < best.distance:
+                with self._lock:
+                    entry = self._entries.get(other)
+                if entry is not None:
+                    best = NeighborMatch(
+                        entry=entry,
+                        distance=dist,
+                        name=_key_filename(other),
+                        source="memory",
+                    )
+        return best
 
     def _load_fallback(self, key: tuple) -> CacheEntry | None:
         """Second-chance lookup for subclasses with a slower tier.
@@ -156,7 +261,9 @@ class PulseCache:
         """
         return None
 
-    def _persist(self, key: tuple, entry: CacheEntry) -> None:
+    def _persist(
+        self, key: tuple, entry: CacheEntry, target: np.ndarray | None = None
+    ) -> None:
         """Durable store hook for subclasses (runs outside the cache lock)."""
 
     def __len__(self) -> int:
@@ -232,11 +339,12 @@ class PersistentPulseCache(PulseCache):
         prefetch: bool | None = None,
     ):
         super().__init__()
-        from repro.library import PulseLibrary
+        from repro.library import NeighborIndex, PulseLibrary
 
         self.library = PulseLibrary(
             directory, shards=shards, budget_mb=budget_mb, prefetch=prefetch
         )
+        self.neighbors = NeighborIndex(self.library)
         self.directory = self.library.directory
         self.disk_hits = 0
         self.disk_errors = 0
@@ -245,15 +353,9 @@ class PersistentPulseCache(PulseCache):
     def _path(self, key: tuple) -> Path:
         return self.library.path_for(_key_filename(key))
 
-    def _load_fallback(self, key: tuple) -> CacheEntry | None:
-        try:
-            blob = self.library.get(_key_filename(key))
-        except OSError:
-            with self._lock:
-                self.disk_errors += 1
-            return None
-        if blob is None:
-            return None
+    def _decode_entry(self, blob: bytes) -> CacheEntry | None:
+        """Unpickle and schema-check one library payload (counted miss on
+        damage or format drift)."""
         try:
             payload = pickle.loads(blob)
         except Exception:
@@ -277,9 +379,63 @@ class PersistentPulseCache(PulseCache):
             with self._lock:
                 self.schema_mismatches += 1
             return None
-        with self._lock:
-            self.disk_hits += 1
         return entry
+
+    def load_by_name(self, name: str) -> CacheEntry | None:
+        """Read one library entry by filename (the neighbor-search path)."""
+        try:
+            blob = self.library.get(name)
+        except OSError:
+            with self._lock:
+                self.disk_errors += 1
+            return None
+        if blob is None:
+            return None
+        return self._decode_entry(blob)
+
+    def _load_fallback(self, key: tuple) -> CacheEntry | None:
+        entry = self.load_by_name(_key_filename(key))
+        if entry is not None:
+            with self._lock:
+                self.disk_hits += 1
+        return entry
+
+    def annotate_target(self, key: tuple, target: np.ndarray) -> None:
+        """Heal the durable neighbor index alongside the in-memory one."""
+        super().annotate_target(key, target)
+        self.neighbors.annotate(_key_filename(key), target, key[1])
+
+    def freeze_neighbors(self) -> None:
+        super().freeze_neighbors()
+        self.neighbors.freeze()
+
+    def thaw_neighbors(self) -> None:
+        super().thaw_neighbors()
+        self.neighbors.thaw()
+
+    def find_neighbor(
+        self, key: tuple, target: np.ndarray, max_dist: float
+    ) -> NeighborMatch | None:
+        """Nearest match across both tiers (memory scan + library index)."""
+        best = super().find_neighbor(key, target, max_dist)
+        hit = self.neighbors.find_nearest(
+            np.asarray(target, dtype=complex),
+            key[1],
+            max_dist,
+            exclude=_key_filename(key),
+        )
+        if hit is not None and (best is None or hit.distance < best.distance):
+            if best is not None and hit.name == best.name:
+                return best  # same entry, already in memory
+            entry = self.load_by_name(hit.name)
+            if entry is not None:
+                return NeighborMatch(
+                    entry=entry,
+                    distance=hit.distance,
+                    name=hit.name,
+                    source="library",
+                )
+        return best
 
     def __getstate__(self) -> dict:
         # The disk tier is the durable source of truth, so the memory tier
@@ -288,15 +444,22 @@ class PersistentPulseCache(PulseCache):
         # O(tasks × cache size) serialization per parallel map.
         state = super().__getstate__()
         state["_entries"] = {}
+        state["_targets"] = {}
         return state
 
-    def _persist(self, key: tuple, entry: CacheEntry) -> None:
+    def _persist(
+        self, key: tuple, entry: CacheEntry, target: np.ndarray | None = None
+    ) -> None:
+        from repro.library.neighbors import target_metadata
+
         payload = {"schema_version": CACHE_SCHEMA_VERSION, "entry": entry}
+        meta = None if target is None else target_metadata(target, key[1])
         try:
             self.library.put(
                 _key_filename(key),
                 pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
                 schema_version=CACHE_SCHEMA_VERSION,
+                meta=meta,
             )
         except OSError:
             with self._lock:
@@ -331,6 +494,7 @@ class PersistentPulseCache(PulseCache):
                 "schema_mismatches": self.schema_mismatches,
                 "persisted_entries": library_stats["entries"],
                 "library": library_stats,
+                "neighbors": self.neighbors.stats(),
             }
         )
         return data

@@ -6,11 +6,21 @@ and — crucially — falls back to concatenated lookup pulses whenever GRAPE
 cannot beat the block's gate-based duration.  This fallback is what makes
 full GRAPE and strict partial compilation *strictly better* than gate-based
 compilation (paper sections 5.2 and 6).
+
+Cache-missing blocks are *warm-started* rather than compiled cold: the
+cache's approximate-match index (:meth:`repro.core.cache.PulseCache
+.find_neighbor`) supplies the nearest cached pulse as a GRAPE seed, and
+two-qubit blocks without a neighbor get an analytic seed from the KAK
+decomposition (:mod:`repro.pulse.grape.seeding`).  A best-of guard keeps
+seeding strictly safe: a seeded search that fails to converge falls back to
+the cold search and keeps whichever pulse is better, so a bad seed can
+never yield a worse pulse than a cold start — only spend extra iterations,
+which the ``grape.warm_start.*`` counters make visible.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -18,6 +28,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import critical_path_ns
 from repro.core.cache import CacheEntry, PulseCache, default_pulse_cache
 from repro.errors import CompilationError
+from repro.perf import get_perf_registry
 from repro.pipeline.executors import resolve_executor
 from repro.pipeline.stages import lookup_program
 from repro.pulse.device import GmonDevice
@@ -50,11 +61,17 @@ class BlockPulseCompiler:
         settings: GrapeSettings | None = None,
         hyperparameters: GrapeHyperparameters | None = None,
         cache: PulseCache | None = None,
+        warm_start: bool | None = None,
+        warm_start_max_dist: float | None = None,
     ):
         self.device = device
         self.settings = settings or GrapeSettings()
         self.hyperparameters = hyperparameters or GrapeHyperparameters()
         self.cache = cache if cache is not None else default_pulse_cache()
+        # ``None`` defers to the active pipeline configuration at search
+        # time (the service passes its own config values explicitly).
+        self.warm_start = warm_start
+        self.warm_start_max_dist = warm_start_max_dist
 
     def gate_based_schedules(self, circuit: QuantumCircuit) -> list:
         """Per-gate lookup pulses for ``circuit`` (the gate-based model)."""
@@ -133,7 +150,7 @@ class BlockPulseCompiler:
         )
 
     def _fresh_outcome(
-        self, device_qubits: tuple, gate_ns: float, key, result
+        self, device_qubits: tuple, gate_ns: float, key, result, target=None
     ) -> BlockCompileOutcome:
         """Cache + judge one fresh minimum-time search result."""
         self.cache.put(
@@ -145,6 +162,7 @@ class BlockPulseCompiler:
                 converged=result.converged,
                 iterations=result.total_iterations,
             ),
+            target=target,
         )
         if result.converged and result.duration_ns <= gate_ns + 1e-9:
             schedule = PulseSchedule(
@@ -173,6 +191,120 @@ class BlockPulseCompiler:
             cache_hit=False,
             used_grape=False,
             fidelity=result.fidelity,
+        )
+
+    # -- warm-started minimum-time search ---------------------------------
+    def _find_seed(
+        self, key, target: np.ndarray, control_set, gate_ns: float
+    ) -> PulseSchedule | None:
+        """A warm-start seed for one cache-missing block, or ``None``.
+
+        Preference order per the warm-start design: the nearest cached
+        pulse within the configured distance threshold, then (two-qubit
+        blocks only) the analytic KAK seed, then nothing — the caller runs
+        a cold search.  Every branch is counted under ``grape.warm_start``.
+        """
+        from repro.config import get_pipeline_config
+
+        config = get_pipeline_config()
+        enabled = (
+            config.warm_start if self.warm_start is None else self.warm_start
+        )
+        if not enabled:
+            return None
+        max_dist = (
+            config.warm_start_max_dist
+            if self.warm_start_max_dist is None
+            else self.warm_start_max_dist
+        )
+        perf = get_perf_registry()
+        perf.count("grape.warm_start.lookups")
+        match = self.cache.find_neighbor(key, target, max_dist)
+        if match is not None:
+            perf.count("grape.warm_start.neighbor_seeds")
+            donor = match.entry.schedule
+            return PulseSchedule(
+                qubits=control_set.qubits,
+                dt_ns=donor.dt_ns,
+                controls=donor.controls,
+                channel_names=tuple(ch.name for ch in control_set.channels),
+                source="neighbor-seed",
+            )
+        dt = self.settings.resolved_dt()
+        steps = max(1, int(round(max(gate_ns, dt) / dt)))
+        from repro.pulse.grape.seeding import kak_seed_schedule
+
+        seed = kak_seed_schedule(control_set, target, steps, dt)
+        if seed is not None:
+            perf.count("grape.warm_start.kak_seeds")
+            return seed
+        perf.count("grape.warm_start.no_seed")
+        return None
+
+    def _seeded_search(
+        self, control_set, target, gate_ns, hyper, seed: PulseSchedule
+    ):
+        """Minimum-time search from ``seed``, guarded best-of against cold.
+
+        A converged seeded search is accepted outright — it met the same
+        fidelity threshold a cold search would have.  Otherwise the cold
+        search runs too and whichever result is better wins (convergence
+        first, then final fidelity), with the loser's iterations merged
+        into the returned result so latency accounting stays honest.
+        """
+        perf = get_perf_registry()
+        dt = self.settings.resolved_dt()
+        upper = max(gate_ns, dt)
+        seeded = minimum_time_pulse(
+            control_set,
+            target,
+            upper_bound_ns=upper,
+            hyperparameters=hyper,
+            settings=self.settings,
+            warm_start=seed,
+        )
+        perf.count(
+            "grape.warm_start.seeded_iterations", seeded.total_iterations
+        )
+        if seeded.converged:
+            perf.count("grape.warm_start.accepted")
+            return seeded
+        cold = minimum_time_pulse(
+            control_set,
+            target,
+            upper_bound_ns=upper,
+            hyperparameters=hyper,
+            settings=self.settings,
+        )
+        perf.count(
+            "grape.warm_start.cold_rerun_iterations", cold.total_iterations
+        )
+        if cold.converged or cold.fidelity >= seeded.fidelity:
+            perf.count("grape.warm_start.rejected")
+            winner, loser = cold, seeded
+        else:
+            perf.count("grape.warm_start.accepted")
+            winner, loser = seeded, cold
+        return replace(
+            winner,
+            total_iterations=winner.total_iterations + loser.total_iterations,
+            grape_calls=winner.grape_calls + loser.grape_calls,
+            wall_time_s=winner.wall_time_s + loser.wall_time_s,
+            probes=[*seeded.probes, *cold.probes],
+        )
+
+    def _search(self, control_set, target, gate_ns, hyper, key):
+        """One block's minimum-time search, warm-started when a seed exists."""
+        seed = self._find_seed(key, target, control_set, gate_ns)
+        if seed is not None:
+            return self._seeded_search(control_set, target, gate_ns, hyper, seed)
+        dt = self.settings.resolved_dt()
+        return minimum_time_pulse(
+            control_set,
+            target,
+            upper_bound_ns=max(gate_ns, dt),
+            hyperparameters=hyper,
+            settings=self.settings,
         )
 
     def compile_block(
@@ -206,17 +338,14 @@ class BlockPulseCompiler:
         key = self.cache.key(target, control_set, dt, fid_target)
         cached = self.cache.get(key)
         if cached is not None:
+            # Heal the warm-start index: the hit proves this target is in
+            # the cache, and only the caller still holds the unitary.
+            self.cache.annotate_target(key, target)
             return self._cache_hit_outcome(device_qubits, gate_ns, cached)
 
         hyper = hyperparameters or self.hyperparameters
-        result = minimum_time_pulse(
-            control_set,
-            target,
-            upper_bound_ns=max(gate_ns, dt),
-            hyperparameters=hyper,
-            settings=self.settings,
-        )
-        return self._fresh_outcome(device_qubits, gate_ns, key, result)
+        result = self._search(control_set, target, gate_ns, hyper, key)
+        return self._fresh_outcome(device_qubits, gate_ns, key, result, target)
 
     def compile_blocks_batched(
         self,
@@ -234,13 +363,15 @@ class BlockPulseCompiler:
         run through the cross-block batched kernel
         (:func:`repro.pulse.grape.batched.minimum_time_pulse_batch`), which
         is bit-identical to the serial searches.  Singleton groups take the
-        per-block kernel directly.
+        per-block kernel directly, and blocks with a warm-start seed
+        (cached neighbor or analytic KAK — see :meth:`_find_seed`) run the
+        per-block guarded search instead of batching: seeds are per-target,
+        and a good seed saves more iterations than batching saves per
+        iteration.
 
         Returns ``(outcomes, stats)`` with outcomes in input order and
         ``stats = {"batched_groups": ..., "batched_blocks": ...}``.
         """
-        from repro.pulse.grape.batched import minimum_time_pulse_batch
-
         dt = self.settings.resolved_dt()
         fid_target = self.settings.resolved_target()
         hyper = hyperparameters or self.hyperparameters
@@ -261,6 +392,7 @@ class BlockPulseCompiler:
             key = self.cache.key(target, control_set, dt, fid_target)
             cached = self.cache.get(key)
             if cached is not None:
+                self.cache.annotate_target(key, target)
                 outcomes[i] = self._cache_hit_outcome(
                     device_qubits, gate_ns, cached
                 )
@@ -275,9 +407,56 @@ class BlockPulseCompiler:
             ).append(entry)
 
         stats = {"batched_groups": 0, "batched_blocks": 0}
+        # Seeds come only from the pre-call cache state, never from pulses
+        # this very call just wrote, so a batched compile produces the same
+        # pulses as the equivalent per-block calls under a parallel
+        # executor (see PulseCache.freeze_neighbors; nesting inside the
+        # scheduler's own freeze is safe — the snapshot is depth-counted).
+        self.cache.freeze_neighbors()
+        try:
+            self._compile_cold_groups(
+                by_shape, blocks, outcomes, hyper, stats, max_group
+            )
+        finally:
+            self.cache.thaw_neighbors()
+        return outcomes, stats
+
+    def _compile_cold_groups(
+        self,
+        by_shape: dict,
+        blocks: list,
+        outcomes: list,
+        hyper,
+        stats: dict,
+        max_group: int | None,
+    ) -> None:
+        """Dispatch the cache-missing shape groups of a batched compile."""
+        from repro.pulse.grape.batched import minimum_time_pulse_batch
+
+        dt = self.settings.resolved_dt()
         for members in by_shape.values():
-            if len(members) == 1:
-                i, control_set, target, gate_ns, key = members[0]
+            # Warm starts are per-block (each seed is specific to one
+            # target), so seeded members run the individual guarded search
+            # and only the seedless remainder goes through the batched
+            # kernel.  The trade is deliberate: a good seed saves far more
+            # iterations than cross-block batching saves per iteration.
+            pending = []
+            for entry in members:
+                i, control_set, target, gate_ns, key = entry
+                seed = self._find_seed(key, target, control_set, gate_ns)
+                if seed is None:
+                    pending.append(entry)
+                    continue
+                result = self._seeded_search(
+                    control_set, target, gate_ns, hyper, seed
+                )
+                outcomes[i] = self._fresh_outcome(
+                    blocks[i][1], gate_ns, key, result, target
+                )
+            if not pending:
+                continue
+            if len(pending) == 1:
+                i, control_set, target, gate_ns, key = pending[0]
                 result = minimum_time_pulse(
                     control_set,
                     target,
@@ -286,24 +465,23 @@ class BlockPulseCompiler:
                     settings=self.settings,
                 )
                 outcomes[i] = self._fresh_outcome(
-                    blocks[i][1], gate_ns, key, result
+                    blocks[i][1], gate_ns, key, result, target
                 )
                 continue
             stats["batched_groups"] += 1
-            stats["batched_blocks"] += len(members)
+            stats["batched_blocks"] += len(pending)
             results = minimum_time_pulse_batch(
-                [entry[1] for entry in members],
-                [entry[2] for entry in members],
-                [max(entry[3], dt) for entry in members],
+                [entry[1] for entry in pending],
+                [entry[2] for entry in pending],
+                [max(entry[3], dt) for entry in pending],
                 hyperparameters=hyper,
                 settings=self.settings,
                 max_group=max_group,
             )
-            for (i, _, _, gate_ns, key), result in zip(members, results):
+            for (i, _, target, gate_ns, key), result in zip(pending, results):
                 outcomes[i] = self._fresh_outcome(
-                    blocks[i][1], gate_ns, key, result
+                    blocks[i][1], gate_ns, key, result, target
                 )
-        return outcomes, stats
 
     def compile_circuit_blocks(
         self, circuit: QuantumCircuit, max_width: int | None = None, executor=None
@@ -328,6 +506,7 @@ class BlockPulseCompiler:
                 PulseStage(
                     partial(compile_fixed_block, self),
                     executor=resolve_executor(executor),
+                    block_compiler=self,
                 ),
             ],
             name="blocks",

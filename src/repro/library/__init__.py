@@ -10,6 +10,10 @@ surface.  This package provides that store as a first-class subsystem:
   one-time migration of legacy flat cache directories.
 * :mod:`repro.library.manifest` — the per-shard index format and its
   reconcile-from-disk rebuild.
+* :mod:`repro.library.neighbors` — approximate-match retrieval: per-entry
+  target metadata in the manifests plus a ``(dim, context)``-bucketed
+  nearest-unitary search, so near-miss blocks can seed GRAPE from the
+  closest cached pulse instead of starting cold.
 * :mod:`repro.library.locking` — advisory cross-process file locks so
   several processes (or hosts on a network filesystem) can share one
   library safely.
@@ -25,6 +29,12 @@ from repro.library.manifest import (
     load_manifest,
     save_manifest,
 )
+from repro.library.neighbors import (
+    NeighborHit,
+    NeighborIndex,
+    signature_distance,
+    target_metadata,
+)
 from repro.library.store import (
     LIBRARY_LAYOUT_VERSION,
     VALID_SHARD_COUNTS,
@@ -37,9 +47,13 @@ __all__ = [
     "GCReport",
     "LIBRARY_LAYOUT_VERSION",
     "MANIFEST_VERSION",
+    "NeighborHit",
+    "NeighborIndex",
     "PulseLibrary",
     "VALID_SHARD_COUNTS",
     "empty_manifest",
     "load_manifest",
     "save_manifest",
+    "signature_distance",
+    "target_metadata",
 ]

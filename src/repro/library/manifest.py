@@ -12,10 +12,17 @@ Each shard directory carries one ``manifest.json`` describing its entries:
           "size": 18432,
           "created": 1721800000.12,
           "last_used": 1721800411.02,
-          "schema_version": 2
+          "schema_version": 2,
+          "target": {"dim": 4, "ctx": "9f…", "sig": "<base64 float32>"}
         }
       }
     }
+
+The optional ``"target"`` key is the approximate-match metadata of
+:mod:`repro.library.neighbors` (target dimension, physical-context token,
+compact unitary signature), written at ``put`` time and healed lazily for
+legacy entries.  Reconciliation updates records *in place*, so extra keys
+like it survive every ``gc``.
 
 The manifest is an *index*, not the source of truth — the data files are.
 Readers that find a file with no manifest entry still serve it, and

@@ -307,12 +307,21 @@ class PulseLibrary:
                 self.migrated_entries += moved
 
     # -- entry operations ------------------------------------------------------
-    def put(self, name: str, payload: bytes, schema_version: int | None = None) -> None:
+    def put(
+        self,
+        name: str,
+        payload: bytes,
+        schema_version: int | None = None,
+        meta: dict | None = None,
+    ) -> None:
         """Store ``payload`` under ``name`` (overwrites) and index it.
 
         The data write is atomic and lock-free; only the manifest update
         takes the shard lock.  Index failures are counted, not raised —
-        the entry itself is durable either way.
+        the entry itself is durable either way.  ``meta`` is stored under
+        the record's ``"target"`` key (the approximate-match metadata of
+        :mod:`repro.library.neighbors`); an overwrite without ``meta``
+        keeps whatever metadata the previous record carried.
         """
         shard = self.shard_dir(name)
         shard.mkdir(exist_ok=True)
@@ -350,15 +359,19 @@ class PulseLibrary:
                 # A damaged record (non-dict junk, missing/null stamp from a
                 # hand-edited or legacy manifest) must not crash the write.
                 created = now
+                target_meta = meta
                 if isinstance(previous, dict):
                     stamp = previous.get("created")
                     if isinstance(stamp, (int, float)) and not isinstance(
                         stamp, bool
                     ):
                         created = stamp
-                manifest["entries"][name] = entry_record(
-                    len(payload), created, now, schema_version
-                )
+                    if target_meta is None:
+                        target_meta = previous.get("target")
+                record = entry_record(len(payload), created, now, schema_version)
+                if isinstance(target_meta, dict):
+                    record["target"] = target_meta
+                manifest["entries"][name] = record
                 save_manifest(shard, manifest)
         except OSError:
             self.index_errors += 1

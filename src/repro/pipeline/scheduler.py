@@ -73,6 +73,8 @@ class SchedulerReport:
     dispatched_tasks: int = 0
     batched_groups: int = 0  # same-shape groups sent to the batched kernel
     batched_blocks: int = 0  # unique blocks those groups covered
+    warm_started_blocks: int = 0  # dispatched blocks that got a GRAPE seed
+    warm_accepted_blocks: int = 0  # seeds whose result won the best-of guard
     group_sizes: dict = field(default_factory=dict)  # key-size histogram
 
     def as_dict(self) -> dict:
@@ -87,6 +89,8 @@ class SchedulerReport:
             "dispatched_tasks": self.dispatched_tasks,
             "batched_groups": self.batched_groups,
             "batched_blocks": self.batched_blocks,
+            "warm_started_blocks": self.warm_started_blocks,
+            "warm_accepted_blocks": self.warm_accepted_blocks,
             "dedup_ratio": round(
                 (self.deduped_blocks + self.reused_blocks) / self.total_blocks, 4
             )
@@ -649,66 +653,89 @@ class BlockScheduler:
                 dispatch_tasks.append(payload[2])
         report.dispatched_tasks = len(dispatch_tasks)
         report.unique_blocks = len(groups)
+        # Warm-start accounting is delta-based: the compiler counts seeds
+        # globally (both dispatch paths), so the dispatch window's counter
+        # movement is this pass's share.  Concurrent passes can bleed into
+        # each other's deltas — acceptable for telemetry.
+        perf = get_perf_registry()
+        seeds_before = perf.counter(
+            "grape.warm_start.neighbor_seeds"
+        ) + perf.counter("grape.warm_start.kak_seeds")
+        accepted_before = perf.counter("grape.warm_start.accepted")
+        # Pin warm-start candidates to the pre-pass cache state for the
+        # whole dispatch window so results cannot depend on executor
+        # scheduling order (see PulseCache.freeze_neighbors).
+        cache = getattr(self.block_compiler, "cache", None)
+        if cache is not None:
+            cache.freeze_neighbors()
         try:
-            results, batch_stats = self._dispatch_all(order, dispatch_tasks)
-            report.batched_groups = batch_stats["batched_groups"]
-            report.batched_blocks = batch_stats["batched_blocks"]
+            try:
+                results, batch_stats = self._dispatch_all(order, dispatch_tasks)
+                report.batched_groups = batch_stats["batched_groups"]
+                report.batched_blocks = batch_stats["batched_blocks"]
 
-            for (kind, payload), result in zip(order, results):
-                if kind == "task":
-                    ci, ti, _task = payload
-                    slots[(ci, ti)] = result
+                for (kind, payload), result in zip(order, results):
+                    if kind == "task":
+                        ci, ti, _task = payload
+                        slots[(ci, ti)] = result
+                        continue
+                    members = groups[payload]
+                    rep_ci, rep_ti, _rep_task = members[0]
+                    slots[(rep_ci, rep_ti)] = result
+                    # The representative's cache entry (when its write is
+                    # visible to this process) lets fan-out judge duplicates
+                    # exactly as a per-circuit cache hit would; see
+                    # _retarget_outcome.  A stateful scheduler fetches it even
+                    # for singleton groups so future cross-call reuse gets the
+                    # same exact judgment.
+                    cache_entry = (
+                        self.block_compiler.cache.get(payload)
+                        if len(members) > 1 or self.state is not None
+                        else None
+                    )
+                    for ci, ti, task in members[1:]:
+                        report.deduped_blocks += 1
+                        slots[(ci, ti)] = _retarget_outcome(
+                            result, task, cache_entry
+                        )
+                    if self.state is not None:
+                        # Recorded only on this (post-``map``) success path: a
+                        # representative whose dispatch raised never reaches
+                        # here, so no later call can fan out a pulse that does
+                        # not exist.
+                        self.state.record(payload, _SeenBlock(result, cache_entry))
+                        owned.discard(payload)
+            finally:
+                if self.state is not None and owned:
+                    # A dispatch raised before every owned key was recorded:
+                    # release the leftover claims so concurrent waiters (and
+                    # future passes) compile those keys themselves instead of
+                    # blocking on a result that will never arrive.
+                    for key in owned:
+                        self.state.release(key)
+
+            # Blocks owned by concurrent passes: our own dispatch is done, so
+            # waiting here can never deadlock — every pass resolves its owned
+            # keys without waiting on anyone else's.
+            for ci, ti, task, key in waits:
+                seen = self.state.wait_for(key)
+                if seen is not None:
+                    report.reused_blocks += 1
+                    slots[(ci, ti)] = _retarget_outcome(
+                        seen.outcome, task, seen.cache_entry
+                    )
                     continue
-                members = groups[payload]
-                rep_ci, rep_ti, _rep_task = members[0]
-                slots[(rep_ci, rep_ti)] = result
-                # The representative's cache entry (when its write is visible
-                # to this process) lets fan-out judge duplicates exactly as a
-                # per-circuit cache hit would; see _retarget_outcome.  A
-                # stateful scheduler fetches it even for singleton groups so
-                # future cross-call reuse gets the same exact judgment.
-                cache_entry = (
-                    self.block_compiler.cache.get(payload)
-                    if len(members) > 1 or self.state is not None
-                    else None
-                )
-                for ci, ti, task in members[1:]:
-                    report.deduped_blocks += 1
-                    slots[(ci, ti)] = _retarget_outcome(result, task, cache_entry)
-                if self.state is not None:
-                    # Recorded only on this (post-``map``) success path: a
-                    # representative whose dispatch raised never reaches here,
-                    # so no later call can fan out a pulse that does not exist.
-                    self.state.record(payload, _SeenBlock(result, cache_entry))
-                    owned.discard(payload)
+                # The owner released without recording (its dispatch raised,
+                # or the entry was evicted already): compile it ourselves.
+                outcome = self._dispatch(task)
+                cache_entry = self.block_compiler.cache.get(key)
+                self.state.record(key, _SeenBlock(outcome, cache_entry))
+                report.unique_blocks += 1
+                report.dispatched_tasks += 1
+                slots[(ci, ti)] = outcome
         finally:
-            if self.state is not None and owned:
-                # A dispatch raised before every owned key was recorded:
-                # release the leftover claims so concurrent waiters (and
-                # future passes) compile those keys themselves instead of
-                # blocking on a result that will never arrive.
-                for key in owned:
-                    self.state.release(key)
-
-        # Blocks owned by concurrent passes: our own dispatch is done, so
-        # waiting here can never deadlock — every pass resolves its owned
-        # keys without waiting on anyone else's.
-        for ci, ti, task, key in waits:
-            seen = self.state.wait_for(key)
-            if seen is not None:
-                report.reused_blocks += 1
-                slots[(ci, ti)] = _retarget_outcome(
-                    seen.outcome, task, seen.cache_entry
-                )
-                continue
-            # The owner released without recording (its dispatch raised,
-            # or the entry was evicted already): compile it ourselves.
-            outcome = self._dispatch(task)
-            cache_entry = self.block_compiler.cache.get(key)
-            self.state.record(key, _SeenBlock(outcome, cache_entry))
-            report.unique_blocks += 1
-            report.dispatched_tasks += 1
-            slots[(ci, ti)] = outcome
+            if cache is not None:
+                cache.thaw_neighbors()
 
         for ci, context in enumerate(contexts):
             context.block_results = [
@@ -718,7 +745,14 @@ class BlockScheduler:
 
         if self.state is not None:
             self.state.count_batch()
-        perf = get_perf_registry()
+        report.warm_started_blocks = (
+            perf.counter("grape.warm_start.neighbor_seeds")
+            + perf.counter("grape.warm_start.kak_seeds")
+            - seeds_before
+        )
+        report.warm_accepted_blocks = (
+            perf.counter("grape.warm_start.accepted") - accepted_before
+        )
         perf.count("scheduler.batches")
         perf.count("scheduler.unique_blocks", report.unique_blocks)
         perf.count("scheduler.deduped_blocks", report.deduped_blocks)
@@ -727,4 +761,8 @@ class BlockScheduler:
         if report.batched_blocks:
             perf.count("scheduler.batched_groups", report.batched_groups)
             perf.count("scheduler.batched_blocks", report.batched_blocks)
+        if report.warm_started_blocks:
+            perf.count(
+                "scheduler.warm_started_blocks", report.warm_started_blocks
+            )
         return report

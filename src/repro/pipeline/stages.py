@@ -285,7 +285,19 @@ class PulseStage(Stage):
     def run(self, context: PipelineContext) -> None:
         if context.tasks is None:
             raise PipelineError("a blocking stage must run before the pulse stage")
-        context.block_results = self.executor.map(self._dispatch, context.tasks)
+        cache = getattr(self.block_compiler, "cache", None)
+        # Pin warm-start candidates to the pre-pass cache state so the
+        # compiled pulses do not depend on which executor ran the map
+        # (see PulseCache.freeze_neighbors).
+        if cache is not None:
+            cache.freeze_neighbors()
+        try:
+            context.block_results = self.executor.map(
+                self._dispatch, context.tasks
+            )
+        finally:
+            if cache is not None:
+                cache.thaw_neighbors()
         context.executor_info = self.executor.describe()
 
 

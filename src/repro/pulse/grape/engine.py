@@ -121,7 +121,9 @@ def optimize_pulse(
         Time step, fidelity target, regularization, seed.
     initial:
         Warm-start control array ``(n_controls, num_steps)``; random smooth
-        fields when omitted.
+        fields when omitted.  Non-finite values or amplitudes beyond the
+        device bounds raise :class:`ValueError` — a wrongly-scaled seed
+        silently clipped into garbage is worse than a loud failure.
     """
     if num_steps < 1:
         raise GrapeError("num_steps must be >= 1")
@@ -144,6 +146,20 @@ def optimize_pulse(
             raise GrapeError(
                 f"initial controls shape {controls.shape} != "
                 f"({control_set.num_controls}, {num_steps})"
+            )
+        if not np.all(np.isfinite(controls)):
+            raise ValueError(
+                "initial controls contain non-finite values (NaN or inf)"
+            )
+        peak = np.max(np.abs(controls), axis=1)
+        limits = np.asarray(bounds, dtype=float)
+        overdriven = peak > limits * (1.0 + 1e-6)
+        if np.any(overdriven):
+            worst = int(np.argmax(peak / limits))
+            raise ValueError(
+                "initial controls exceed channel amplitude bounds "
+                f"(channel {worst}: |amp| {peak[worst]:.6g} > bound "
+                f"{limits[worst]:.6g} rad/ns) — wrongly scaled warm start?"
             )
     window = (
         envelope_window(num_steps)

@@ -107,6 +107,7 @@ def minimum_time_pulse(
     lower_bound_ns: float = 0.0,
     max_doublings: int = 3,
     probe_executor=None,
+    warm_start: PulseSchedule | None = None,
 ) -> MinimumTimeResult:
     """Find the shortest pulse that realizes ``target`` at the set fidelity.
 
@@ -131,6 +132,14 @@ def minimum_time_pulse(
         can differ slightly between the two modes; a first-probe success is
         identical either way.  The binary search itself always stays
         sequential (each probe decides the next interval).
+    warm_start:
+        Optional seed schedule (a cached neighbor's pulse or an analytic
+        KAK seed).  Probes that have no in-search best yet start from it
+        (resampled to the probe's step count) instead of random fields, and
+        the seed's own duration is tried *first* when it undercuts the
+        upper bound — a near-miss neighbor's minimum time is an excellent
+        guess for this block's, letting the search open already close to
+        the answer.
     """
     settings = settings or GrapeSettings()
     hyper = hyperparameters or GrapeHyperparameters()
@@ -164,10 +173,24 @@ def minimum_time_pulse(
     # same descent budget), so after a failed first probe the search also
     # tries half the bound before resorting to doubling.
     trial_times = [upper_bound_ns, 0.5 * upper_bound_ns]
+    seed_first = False
+    if warm_start is not None:
+        seed_duration = warm_start.duration_ns
+        if 0.0 < seed_duration <= upper_bound_ns * (1.0 + 1e-9):
+            # Try the seed's own duration first — for a near-miss neighbor
+            # it is the best minimum-time guess available.  Dedupe trials
+            # that snap to the same step count.
+            snapped = {max(1, int(round(t / dt))) for t in (seed_duration,)}
+            trial_times = [seed_duration] + [
+                t
+                for t in trial_times
+                if max(1, int(round(t / dt))) not in snapped
+            ]
+            seed_first = True
     doubling_times = [upper_bound_ns * 2.0**k for k in range(1, max_doublings + 1)]
     best: GrapeResult | None = None
     for trial in trial_times:
-        result = run(trial, best.schedule if best else None)
+        result = run(trial, best.schedule if best else warm_start)
         if result.converged:
             best = result
             break
@@ -229,6 +252,29 @@ def minimum_time_pulse(
     high = feasible.schedule.duration_ns
     # Binary search down to the requested precision (at least one dt).
     min_width = max(precision_ns, dt)
+    # When the search opened by converging at the *seed's* duration, that
+    # duration is a near-miss neighbor's own minimum time — the strongest
+    # prior available for this block's.  Binary-searching [0, D] from here
+    # wastes full-budget failing probes in the infeasible region below the
+    # answer, so descend one step at a time instead: converged probes are
+    # cheap (each warm-starts from the last), and the first failure closes
+    # the window to one step, ending the search with the same precision
+    # guarantee.  A small budget bounds the descent for loose seeds; any
+    # leftover window falls through to the ordinary binary search.
+    descend_budget = 4 if seed_first and best.converged and grape_calls == 1 else 0
+    while descend_budget and high - low > min_width:
+        steps = max(1, int(round(high / dt))) - 1
+        candidate = steps * dt
+        if steps < 1 or candidate <= low:
+            break
+        descend_budget -= 1
+        result = run(candidate, feasible.schedule)
+        if result.converged:
+            feasible = result
+            high = candidate
+        else:
+            low = candidate
+            break
     while high - low > min_width:
         mid = 0.5 * (low + high)
         steps = max(1, int(round(mid / dt)))

@@ -2,7 +2,8 @@
 
 :class:`ServiceConfig` consolidates every ``REPRO_*`` environment knob —
 executor, worker count, cache directory/sharding/budget, prefetch, preset,
-scheduler-state spill path — into one frozen dataclass.
+scheduler-state spill path, GRAPE batching, warm-start seeding, scan block
+size — into one frozen dataclass.
 :meth:`ServiceConfig.from_env` is the **only** code path in the whole
 package that reads ``REPRO_*`` environment variables (a repo test greps
 for strays), so "what configuration am I actually running with?" always
@@ -123,6 +124,25 @@ class ServiceConfig:
         Cap on how many blocks one batched GRAPE group stacks
         (``REPRO_GRAPE_BATCH_SIZE``); bounds the stacked kernel's
         working-set memory.
+    warm_start:
+        Whether cache-missing blocks warm-start GRAPE from the nearest
+        cached pulse — or, for seedless two-qubit blocks, from the
+        analytic KAK seed — instead of random fields
+        (``REPRO_WARM_START``).  A best-of guard makes seeding strictly
+        safe (never a worse pulse than a cold start), so this knob exists
+        for debugging and A/B iteration counts.
+    warm_start_max_dist:
+        Acceptance threshold for approximate-match retrieval
+        (``REPRO_WARM_START_MAX_DIST``): a cached pulse seeds a new block
+        only when the phase-invariant trace distance
+        ``sqrt(1 - |tr(U†V)|/d)`` between the targets is at most this, in
+        ``(0, 1]``.  ``1.0`` accepts any same-context pulse; the default
+        0.25 keeps seeds to genuinely nearby unitaries.
+    scan_block:
+        Fixed block size for the blocked propagator scan of
+        :mod:`repro.linalg.scan` (``REPRO_SCAN_BLOCK``).  ``None`` (the
+        default) keeps the auto heuristic (``≈√n_steps``); setting it
+        pins the chunk length for cache tuning on unusual hosts.
     """
 
     executor: str = "auto"
@@ -138,6 +158,9 @@ class ServiceConfig:
     scheduler_state_path: str | None = None
     grape_batch: bool = True
     grape_batch_size: int = 16
+    warm_start: bool = True
+    warm_start_max_dist: float = 0.25
+    scan_block: int | None = None
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_CHOICES:
@@ -162,6 +185,15 @@ class ServiceConfig:
         if self.grape_batch_size < 1:
             raise ReproError(
                 f"grape_batch_size must be >= 1, got {self.grape_batch_size}"
+            )
+        if not 0.0 < self.warm_start_max_dist <= 1.0:
+            raise ReproError(
+                "warm_start_max_dist must be in (0, 1], "
+                f"got {self.warm_start_max_dist}"
+            )
+        if self.scan_block is not None and self.scan_block < 1:
+            raise ReproError(
+                f"scan_block must be >= 1, got {self.scan_block}"
             )
 
     # -- construction --------------------------------------------------------
@@ -339,6 +371,62 @@ class ServiceConfig:
                 else:
                     values["grape_batch_size"] = batch_size
                     sources["grape_batch_size"] = "env"
+
+        warm_raw = os.environ.get("REPRO_WARM_START", "")
+        if warm_raw:
+            lowered = warm_raw.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                values["warm_start"] = True
+                sources["warm_start"] = "env"
+            elif lowered in ("0", "false", "no", "off"):
+                values["warm_start"] = False
+                sources["warm_start"] = "env"
+            else:
+                warnings.warn(
+                    f"ignoring REPRO_WARM_START={warm_raw!r} "
+                    "(expected a boolean)",
+                    stacklevel=3,
+                )
+
+        dist_raw = os.environ.get("REPRO_WARM_START_MAX_DIST")
+        if dist_raw:
+            try:
+                dist = float(dist_raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring REPRO_WARM_START_MAX_DIST={dist_raw!r} "
+                    "(not a number)",
+                    stacklevel=3,
+                )
+            else:
+                if not 0.0 < dist <= 1.0:
+                    warnings.warn(
+                        f"ignoring REPRO_WARM_START_MAX_DIST={dist} "
+                        "(must be in (0, 1])",
+                        stacklevel=3,
+                    )
+                else:
+                    values["warm_start_max_dist"] = dist
+                    sources["warm_start_max_dist"] = "env"
+
+        scan_raw = os.environ.get("REPRO_SCAN_BLOCK")
+        if scan_raw:
+            try:
+                scan_block = int(scan_raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring REPRO_SCAN_BLOCK={scan_raw!r} (not an integer)",
+                    stacklevel=3,
+                )
+            else:
+                if scan_block < 1:
+                    warnings.warn(
+                        f"ignoring REPRO_SCAN_BLOCK={scan_block} (must be >= 1)",
+                        stacklevel=3,
+                    )
+                else:
+                    values["scan_block"] = scan_block
+                    sources["scan_block"] = "env"
 
         return cls(**values), sources
 

@@ -263,6 +263,7 @@ class CompilationService:
         """One report folding scheduler, cache, executor, and pool counters."""
         from repro.pipeline.executors import persistent_executor_stats
         from repro.pulse.grape.batched import batch_telemetry
+        from repro.pulse.grape.seeding import warm_start_telemetry
 
         return {
             "config": self.config.as_dict(),
@@ -277,6 +278,7 @@ class CompilationService:
             "executor": self.executor.describe(),
             "pools": persistent_executor_stats(),
             "grape_batch": batch_telemetry(),
+            "warm_start": warm_start_telemetry(),
         }
 
     # -- lifecycle -----------------------------------------------------------

@@ -118,6 +118,8 @@ class FullGrapeStrategy(_StrategyBase):
             request.settings or service.settings,
             request.hyperparameters or service.hyperparameters,
             cache,
+            warm_start=service.config.warm_start,
+            warm_start_max_dist=service.config.warm_start_max_dist,
         )
         pipeline = full_grape_pipeline(
             block_compiler, request.max_block_width, service.executor
@@ -182,6 +184,8 @@ class FullGrapeStrategy(_StrategyBase):
             first.settings or service.settings,
             first.hyperparameters or service.hyperparameters,
             cache,
+            warm_start=service.config.warm_start,
+            warm_start_max_dist=service.config.warm_start_max_dist,
         )
         pipeline = full_grape_pipeline(
             block_compiler, first.max_block_width, service.executor

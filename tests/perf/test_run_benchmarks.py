@@ -171,3 +171,35 @@ class TestPipelineBench:
         by_name = {entry["name"]: entry for entry in payload["entries"]}
         assert by_name["auto"]["wall_s"] <= by_name["serial"]["wall_s"] * 1.15
         assert payload["derived"]["auto_mode"] in ("inline", "thread-persistent")
+
+
+class TestWarmStartBench:
+    @pytest.fixture(scope="class")
+    def payload(self, harness, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench_warm_start")
+        harness.main(["--quick", "--only", "warm_start", "--output-dir", str(out)])
+        return json.loads((out / "BENCH_warm_start.json").read_text())
+
+    def test_three_modes_measured(self, payload):
+        names = [entry["name"] for entry in payload["entries"]]
+        assert names == ["cold", "neighbor", "kak"]
+
+    def test_neighbor_seeding_never_slower(self, payload):
+        """The CI gate: the bench raises (writing nothing) if seeding cost
+        iterations or lengthened the pulses; the smoke re-checks the
+        artifact."""
+        derived = payload["derived"]
+        assert derived["neighbor_iterations"] <= derived["cold_iterations"]
+        assert derived["duration_ratio_neighbor"] <= 1.0
+        assert derived["iteration_reduction_neighbor"] >= 0.0
+
+    def test_every_variant_neighbor_seeded(self, payload):
+        by_name = {entry["name"]: entry for entry in payload["entries"]}
+        assert payload["derived"]["neighbor_seeds_used"] == (
+            by_name["neighbor"]["variants"]
+        )
+
+    def test_telemetry_recorded(self, payload):
+        telemetry = payload["derived"]["telemetry"]
+        assert telemetry["neighbor_seeds"] >= 1
+        assert telemetry["lookups"] >= telemetry["neighbor_seeds"]

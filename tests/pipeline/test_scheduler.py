@@ -25,9 +25,9 @@ class CountingCache(PulseCache):
         super().__init__()
         self.put_keys = []
 
-    def put(self, key, entry):
+    def put(self, key, entry, target=None):
         self.put_keys.append(key)
-        super().put(key, entry)
+        super().put(key, entry, target=target)
 
 
 def _shared_block_circuit(theta: float = 0.0) -> QuantumCircuit:
@@ -325,8 +325,15 @@ class TestBatchedDispatch:
     def _run(self, grape_batch: bool):
         from repro.pipeline import SerialExecutor
 
+        # Warm start off: seeded blocks deliberately leave the batch (each
+        # seed is per-target), and these fresh 2-qubit blocks would all get
+        # KAK seeds — the batching path under test would never run.
         block_compiler = BlockPulseCompiler(
-            GmonDevice(line_topology(4)), SETTINGS, HYPER, PulseCache()
+            GmonDevice(line_topology(4)),
+            SETTINGS,
+            HYPER,
+            PulseCache(),
+            warm_start=False,
         )
         pipeline = full_grape_pipeline(block_compiler, 2)
         scheduler = BlockScheduler(

@@ -25,9 +25,9 @@ class CountingCache(PulseCache):
         super().__init__()
         self.put_keys = []
 
-    def put(self, key, entry):
+    def put(self, key, entry, target=None):
         self.put_keys.append(key)
-        super().put(key, entry)
+        super().put(key, entry, target=target)
 
 
 def _ansatz() -> QuantumCircuit:

@@ -243,11 +243,14 @@ class TestCompilerBatchedBlocks:
         from repro.core import PulseCache
         from repro.core.compiler import BlockPulseCompiler
 
+        # Warm start off: fresh 2-qubit blocks would all get KAK seeds and
+        # (deliberately) leave the batch, starving the path under test.
         return BlockPulseCompiler(
             GmonDevice(line_topology(4)),
             GrapeSettings(dt_ns=0.5, target_fidelity=0.95),
             HYPER,
             PulseCache(),
+            warm_start=False,
         )
 
     def _blocks(self):

@@ -59,6 +59,43 @@ class TestOptimizePulse:
                 initial=np.zeros((2, 5)),
             )
 
+    def test_non_finite_initial_rejected(self, single_qubit_cs, fast_settings):
+        bad = np.zeros((single_qubit_cs.num_controls, 10))
+        bad[0, 3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            optimize_pulse(
+                single_qubit_cs, X, num_steps=10,
+                settings=fast_settings, initial=bad,
+            )
+        bad[0, 3] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            optimize_pulse(
+                single_qubit_cs, X, num_steps=10,
+                settings=fast_settings, initial=bad,
+            )
+
+    def test_overdriven_initial_rejected(self, single_qubit_cs, fast_settings):
+        """A wrongly-scaled warm start (amps past the channel bounds) must
+        fail loudly, not silently clip into a different pulse."""
+        bad = np.zeros((single_qubit_cs.num_controls, 10))
+        bad[0, :] = single_qubit_cs.max_amplitudes[0] * 10.0
+        with pytest.raises(ValueError, match="exceed channel amplitude bounds"):
+            optimize_pulse(
+                single_qubit_cs, X, num_steps=10,
+                settings=fast_settings, initial=bad,
+            )
+
+    def test_initial_at_the_bound_is_accepted(self, single_qubit_cs, fast_settings):
+        at_bound = np.full(
+            (single_qubit_cs.num_controls, 14), 0.0
+        )
+        at_bound[0, :] = single_qubit_cs.max_amplitudes[0]
+        result = optimize_pulse(
+            single_qubit_cs, X, num_steps=14,
+            settings=fast_settings, initial=at_bound,
+        )
+        assert result.iterations >= 1
+
     def test_zero_steps_rejected(self, single_qubit_cs):
         with pytest.raises(GrapeError):
             optimize_pulse(single_qubit_cs, X, num_steps=0)

@@ -44,6 +44,9 @@ class TestEnvConsolidation:
             "REPRO_SCHEDULER_STATE",
             "REPRO_GRAPE_BATCH",
             "REPRO_GRAPE_BATCH_SIZE",
+            "REPRO_WARM_START",
+            "REPRO_WARM_START_MAX_DIST",
+            "REPRO_SCAN_BLOCK",
         ):
             assert name in source
 
@@ -62,6 +65,9 @@ class TestFromEnv:
             "REPRO_SCHEDULER_STATE",
             "REPRO_GRAPE_BATCH",
             "REPRO_GRAPE_BATCH_SIZE",
+            "REPRO_WARM_START",
+            "REPRO_WARM_START_MAX_DIST",
+            "REPRO_SCAN_BLOCK",
         ):
             monkeypatch.delenv(name, raising=False)
         config, sources = ServiceConfig.from_env_with_sources()
@@ -80,6 +86,9 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_SCHEDULER_STATE", "/tmp/state.json")
         monkeypatch.setenv("REPRO_GRAPE_BATCH", "off")
         monkeypatch.setenv("REPRO_GRAPE_BATCH_SIZE", "8")
+        monkeypatch.setenv("REPRO_WARM_START", "no")
+        monkeypatch.setenv("REPRO_WARM_START_MAX_DIST", "0.4")
+        monkeypatch.setenv("REPRO_SCAN_BLOCK", "32")
         config, sources = ServiceConfig.from_env_with_sources()
         assert config.executor == "thread-persistent"
         assert config.max_workers == 3
@@ -92,6 +101,9 @@ class TestFromEnv:
         assert config.scheduler_state_path == "/tmp/state.json"
         assert config.grape_batch is False
         assert config.grape_batch_size == 8
+        assert config.warm_start is False
+        assert config.warm_start_max_dist == 0.4
+        assert config.scan_block == 32
         assert set(sources.values()) == {"env"}
 
     def test_garbage_warns_and_falls_back(self, monkeypatch):
@@ -103,6 +115,9 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_PREFETCH", "maybe")
         monkeypatch.setenv("REPRO_GRAPE_BATCH", "sometimes")
         monkeypatch.setenv("REPRO_GRAPE_BATCH_SIZE", "0")
+        monkeypatch.setenv("REPRO_WARM_START", "perhaps")
+        monkeypatch.setenv("REPRO_WARM_START_MAX_DIST", "2.0")
+        monkeypatch.setenv("REPRO_SCAN_BLOCK", "none")
         with pytest.warns(UserWarning):
             config, sources = ServiceConfig.from_env_with_sources()
         assert config == ServiceConfig()
@@ -138,6 +153,16 @@ class TestValidation:
     def test_bad_grape_batch_size_rejected(self):
         with pytest.raises(ReproError):
             ServiceConfig(grape_batch_size=0)
+
+    def test_bad_warm_start_max_dist_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(warm_start_max_dist=0.0)
+        with pytest.raises(ReproError):
+            ServiceConfig(warm_start_max_dist=1.5)
+
+    def test_bad_scan_block_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(scan_block=0)
 
     def test_choices_match_config_module(self):
         from repro import config as legacy

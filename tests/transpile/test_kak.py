@@ -161,6 +161,28 @@ class TestKAKReconstruction:
             kak_decompose(np.eye(2))
 
 
+class TestSU4RoundtripTight:
+    """Random SU(4) targets must reconstruct to ≤1e-9 — the accuracy bar
+    for the analytic KAK warm-start seeds, which trust the decomposition
+    verbatim (a sloppy reconstruction would seed GRAPE toward the wrong
+    unitary)."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_haar_su4_roundtrip(self, seed):
+        u = haar_random_unitary(4, seed=np.random.default_rng(seed))
+        su = u / np.linalg.det(u) ** 0.25  # project onto det = 1
+        assert abs(np.linalg.det(su) - 1.0) < 1e-12
+        d = kak_decompose(su)
+        assert np.abs(d.unitary() - su).max() < 1e-9
+
+    def test_su4_locals_stay_special(self):
+        u = haar_random_unitary(4, seed=np.random.default_rng(7))
+        su = u / np.linalg.det(u) ** 0.25
+        d = kak_decompose(su)
+        for local in (d.k1_q0, d.k1_q1, d.k2_q0, d.k2_q1):
+            assert np.allclose(local @ local.conj().T, np.eye(2), atol=1e-10)
+
+
 class TestWeylChamber:
     @pytest.mark.parametrize("seed", range(20))
     def test_coordinates_in_chamber(self, seed):
