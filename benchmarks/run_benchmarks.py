@@ -35,6 +35,14 @@ itself* are machine-checkable and accumulate over time:
   iteration, and N disjoint ``submit()`` requests running concurrently
   must never be slower than serial ``compile()`` (the 1-CPU-safe gate CI
   enforces), bit-identical results both ways.
+* ``service_load`` — the load generator for the multi-process fleet:
+  concurrent clients pushing disjoint requests through one service with
+  the in-process dispatcher vs the ``queue`` dispatcher backed by 1 and 2
+  worker processes, reporting per-request latency (p50/p99) and
+  throughput, results checked identical across dispatchers.  The CI gate:
+  the 2-worker fleet is never slower than single-process beyond a noise
+  margin; the committed full run must show fleet throughput ≥ 1.0×
+  single-process.
 * ``warm_start`` — warm-started GRAPE: near-miss variants of a cached
   block compiled cold vs neighbor-seeded (approximate-match retrieval
   from the pulse cache) vs KAK-seeded (analytic fallback, empty cache).
@@ -686,6 +694,209 @@ def bench_service_concurrency(quick: bool) -> dict:
     return {"entries": entries, "derived": derived}
 
 
+def bench_service_load(quick: bool) -> dict:
+    """Concurrent clients vs dispatcher choice: in-process vs worker fleet.
+
+    The load generator drives one :class:`~repro.service.CompilationService`
+    with C concurrent clients submitting disjoint requests (no shared
+    blocks), once per dispatcher config:
+
+    * ``inline`` — the default in-process dispatcher (single process).
+    * ``fleet_1w`` / ``fleet_2w`` — ``dispatcher="queue"`` with 1 and 2
+      worker processes pulling :class:`~repro.pipeline.jobs.BlockJob`\\ s
+      from the file-backed queue (full mode only runs ``fleet_1w``).
+
+    Every config gets one untimed warmup round (absorbing worker spawn and
+    numpy import) and then timed rounds over *fresh* circuits (distinct
+    rotation angles, so neither the pulse cache nor block dedup can hide
+    compile work).  Reported: per-request latency p50/p99 and round
+    throughput, best-of across rounds.  Results must be identical across
+    dispatchers (warm start pinned off — neighbor seeding depends on cache
+    arrival order, which concurrency would make nondeterministic).
+
+    The CI gate is host-independent: the 2-worker fleet must never be
+    slower than single-process beyond a noise margin (on a 1-CPU runner
+    process parallelism degenerates to time slicing).  The committed full
+    run must additionally show fleet throughput ≥ 1.0× single-process.
+    """
+    import tempfile
+
+    # Full mode drives enough concurrent clients that the inline
+    # dispatcher's submit threads genuinely contend on the GIL (the
+    # effect worker *processes* dodge), and takes best-of over several
+    # rounds so one scheduler hiccup cannot decide the ratio.
+    clients = 4 if quick else 6
+    per_client = 1 if quick else 2
+    timed_rounds = 2 if quick else 3
+    n_requests = clients * per_client
+    # A tight fidelity target keeps each block's GRAPE search substantial,
+    # so the fixed per-job queue cost (pickle + poll + lease) is measured
+    # against realistic compile times, not against trivial blocks.
+    settings = GrapeSettings(dt_ns=0.5, target_fidelity=0.99)
+    hyper = GrapeHyperparameters(
+        learning_rate=0.05,
+        decay_rate=0.002,
+        # Same iteration budget in both modes: quick shrinks the client
+        # count and rounds, not the per-block compile the overhead is
+        # measured against (trivial blocks would gate on queue constants).
+        max_iterations=300,
+    )
+    root = Path(tempfile.mkdtemp(prefix="bench_service_load_"))
+
+    def _load_circuit(tag: str, offset: float) -> QuantumCircuit:
+        # One 2-qubit block per request — the block IS the fleet's
+        # dispatch unit, so a single-block workload measures dispatch
+        # against compute.  (Multi-block requests would let the inline
+        # path fold same-shape blocks into the cross-block batched GRAPE
+        # kernel — a real but orthogonal advantage, measured on its own
+        # in BENCH_grape_batch.)  The offset makes every circuit's
+        # rotation (hence block unitary) unique across rounds/requests.
+        circuit = QuantumCircuit(2, name=f"load_{tag}")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.rz(offset + 0.1, 1)
+        circuit.cx(0, 1)
+        return circuit
+
+    def _round_circuits(round_index: int) -> list:
+        return [
+            _load_circuit(
+                f"r{round_index}_{i}", 0.07 * (round_index * n_requests + i + 1)
+            )
+            for i in range(n_requests)
+        ]
+
+    def _run_round(service, circuits):
+        """Submit one batch concurrently; per-request latency via callbacks."""
+        latencies: list = []
+        futures = []
+        start = time.perf_counter()
+        for circuit in circuits:
+            request = CompileRequest(
+                circuit=circuit, strategy="full-grape", max_block_width=2
+            )
+            submitted = time.perf_counter()
+            future = service.submit(request)
+            future.add_done_callback(
+                lambda _f, t=submitted: latencies.append(
+                    time.perf_counter() - t
+                )
+            )
+            futures.append(future)
+        results = [future.result(timeout=600) for future in futures]
+        wall = time.perf_counter() - start
+        return wall, latencies, [r.program.duration_ns for r in results]
+
+    configs = [
+        ("inline", ServiceConfig(submit_workers=clients, warm_start=False,
+                                 queue_depth=n_requests)),
+    ]
+    fleet_counts = (2,) if quick else (1, 2)
+    for count in fleet_counts:
+        configs.append(
+            (
+                f"fleet_{count}w",
+                ServiceConfig(
+                    submit_workers=clients,
+                    warm_start=False,
+                    queue_depth=n_requests,
+                    dispatcher="queue",
+                    fleet_dir=str(root / f"fleet_{count}w"),
+                    fleet_workers=count,
+                ),
+            )
+        )
+
+    entries = []
+    derived: dict = {}
+    durations_by_round: dict = {}
+    for config_name, config in configs:
+        walls, all_latencies = [], []
+        service = CompilationService(
+            config=config,
+            device=GmonDevice(line_topology(4)),
+            settings=settings,
+            hyperparameters=hyper,
+        )
+        try:
+            # Warmup (untimed): pays worker spawn + numpy import for the
+            # fleet configs and warms module caches for all of them.
+            _run_round(service, _round_circuits(100))
+            for round_index in range(timed_rounds):
+                wall, latencies, durations = _run_round(
+                    service, _round_circuits(round_index)
+                )
+                walls.append(wall)
+                all_latencies.extend(latencies)
+                durations_by_round.setdefault(round_index, {})[config_name] = (
+                    durations
+                )
+                entries.append(
+                    {
+                        "name": f"{config_name}_round_{round_index}",
+                        "wall_s": round(wall, 4),
+                        "requests": n_requests,
+                        "clients": clients,
+                        "throughput_rps": round(n_requests / wall, 3),
+                    }
+                )
+            executor_info = service.executor.describe()
+            backpressure = service.stats()["requests"]["backpressure_waits"]
+        finally:
+            service.close()
+        best_wall = min(walls)
+        latencies_ms = np.asarray(all_latencies) * 1e3
+        derived[f"{config_name}_throughput_rps"] = round(
+            n_requests / best_wall, 3
+        )
+        derived[f"{config_name}_p50_ms"] = round(
+            float(np.percentile(latencies_ms, 50)), 1
+        )
+        derived[f"{config_name}_p99_ms"] = round(
+            float(np.percentile(latencies_ms, 99)), 1
+        )
+        derived[f"{config_name}_backpressure_waits"] = backpressure
+        if config_name.startswith("fleet"):
+            derived[f"{config_name}_completions_by_worker"] = executor_info[
+                "completions_by_worker"
+            ]
+        print(
+            f"  service_load {config_name}: best {best_wall:.2f} s "
+            f"({n_requests / best_wall:.2f} req/s, "
+            f"p50 {derived[f'{config_name}_p50_ms']:.0f} ms, "
+            f"p99 {derived[f'{config_name}_p99_ms']:.0f} ms)"
+        )
+
+    for round_index, by_config in durations_by_round.items():
+        expected = by_config["inline"]
+        for config_name, durations in by_config.items():
+            if durations != expected:
+                raise AssertionError(
+                    f"dispatcher {config_name} disagreed with inline on "
+                    f"round {round_index}: {durations} vs {expected}"
+                )
+    derived["durations_match"] = True
+
+    ratio = round(
+        derived["fleet_2w_throughput_rps"] / derived["inline_throughput_rps"],
+        3,
+    )
+    derived["fleet_2w_vs_inline"] = ratio
+    # CI "never slower" gate (quick mode runs on a 1-CPU runner where the
+    # fleet cannot beat time slicing, only match it).
+    if ratio < 1.0 / 1.35:
+        raise AssertionError(
+            f"2-worker fleet was slower than single-process beyond the "
+            f"noise margin: {ratio:.2f}x"
+        )
+    if not quick and ratio < 1.0:
+        raise AssertionError(
+            f"full run must show fleet throughput >= 1.0x single-process, "
+            f"got {ratio:.2f}x"
+        )
+    return {"entries": entries, "derived": derived}
+
+
 def bench_grape_batch(quick: bool) -> dict:
     """Cross-block batched GRAPE kernel vs the per-block kernel, serially.
 
@@ -1092,6 +1303,7 @@ BENCHES = {
     "grape_kernel": bench_grape_kernel,
     "pipeline": bench_pipeline,
     "service_concurrency": bench_service_concurrency,
+    "service_load": bench_service_load,
     "session": bench_session,
     "time_search": bench_time_search,
     "warm_start": bench_warm_start,

@@ -26,6 +26,7 @@ from repro import (
     blocking,
     circuits,
     core,
+    fleet,
     linalg,
     pipeline,
     pulse,
@@ -53,6 +54,7 @@ __all__ = [
     "blocking",
     "circuits",
     "core",
+    "fleet",
     "get_pipeline_config",
     "get_preset",
     "linalg",

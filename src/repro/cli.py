@@ -20,6 +20,12 @@ Small utilities for poking at the reproduction without writing a script:
 * ``config show`` — the fully resolved ``ServiceConfig``: every field with
   its value and provenance (default / env / CLI), so debugging ``REPRO_*``
   environment variables never requires a source dive.
+* ``worker`` — run one fleet worker against a file-backed work queue:
+  claim leased ``BlockJob``\\ s, compile them, write completion records.
+  SIGTERM drains the in-flight job before exit; ``--max-jobs`` and
+  ``--idle-exit`` bound a worker's lifetime for tests and batch runs.
+* ``fleet status`` — inspect a fleet queue directory: pending/leased job
+  counts, per-lease age and staleness, and worker heartbeats.
 * ``cache-stats`` — inspect a persistent pulse-cache directory: shard
   occupancy, index size, evictions, prefetch counters, plus persistent
   worker-pool telemetry.  A directory that does not exist yet reports an
@@ -137,6 +143,14 @@ def _service_config_from_args(args):
         overrides["max_workers"] = args.jobs
     if getattr(args, "cache_dir", None):
         overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "dispatcher", None):
+        overrides["dispatcher"] = args.dispatcher
+    if getattr(args, "fleet_dir", None):
+        overrides["fleet_dir"] = args.fleet_dir
+    if getattr(args, "fleet_workers", None) is not None:
+        overrides["fleet_workers"] = args.fleet_workers
+    if getattr(args, "queue_depth", None) is not None:
+        overrides["queue_depth"] = args.queue_depth
     return config.replace(**overrides) if overrides else config
 
 
@@ -331,6 +345,10 @@ def _cmd_config_show(args) -> int:
         ("grape_batch_size", "grape_batch_size"),
         ("warm_start_max_dist", "warm_start_max_dist"),
         ("scan_block", "scan_block"),
+        ("dispatcher", "dispatcher"),
+        ("fleet_dir", "fleet_dir"),
+        ("fleet_workers", "fleet_workers"),
+        ("queue_depth", "queue_depth"),
     ):
         value = getattr(args, arg_name, None)
         if value is not None:
@@ -466,6 +484,74 @@ def _cmd_library_gc(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from repro.fleet import FleetWorker
+
+    worker = FleetWorker(
+        args.fleet_dir,
+        cache_dir=args.cache_dir,
+        lease_ttl_s=args.lease_ttl,
+        poll_s=args.poll,
+        max_jobs=args.max_jobs,
+        idle_exit_s=args.idle_exit,
+        worker_id=args.worker_id,
+    )
+    worker.install_signal_handlers()
+    print(
+        f"worker {worker.worker_id} pulling from {args.fleet_dir}",
+        file=sys.stderr,
+    )
+    return worker.run()
+
+
+def _cmd_fleet_status(args) -> int:
+    from pathlib import Path
+
+    from repro.fleet import FleetQueue
+
+    if not Path(args.dir).is_dir():
+        # Same contract as cache-stats: a queue directory nobody has
+        # written to is an *empty queue*, and inspecting it must not
+        # create it.
+        rows = [
+            ("directory", args.dir),
+            ("pending jobs", 0),
+            ("leased jobs", 0),
+            ("completed results", 0),
+        ]
+        title = "fleet queue (empty — not created yet)"
+    else:
+        status = FleetQueue(args.dir).status()
+        rows = [
+            ("directory", status["directory"]),
+            ("pending jobs", status["pending_jobs"]),
+            ("leased jobs", status["leased_jobs"]),
+            ("completed results", status["completed_results"]),
+        ]
+        for lease in status["leases"]:
+            state = "STALE" if lease["stale"] else "live"
+            rows.append(
+                (
+                    f"lease {lease['job_id']}",
+                    f"worker={lease['worker']} age={lease['age_s']:.1f}s "
+                    f"heartbeat={lease['heartbeat_age_s']:.1f}s "
+                    f"reclaims={lease['reclaims']} {state}",
+                )
+            )
+        for worker in status["workers"]:
+            rows.append(
+                (
+                    f"worker {worker['worker']}",
+                    f"pid={worker['pid']} state={worker['state']} "
+                    f"jobs_done={worker['jobs_done']} "
+                    f"heartbeat={worker['heartbeat_age_s']:.1f}s",
+                )
+            )
+        title = "fleet queue"
+    print(format_table(("property", "value"), rows, title=title))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` CLI (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -554,7 +640,105 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--executor", choices=EXECUTOR_CHOICES, default=None)
     batch.add_argument("--jobs", type=int, default=None)
     batch.add_argument("--cache-dir", default=None)
+    from repro.service.config import DISPATCHER_CHOICES
+
+    batch.add_argument(
+        "--dispatcher",
+        choices=DISPATCHER_CHOICES,
+        default=None,
+        help="'queue' routes fixed blocks through a multi-process fleet "
+        "(default: REPRO_DISPATCHER or executor)",
+    )
+    batch.add_argument(
+        "--fleet-dir",
+        default=None,
+        dest="fleet_dir",
+        help="fleet queue directory for --dispatcher queue "
+        "(default: REPRO_FLEET_DIR, else <cache-dir>/fleet)",
+    )
+    batch.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=None,
+        dest="fleet_workers",
+        help="local worker processes the queue dispatcher spawns "
+        "(default: REPRO_FLEET_WORKERS; 0 compiles inline)",
+    )
+    batch.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        dest="queue_depth",
+        help="bound concurrent service submissions; further submit() "
+        "calls block (default: REPRO_QUEUE_DEPTH, else unbounded)",
+    )
     batch.set_defaults(func=_cmd_compile_batch)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run one fleet worker: claim queued BlockJobs, compile, "
+        "write completion records (SIGTERM drains the in-flight job)",
+    )
+    worker.add_argument(
+        "--fleet-dir",
+        required=True,
+        dest="fleet_dir",
+        help="fleet queue directory shared with the dispatcher",
+    )
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="persistent pulse cache for compiled blocks (default: the "
+        "per-job cache_dir stamped by the dispatcher, else in-memory)",
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        dest="lease_ttl",
+        help="seconds without a heartbeat before another worker may "
+        "reclaim this worker's lease",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="idle sleep between queue polls (seconds)",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        dest="max_jobs",
+        help="exit after completing this many jobs (default: run forever)",
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        dest="idle_exit",
+        help="exit after this many consecutive idle seconds "
+        "(default: keep polling)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        dest="worker_id",
+        help="identity used in leases and heartbeats (default: host-pid)",
+    )
+    worker.set_defaults(func=_cmd_worker)
+
+    fleet = sub.add_parser(
+        "fleet", help="operate on a fleet work-queue directory"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status",
+        help="queue depth, leases (with staleness), and worker heartbeats",
+    )
+    fleet_status.add_argument("--dir", required=True, help="fleet queue directory")
+    fleet_status.set_defaults(func=_cmd_fleet_status)
 
     cache_ = sub.add_parser(
         "cache-stats", help="inspect a persistent pulse-cache directory"
@@ -659,6 +843,33 @@ def build_parser() -> argparse.ArgumentParser:
         dest="scan_block",
         help="scan_block override (blocked propagator-scan chunk length; "
         "unset keeps the auto sqrt heuristic)",
+    )
+    show.add_argument(
+        "--dispatcher",
+        choices=DISPATCHER_CHOICES,
+        default=None,
+        help="dispatcher override ('executor' in-process, 'queue' fleet)",
+    )
+    show.add_argument(
+        "--fleet-dir",
+        default=None,
+        dest="fleet_dir",
+        help="fleet_dir override (fleet work-queue directory)",
+    )
+    show.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=None,
+        dest="fleet_workers",
+        help="fleet_workers override (local workers the queue "
+        "dispatcher spawns)",
+    )
+    show.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        dest="queue_depth",
+        help="queue_depth override (bounded submit() admission)",
     )
     show.set_defaults(func=_cmd_config_show)
     return parser

@@ -336,6 +336,26 @@ class BlockPulseCompiler:
         dt = self.settings.resolved_dt()
         fid_target = self.settings.resolved_target()
         key = self.cache.key(target, control_set, dt, fid_target)
+        return self._compile_resolved(
+            control_set, target, device_qubits, gate_ns, key, hyperparameters
+        )
+
+    def _compile_resolved(
+        self,
+        control_set,
+        target: np.ndarray,
+        device_qubits: tuple,
+        gate_ns: float,
+        key,
+        hyperparameters: GrapeHyperparameters | None = None,
+    ) -> BlockCompileOutcome:
+        """Compile a block whose identity is already resolved.
+
+        The shared tail of :meth:`compile_block` and :meth:`compile_job`:
+        cache consultation, the warm-started minimum-time search, and the
+        strictly-not-worse judgment, given the control set, target
+        unitary, gate-based duration, and dedup key.
+        """
         cached = self.cache.get(key)
         if cached is not None:
             # Heal the warm-start index: the hit proves this target is in
@@ -346,6 +366,78 @@ class BlockPulseCompiler:
         hyper = hyperparameters or self.hyperparameters
         result = self._search(control_set, target, gate_ns, hyper, key)
         return self._fresh_outcome(device_qubits, gate_ns, key, result, target)
+
+    def make_job(
+        self,
+        subcircuit: QuantumCircuit,
+        device_qubits: tuple,
+        key: tuple | None = None,
+        cache_dir: str | None = None,
+    ):
+        """Build the picklable :class:`~repro.pipeline.jobs.BlockJob` for
+        one bound block, or ``None`` for a trivial (empty / zero-duration)
+        block that needs no GRAPE.
+
+        Deferred-to-runtime knobs are materialized here: preset-resolved
+        GRAPE settings, the warm-start policy from the active pipeline
+        configuration, and the preset name itself — so the job compiles
+        identically in a process that never saw this configuration.
+        ``key`` skips recomputing a dedup identity the caller already
+        paid for (the batch scheduler always has one).
+        """
+        from repro.config import get_pipeline_config, get_preset
+        from repro.pipeline.jobs import BlockJob
+
+        if subcircuit.is_parameterized():
+            raise CompilationError("block must be bound before pulse compilation")
+        gate_ns = critical_path_ns(subcircuit)
+        if len(subcircuit) == 0 or gate_ns <= 0:
+            return None
+        control_set = build_control_set(self.device, device_qubits)
+        target = circuit_unitary(subcircuit)
+        dt = self.settings.resolved_dt()
+        fid_target = self.settings.resolved_target()
+        if key is None:
+            key = self.cache.key(target, control_set, dt, fid_target)
+        config = get_pipeline_config()
+        warm = config.warm_start if self.warm_start is None else self.warm_start
+        max_dist = (
+            config.warm_start_max_dist
+            if self.warm_start_max_dist is None
+            else self.warm_start_max_dist
+        )
+        return BlockJob(
+            key=key,
+            target=target,
+            device_qubits=tuple(device_qubits),
+            gate_based_ns=gate_ns,
+            device=self.device,
+            settings=replace(
+                self.settings, dt_ns=dt, target_fidelity=fid_target
+            ),
+            hyperparameters=self.hyperparameters,
+            warm_start=bool(warm),
+            warm_start_max_dist=float(max_dist),
+            preset=get_preset().name,
+            cache_dir=cache_dir,
+        )
+
+    def compile_job(self, job) -> BlockCompileOutcome:
+        """Compile one :class:`~repro.pipeline.jobs.BlockJob`.
+
+        The job already carries the resolved identity (key, target,
+        gate-based duration); only the control set is rebuilt from the
+        device — channel objects are cheap and keep the job payload small.
+        Bit-identical to :meth:`compile_block` on the job's source block.
+        """
+        control_set = build_control_set(self.device, job.device_qubits)
+        return self._compile_resolved(
+            control_set,
+            job.target,
+            job.device_qubits,
+            job.gate_based_ns,
+            job.key,
+        )
 
     def compile_blocks_batched(
         self,

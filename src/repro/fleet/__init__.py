@@ -1,0 +1,36 @@
+"""Multi-process compilation fleet: queue, workers, and their dispatcher.
+
+The block-level parallelism of the paper's pulse compilation is
+embarrassing — blocks share nothing but the pulse cache — so once
+dispatch travels as serializable :class:`~repro.pipeline.jobs.BlockJob`
+data (instead of closures), work can leave the service's address space
+entirely.  This package is the venue for that:
+
+* :mod:`repro.fleet.queue` — :class:`FleetQueue`, a file-backed work
+  queue with lease/heartbeat crash reclaim built on the pulse library's
+  advisory file locking.  At-least-once delivery, safe because jobs are
+  deterministic and their effects idempotent.
+* :mod:`repro.fleet.worker` — :class:`FleetWorker`, the pull loop behind
+  ``python -m repro worker``: claim, compile, heartbeat, complete, with
+  SIGTERM draining the in-flight job before exit.
+* :mod:`repro.fleet.dispatcher` — :class:`QueueDispatcher`, the
+  :class:`~repro.pipeline.executors.Dispatcher` implementation the
+  service selects with ``REPRO_DISPATCHER=queue``: it spawns and revives
+  ``REPRO_FLEET_WORKERS`` local workers and routes every fixed block
+  through the queue.
+
+Milestone 1 (this PR) is N workers on one machine splitting one batch's
+unique blocks; the queue layout already tolerates several hosts sharing
+the directory over a network filesystem.
+"""
+
+from repro.fleet.dispatcher import QueueDispatcher
+from repro.fleet.queue import FLEET_SCHEMA_VERSION, FleetQueue
+from repro.fleet.worker import FleetWorker
+
+__all__ = [
+    "FLEET_SCHEMA_VERSION",
+    "FleetQueue",
+    "FleetWorker",
+    "QueueDispatcher",
+]

@@ -6,7 +6,12 @@ transformer framework:
 
 * :mod:`repro.pipeline.executors` — pluggable dispatch of independent
   per-block GRAPE searches: serial, thread pool, process pool, or the
-  persistent pool variants that stay warm across every ``map`` of a run.
+  persistent pool variants that stay warm across every ``map`` of a run;
+  all implement the :class:`Dispatcher` contract over serializable jobs.
+* :mod:`repro.pipeline.jobs` — :class:`BlockJob`, the picklable
+  block-compilation descriptor every dispatch venue (in-process pools,
+  the :mod:`repro.fleet` worker processes) executes via
+  :func:`run_block_job`.
 * :mod:`repro.pipeline.stages` — composable :class:`Stage` objects carrying
   a :class:`PipelineContext` from circuit to pulse program.
 * :mod:`repro.pipeline.pipeline` — :class:`CompilationPipeline`, an ordered
@@ -30,6 +35,7 @@ transformer framework:
 
 from repro.pipeline.executors import (
     BlockExecutor,
+    Dispatcher,
     PersistentProcessPoolBlockExecutor,
     PersistentThreadPoolBlockExecutor,
     ProcessPoolBlockExecutor,
@@ -39,6 +45,7 @@ from repro.pipeline.executors import (
     resolve_executor,
     shutdown_persistent_executors,
 )
+from repro.pipeline.jobs import BlockJob, run_block_job
 from repro.pipeline.pipeline import CompilationPipeline
 from repro.pipeline.plan import CompilationPlan, PlanCache
 from repro.pipeline.scheduler import BlockScheduler, SchedulerReport, SchedulerState
@@ -65,11 +72,13 @@ __all__ = [
     "AssembleStage",
     "BindStage",
     "BlockExecutor",
+    "BlockJob",
     "BlockScheduler",
     "BlockTask",
     "BlockingStage",
     "CompilationPipeline",
     "CompilationPlan",
+    "Dispatcher",
     "PlanCache",
     "SchedulerReport",
     "SchedulerState",
@@ -89,6 +98,7 @@ __all__ = [
     "gate_based_pipeline",
     "persistent_executor_stats",
     "resolve_executor",
+    "run_block_job",
     "shutdown_persistent_executors",
     "strict_precompile_pipeline",
 ]

@@ -73,7 +73,29 @@ def _run_process_item(item):
     return _process_worker_fn(item)
 
 
-class BlockExecutor:
+class Dispatcher:
+    """Where serializable block jobs go to be compiled.
+
+    The dispatch contract of the fleet refactor: callers hand over
+    picklable :class:`~repro.pipeline.jobs.BlockJob` descriptors instead
+    of closures, so implementations are free to run them in the calling
+    thread, a local pool, or a different process entirely
+    (:class:`repro.fleet.QueueDispatcher`).  Every in-process executor
+    implements it via its own ``map``.
+    """
+
+    def dispatch_jobs(self, jobs: list, cache=None) -> list:
+        """Compile every job, returning outcomes in input order.
+
+        ``cache`` is the caller's pulse cache, shared with in-process
+        runners so their hits and writes land where the caller looks;
+        out-of-process dispatchers ignore it and rely on each job's
+        ``cache_dir``.
+        """
+        raise NotImplementedError
+
+
+class BlockExecutor(Dispatcher):
     """Order-preserving map over independent block tasks."""
 
     name = "abstract"
@@ -92,6 +114,18 @@ class BlockExecutor:
     def map(self, fn: Callable, items: Iterable) -> list:
         """Apply ``fn`` to every item, returning results in input order."""
         raise NotImplementedError
+
+    def dispatch_jobs(self, jobs: list, cache=None) -> list:
+        """Run block jobs through this executor's own ``map``.
+
+        ``partial`` over the module-level runner keeps the mapped callable
+        picklable, so the process-pool executors ship jobs unchanged.
+        """
+        from functools import partial
+
+        from repro.pipeline.jobs import run_block_job
+
+        return self.map(partial(run_block_job, cache=cache), jobs)
 
     def describe(self) -> dict:
         """Telemetry fragment identifying this executor."""
@@ -329,9 +363,21 @@ class AutoExecutor(BlockExecutor):
       ``thread-persistent`` pool (threads keep in-memory pulse-cache writes
       visible, unlike processes, so auto never silently changes caching
       semantics); tiny maps still run inline.
+
+    Without an explicit ``max_workers`` the delegated pool is sized from
+    *observed demand* rather than pinned to ``cpu_count`` up front: the
+    first delegation grants a small pool, and the grant doubles toward
+    ``min(cpu_count, largest map seen)`` as bigger maps arrive.  A
+    many-core host compiling 4-block circuits keeps 4 threads, not 64;
+    the first genuinely wide map grows the grant (each step resolves a
+    larger shared pool from the persistent registry, so the growth cost
+    is pool creation, paid at most ``log2`` times).
     """
 
     name = "auto"
+
+    #: First worker grant on a delegating host (before demand is observed).
+    INITIAL_GRANT = 4
 
     def __init__(self, max_workers: int | None = None):
         self.max_workers = max_workers
@@ -341,6 +387,22 @@ class AutoExecutor(BlockExecutor):
         self.speculation_helps = not self.prefers_inline
         self.inline_maps = 0
         self.delegated_maps = 0
+        self.largest_map = 0
+        self.granted_workers = max_workers
+        self.pool_growths = 0
+
+    def _grown_workers(self, count: int) -> int:
+        """The worker grant for a delegated map of ``count`` items."""
+        if self.max_workers is not None:
+            return self.max_workers
+        self.largest_map = max(self.largest_map, count)
+        target = min(self.cpu_count, self.largest_map)
+        granted = self.granted_workers or min(self.INITIAL_GRANT, self.cpu_count)
+        while granted < target:
+            granted = min(granted * 2, self.cpu_count)
+            self.pool_growths += 1
+        self.granted_workers = granted
+        return granted
 
     def map(self, fn: Callable, items: Iterable) -> list:
         items = list(items)
@@ -348,9 +410,8 @@ class AutoExecutor(BlockExecutor):
             self.inline_maps += 1
             return [fn(item) for item in items]
         self.delegated_maps += 1
-        return resolve_executor("thread-persistent", self.max_workers).map(
-            fn, items
-        )
+        workers = self._grown_workers(len(items))
+        return resolve_executor("thread-persistent", workers).map(fn, items)
 
     def describe(self) -> dict:
         return {
@@ -359,6 +420,9 @@ class AutoExecutor(BlockExecutor):
             "mode": "inline" if self.prefers_inline else "thread-persistent",
             "inline_maps": self.inline_maps,
             "delegated_maps": self.delegated_maps,
+            "granted_workers": self.granted_workers,
+            "largest_map": self.largest_map,
+            "pool_growths": self.pool_growths,
         }
 
 

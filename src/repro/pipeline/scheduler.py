@@ -43,12 +43,17 @@ from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 
-import numpy as np
-
 from repro.circuits.dag import critical_path_ns
 from repro.errors import PipelineError, ReproError
 from repro.perf import get_perf_registry
 from repro.pipeline.executors import BlockExecutor, SerialExecutor
+from repro.pipeline.jobs import (
+    _decode_cache_entry,
+    _decode_outcome,
+    _encode_cache_entry,
+    _encode_outcome,
+    _tuplify,
+)
 from repro.pipeline.stages import BlockTask, PipelineContext, _dispatch_task
 from repro.pulse.schedule import PulseSchedule, lookup_schedule
 
@@ -110,89 +115,6 @@ class _SeenBlock:
 #: Bump when the on-disk scheduler-state layout (or the meaning of a
 #: serialized field) changes; ``SchedulerState.load`` rejects mismatches.
 SCHEDULER_STATE_SCHEMA_VERSION = 1
-
-
-def _tuplify(obj):
-    """Recursively turn JSON lists back into the tuples dedup keys use."""
-    if isinstance(obj, list):
-        return tuple(_tuplify(item) for item in obj)
-    return obj
-
-
-def _encode_schedule(schedule) -> dict:
-    return {
-        "qubits": list(schedule.qubits),
-        "dt_ns": schedule.dt_ns,
-        "controls_shape": list(schedule.controls.shape),
-        # float(x) keeps each sample a Python float; json round-trips those
-        # via repr, so reloaded controls are bit-identical.
-        "controls": [float(x) for x in schedule.controls.ravel()],
-        "channel_names": list(schedule.channel_names),
-        "source": schedule.source,
-    }
-
-
-def _decode_schedule(data: dict):
-    from repro.pulse.schedule import PulseSchedule as Schedule
-
-    controls = np.array(data["controls"], dtype=float).reshape(
-        tuple(data["controls_shape"])
-    )
-    return Schedule(
-        qubits=tuple(data["qubits"]),
-        dt_ns=data["dt_ns"],
-        controls=controls,
-        channel_names=tuple(data["channel_names"]),
-        source=data["source"],
-    )
-
-
-def _encode_outcome(outcome) -> dict:
-    return {
-        "schedule": _encode_schedule(outcome.schedule),
-        "duration_ns": outcome.duration_ns,
-        "gate_based_ns": outcome.gate_based_ns,
-        "iterations": outcome.iterations,
-        "cache_hit": outcome.cache_hit,
-        "used_grape": outcome.used_grape,
-        "fidelity": outcome.fidelity,
-    }
-
-
-def _decode_outcome(data: dict):
-    from repro.core.compiler import BlockCompileOutcome
-
-    return BlockCompileOutcome(
-        schedule=_decode_schedule(data["schedule"]),
-        duration_ns=data["duration_ns"],
-        gate_based_ns=data["gate_based_ns"],
-        iterations=data["iterations"],
-        cache_hit=data["cache_hit"],
-        used_grape=data["used_grape"],
-        fidelity=data["fidelity"],
-    )
-
-
-def _encode_cache_entry(entry) -> dict:
-    return {
-        "schedule": _encode_schedule(entry.schedule),
-        "duration_ns": entry.duration_ns,
-        "fidelity": entry.fidelity,
-        "converged": entry.converged,
-        "iterations": entry.iterations,
-    }
-
-
-def _decode_cache_entry(data: dict):
-    from repro.core.cache import CacheEntry
-
-    return CacheEntry(
-        schedule=_decode_schedule(data["schedule"]),
-        duration_ns=data["duration_ns"],
-        fidelity=data["fidelity"],
-        converged=data["converged"],
-        iterations=data["iterations"],
-    )
 
 
 @dataclass
@@ -551,31 +473,88 @@ class BlockScheduler:
             return False
         return True
 
+    def _job_dispatch_allowed(self) -> bool:
+        """Whether fixed representatives may travel as serializable jobs.
+
+        Jobs run the compiler's resolved-block path directly, so they are
+        only equivalent for a plain :class:`BlockPulseCompiler` (or a
+        subclass that overrides none of the involved methods): a subclass
+        overriding ``compile_block`` (failure injection, custom judgment)
+        must keep its override on the dispatch path, so it falls back to
+        the closure map.
+        """
+        from repro.core.compiler import BlockPulseCompiler
+
+        compiler = self.block_compiler
+        if not isinstance(compiler, BlockPulseCompiler):
+            return False
+        cls = type(compiler)
+        return (
+            cls.compile_block is BlockPulseCompiler.compile_block
+            and cls.make_job is BlockPulseCompiler.make_job
+            and cls.compile_job is BlockPulseCompiler.compile_job
+        )
+
     def _dispatch_all(self, order: list, dispatch_tasks: list) -> tuple:
         """Run every dispatch task; batch fixed ones when it pays.
 
+        Fixed representatives travel one of three routes, preferred in
+        order: the cross-block batched GRAPE kernel (inline executors),
+        serializable :class:`~repro.pipeline.jobs.BlockJob` descriptors
+        through the executor's :meth:`~repro.pipeline.executors
+        .Dispatcher.dispatch_jobs` (the fleet-ready data path), or the
+        legacy closure map (custom compilers).  Parametrized tasks always
+        take the closure path — they are not serializable as jobs.
+
         Returns ``(results, stats)`` with results aligned to
         ``dispatch_tasks`` and ``stats`` the compiler's batching summary
-        (empty counts when the per-task map ran instead).
+        (empty counts when a non-batched path ran instead).
         """
         no_stats = {"batched_groups": 0, "batched_blocks": 0}
         fixed_idx = [j for j, (kind, _) in enumerate(order) if kind == "group"]
-        if not self._batched_dispatch_allowed(len(fixed_idx)):
-            return self.executor.map(self._dispatch, dispatch_tasks), no_stats
-        results: list = [None] * len(dispatch_tasks)
-        outcomes, stats = self.block_compiler.compile_blocks_batched(
-            [
-                (dispatch_tasks[j].subcircuit, dispatch_tasks[j].device_qubits)
+        if self._batched_dispatch_allowed(len(fixed_idx)):
+            results: list = [None] * len(dispatch_tasks)
+            outcomes, stats = self.block_compiler.compile_blocks_batched(
+                [
+                    (
+                        dispatch_tasks[j].subcircuit,
+                        dispatch_tasks[j].device_qubits,
+                    )
+                    for j in fixed_idx
+                ],
+                max_group=self.grape_batch_size,
+            )
+            for j, outcome in zip(fixed_idx, outcomes):
+                results[j] = outcome
+            for j, (kind, _) in enumerate(order):
+                if kind != "group":
+                    results[j] = self._dispatch(dispatch_tasks[j])
+            return results, stats
+        if fixed_idx and self._job_dispatch_allowed():
+            # Grouped representatives always carry a real dedup key (the
+            # trivial ones were compiled inline before dispatch), so
+            # make_job never returns None here; the guard keeps a
+            # surprising task on the always-correct closure path anyway.
+            jobs = [
+                self.block_compiler.make_job(
+                    dispatch_tasks[j].subcircuit,
+                    dispatch_tasks[j].device_qubits,
+                    key=order[j][1],
+                )
                 for j in fixed_idx
-            ],
-            max_group=self.grape_batch_size,
-        )
-        for j, outcome in zip(fixed_idx, outcomes):
-            results[j] = outcome
-        for j, (kind, _) in enumerate(order):
-            if kind != "group":
-                results[j] = self._dispatch(dispatch_tasks[j])
-        return results, stats
+            ]
+            if all(job is not None for job in jobs):
+                results = [None] * len(dispatch_tasks)
+                outcomes = self.executor.dispatch_jobs(
+                    jobs, cache=self.block_compiler.cache
+                )
+                for j, outcome in zip(fixed_idx, outcomes):
+                    results[j] = outcome
+                for j, (kind, _) in enumerate(order):
+                    if kind != "group":
+                        results[j] = self._dispatch(dispatch_tasks[j])
+                return results, no_stats
+        return self.executor.map(self._dispatch, dispatch_tasks), no_stats
 
     def run(self, contexts: list) -> SchedulerReport:
         """Compile every context's tasks, deduplicating across the batch.

@@ -13,6 +13,7 @@ stack and which handlers they plug in — the flow itself is shared.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable
 
 from repro.blocking.aggregate import aggregate_blocks
@@ -272,8 +273,6 @@ class PulseStage(Stage):
         parametrized_handler: Callable | None = None,
         block_compiler=None,
     ):
-        from functools import partial
-
         self.fixed_handler = fixed_handler
         self.parametrized_handler = parametrized_handler
         self.block_compiler = block_compiler
@@ -281,6 +280,69 @@ class PulseStage(Stage):
         self._dispatch = partial(
             _dispatch_task, fixed_handler, parametrized_handler
         )
+
+    def _job_dispatch_allowed(self) -> bool:
+        """Whether fixed tasks may travel as serializable block jobs.
+
+        Only when ``fixed_handler`` is exactly the standard block compile
+        over ``block_compiler`` — strategies that plug in plan-building or
+        otherwise custom fixed handlers keep their handler on the closure
+        path — and the compiler is a plain
+        :class:`~repro.core.compiler.BlockPulseCompiler` (subclasses that
+        override the compile path keep their overrides in effect).
+        """
+        from repro.core.compiler import BlockPulseCompiler
+        from repro.pipeline.strategies import compile_fixed_block
+
+        compiler = self.block_compiler
+        if not isinstance(compiler, BlockPulseCompiler):
+            return False
+        handler = self.fixed_handler
+        if not (
+            isinstance(handler, partial)
+            and handler.func is compile_fixed_block
+            and len(handler.args) == 1
+            and handler.args[0] is compiler
+            and not handler.keywords
+        ):
+            return False
+        cls = type(compiler)
+        return (
+            cls.compile_block is BlockPulseCompiler.compile_block
+            and cls.make_job is BlockPulseCompiler.make_job
+            and cls.compile_job is BlockPulseCompiler.compile_job
+        )
+
+    def _run_tasks(self, tasks: list) -> list:
+        """Dispatch the task list: jobs for standard fixed work, closures
+        for everything else (parametrized, trivial, custom handlers)."""
+        if not self._job_dispatch_allowed():
+            return self.executor.map(self._dispatch, tasks)
+        jobs: list = []
+        job_idx: list = []
+        for i, task in enumerate(tasks):
+            if task.kind != "fixed" or task.subcircuit is None:
+                continue
+            job = self.block_compiler.make_job(
+                task.subcircuit, task.device_qubits
+            )
+            if job is None:
+                # Trivial (empty / zero-duration) block: the closure path
+                # below compiles it inline for free.
+                continue
+            jobs.append(job)
+            job_idx.append(i)
+        results: list = [None] * len(tasks)
+        if jobs:
+            outcomes = self.executor.dispatch_jobs(
+                jobs, cache=self.block_compiler.cache
+            )
+            for i, outcome in zip(job_idx, outcomes):
+                results[i] = outcome
+        for i, task in enumerate(tasks):
+            if results[i] is None:
+                results[i] = self._dispatch(task)
+        return results
 
     def run(self, context: PipelineContext) -> None:
         if context.tasks is None:
@@ -292,9 +354,7 @@ class PulseStage(Stage):
         if cache is not None:
             cache.freeze_neighbors()
         try:
-            context.block_results = self.executor.map(
-                self._dispatch, context.tasks
-            )
+            context.block_results = self._run_tasks(context.tasks)
         finally:
             if cache is not None:
                 cache.thaw_neighbors()

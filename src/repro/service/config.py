@@ -44,6 +44,11 @@ EXECUTOR_CHOICES = (
 #: must be a power of 16.
 CACHE_SHARD_CHOICES = (16, 256, 4096)
 
+#: How fixed-block jobs leave the service: ``"executor"`` keeps them on
+#: the in-process block executor; ``"queue"`` routes them through the
+#: file-backed fleet queue to detached worker processes.
+DISPATCHER_CHOICES = ("executor", "queue")
+
 
 class ReproDeprecationWarning(DeprecationWarning):
     """Deprecation category for repro's legacy entry-point shims.
@@ -143,6 +148,26 @@ class ServiceConfig:
         :mod:`repro.linalg.scan` (``REPRO_SCAN_BLOCK``).  ``None`` (the
         default) keeps the auto heuristic (``≈√n_steps``); setting it
         pins the chunk length for cache tuning on unusual hosts.
+    dispatcher:
+        Where fixed-block jobs are compiled (``REPRO_DISPATCHER``):
+        ``"executor"`` (default) keeps them on the in-process block
+        executor; ``"queue"`` sends them through the
+        :class:`repro.fleet.QueueDispatcher` to detached worker
+        processes sharing the fleet queue directory.
+    fleet_dir:
+        The fleet queue directory (``REPRO_FLEET_DIR``).  ``None`` with
+        ``dispatcher="queue"`` derives ``<cache_dir>/fleet``; with no
+        cache directory either, service construction fails.
+    fleet_workers:
+        How many local worker processes the queue dispatcher spawns and
+        keeps alive (``REPRO_FLEET_WORKERS``).  ``0`` (default) spawns
+        none — jobs run inline unless external workers drain the queue.
+    queue_depth:
+        Bounded admission for :meth:`repro.service.CompilationService
+        .submit` (``REPRO_QUEUE_DEPTH``): at most this many requests may
+        be queued or running at once; further ``submit`` calls block
+        until a slot frees (backpressure).  ``None`` (default) admits
+        without bound.
     """
 
     executor: str = "auto"
@@ -161,6 +186,10 @@ class ServiceConfig:
     warm_start: bool = True
     warm_start_max_dist: float = 0.25
     scan_block: int | None = None
+    dispatcher: str = "executor"
+    fleet_dir: str | None = None
+    fleet_workers: int = 0
+    queue_depth: int | None = None
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_CHOICES:
@@ -194,6 +223,19 @@ class ServiceConfig:
         if self.scan_block is not None and self.scan_block < 1:
             raise ReproError(
                 f"scan_block must be >= 1, got {self.scan_block}"
+            )
+        if self.dispatcher not in DISPATCHER_CHOICES:
+            raise ReproError(
+                f"unknown dispatcher {self.dispatcher!r}; "
+                f"available: {DISPATCHER_CHOICES}"
+            )
+        if self.fleet_workers < 0:
+            raise ReproError(
+                f"fleet_workers must be >= 0, got {self.fleet_workers}"
+            )
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ReproError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
             )
 
     # -- construction --------------------------------------------------------
@@ -427,6 +469,65 @@ class ServiceConfig:
                 else:
                     values["scan_block"] = scan_block
                     sources["scan_block"] = "env"
+
+        dispatcher = os.environ.get("REPRO_DISPATCHER")
+        if dispatcher is not None:
+            if dispatcher in DISPATCHER_CHOICES:
+                values["dispatcher"] = dispatcher
+                sources["dispatcher"] = "env"
+            else:
+                warnings.warn(
+                    f"ignoring REPRO_DISPATCHER={dispatcher!r}; "
+                    f"available: {DISPATCHER_CHOICES}",
+                    stacklevel=3,
+                )
+
+        fleet_dir = os.environ.get("REPRO_FLEET_DIR")
+        if fleet_dir:
+            values["fleet_dir"] = fleet_dir
+            sources["fleet_dir"] = "env"
+
+        fleet_raw = os.environ.get("REPRO_FLEET_WORKERS")
+        if fleet_raw:
+            try:
+                fleet_workers = int(fleet_raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring REPRO_FLEET_WORKERS={fleet_raw!r} "
+                    "(not an integer)",
+                    stacklevel=3,
+                )
+            else:
+                if fleet_workers < 0:
+                    warnings.warn(
+                        f"ignoring REPRO_FLEET_WORKERS={fleet_workers} "
+                        "(must be >= 0)",
+                        stacklevel=3,
+                    )
+                else:
+                    values["fleet_workers"] = fleet_workers
+                    sources["fleet_workers"] = "env"
+
+        depth_raw = os.environ.get("REPRO_QUEUE_DEPTH")
+        if depth_raw:
+            try:
+                queue_depth = int(depth_raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring REPRO_QUEUE_DEPTH={depth_raw!r} "
+                    "(not an integer)",
+                    stacklevel=3,
+                )
+            else:
+                if queue_depth < 1:
+                    warnings.warn(
+                        f"ignoring REPRO_QUEUE_DEPTH={queue_depth} "
+                        "(must be >= 1)",
+                        stacklevel=3,
+                    )
+                else:
+                    values["queue_depth"] = queue_depth
+                    sources["queue_depth"] = "env"
 
         return cls(**values), sources
 

@@ -94,9 +94,12 @@ class CompilationService:
             if self.config.cache_dir
             else PulseCache()
         )
-        self.executor = resolve_executor(
-            self.config.executor, self.config.max_workers
-        )
+        if self.config.dispatcher == "queue":
+            self.executor = self._make_queue_dispatcher()
+        else:
+            self.executor = resolve_executor(
+                self.config.executor, self.config.max_workers
+            )
         self.scheduler_state = self._load_scheduler_state(SchedulerState)
         # Blocking plans keyed by ansatz content: repeated requests for one
         # symbolic circuit replay blocking instead of recomputing it.
@@ -118,6 +121,40 @@ class CompilationService:
         self.requests_total = 0
         self.requests_by_strategy: dict = {}
         self.submitted_total = 0
+        # Bounded admission: at most ``queue_depth`` submissions queued or
+        # running at once; further submit() calls block until a slot
+        # frees.  ``None`` admits without bound.
+        self._admission = (
+            threading.BoundedSemaphore(self.config.queue_depth)
+            if self.config.queue_depth is not None
+            else None
+        )
+        self.backpressure_waits = 0
+
+    def _make_queue_dispatcher(self):
+        """The fleet dispatcher selected by ``dispatcher="queue"``.
+
+        The queue directory comes from ``fleet_dir``, falling back to
+        ``<cache_dir>/fleet`` so a cache-configured service needs no
+        extra knob for a local fleet.
+        """
+        from pathlib import Path
+
+        from repro.fleet import QueueDispatcher
+
+        fleet_dir = self.config.fleet_dir
+        if not fleet_dir and self.config.cache_dir:
+            fleet_dir = str(Path(self.config.cache_dir) / "fleet")
+        if not fleet_dir:
+            raise ReproError(
+                "dispatcher='queue' needs REPRO_FLEET_DIR (or REPRO_CACHE_DIR "
+                "to derive <cache_dir>/fleet from)"
+            )
+        return QueueDispatcher(
+            fleet_dir,
+            cache_dir=self.config.cache_dir,
+            workers=self.config.fleet_workers,
+        )
 
     def _load_scheduler_state(self, state_cls):
         """Resume spilled dedup memory when configured, else start fresh.
@@ -185,24 +222,43 @@ class CompilationService:
         Callable from any number of threads: all submissions share this
         service's executor, cache, and scheduler state, so concurrent
         requests reuse each other's blocks exactly as serial ones do.
+
+        With ``queue_depth`` configured, admission is bounded: when that
+        many submissions are already queued or running, this call blocks
+        until one of them completes (backpressure), keeping a fast
+        producer from piling unbounded work onto the service.
         """
         if not isinstance(request, CompileRequest):
             raise ReproError(
                 f"submit() takes a CompileRequest, got {type(request).__name__}"
             )
-        with self._submit_pool_lock:
-            if self._draining or self._closed:
-                raise PipelineError("this CompilationService is closed")
-            if self._submit_pool is None:
-                self._submit_pool = ThreadPoolExecutor(
-                    max_workers=self.config.submit_workers,
-                    thread_name_prefix="repro-service",
-                )
-            # Enqueue under the lock: a close() racing this call cannot
-            # shut the pool down between the drain check and the submit,
-            # so an accepted future can never hit a shut-down pool.
-            future = self._submit_pool.submit(self.compile, request)
-            self.submitted_total += 1
+        if self._admission is not None:
+            # Acquire *outside* the pool lock: a blocked producer must not
+            # hold up other submitters or a concurrent close().
+            if not self._admission.acquire(blocking=False):
+                with self._lock:
+                    self.backpressure_waits += 1
+                self._admission.acquire()
+        try:
+            with self._submit_pool_lock:
+                if self._draining or self._closed:
+                    raise PipelineError("this CompilationService is closed")
+                if self._submit_pool is None:
+                    self._submit_pool = ThreadPoolExecutor(
+                        max_workers=self.config.submit_workers,
+                        thread_name_prefix="repro-service",
+                    )
+                # Enqueue under the lock: a close() racing this call cannot
+                # shut the pool down between the drain check and the submit,
+                # so an accepted future can never hit a shut-down pool.
+                future = self._submit_pool.submit(self.compile, request)
+                self.submitted_total += 1
+        except BaseException:
+            if self._admission is not None:
+                self._admission.release()
+            raise
+        if self._admission is not None:
+            future.add_done_callback(lambda _f: self._admission.release())
         return future
 
     def compile_batch(self, requests) -> list:
@@ -271,6 +327,8 @@ class CompilationService:
                 "total": self.requests_total,
                 "submitted": self.submitted_total,
                 "by_strategy": dict(self.requests_by_strategy),
+                "queue_depth": self.config.queue_depth,
+                "backpressure_waits": self.backpressure_waits,
             },
             "scheduler": self.scheduler_state.as_dict(),
             "plan_cache": self.plan_cache.as_dict(),

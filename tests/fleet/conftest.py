@@ -1,0 +1,53 @@
+"""Shared fixtures for the fleet tests: small real BlockJobs.
+
+One 2-qubit entangling block with a per-test rotation angle keeps each
+job's GRAPE search short while still exercising the full claim → compile
+→ complete path with genuine pulse work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core import PulseCache
+from repro.core.compiler import BlockPulseCompiler
+from repro.pulse.device import GmonDevice
+from repro.pulse.grape.engine import GrapeHyperparameters, GrapeSettings
+from repro.transpile.topology import line_topology
+
+SETTINGS = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
+HYPER = GrapeHyperparameters(0.05, 0.002, max_iterations=120)
+
+
+def block_circuit(angle: float) -> QuantumCircuit:
+    circuit = QuantumCircuit(2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.rz(angle, 1)
+    return circuit
+
+
+@pytest.fixture
+def block_compiler():
+    # Warm start pinned off: neighbor seeding depends on cache contents,
+    # which would break the bit-identity assertions across venues.
+    return BlockPulseCompiler(
+        GmonDevice(line_topology(2)),
+        SETTINGS,
+        HYPER,
+        PulseCache(),
+        warm_start=False,
+    )
+
+
+@pytest.fixture
+def job_factory(block_compiler):
+    """Build a picklable BlockJob for one angle of the test block."""
+
+    def make(angle: float = 0.3):
+        job = block_compiler.make_job(block_circuit(angle), (0, 1))
+        assert job is not None
+        return job
+
+    return make

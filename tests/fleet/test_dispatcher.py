@@ -1,0 +1,104 @@
+"""QueueDispatcher: batch bit-identity, exactly-once, and failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PersistentPulseCache, PulseCache
+from repro.errors import PipelineError
+from repro.fleet import QueueDispatcher
+from repro.pipeline.jobs import _encode_outcome, run_block_job
+
+
+class TestInlineMode:
+    def test_zero_workers_compiles_inline(self, tmp_path, job_factory):
+        jobs = [job_factory(0.2), job_factory(0.9)]
+        expected = [
+            _encode_outcome(run_block_job(job, cache=PulseCache()))
+            for job in jobs
+        ]
+        with QueueDispatcher(tmp_path / "q", workers=0) as dispatcher:
+            outcomes = dispatcher.dispatch_jobs(jobs, cache=PulseCache())
+            info = dispatcher.describe()
+        assert [_encode_outcome(o) for o in outcomes] == expected
+        assert info["inline_jobs"] == 2
+        assert info["dispatched_jobs"] == 0
+        assert info["workers_spawned"] == 0
+
+    def test_empty_dispatch_is_a_noop(self, tmp_path):
+        with QueueDispatcher(tmp_path / "q", workers=2) as dispatcher:
+            assert dispatcher.dispatch_jobs([]) == []
+            assert dispatcher.describe()["workers_spawned"] == 0
+
+    def test_map_runs_in_calling_process(self, tmp_path):
+        with QueueDispatcher(tmp_path / "q", workers=2) as dispatcher:
+            assert dispatcher.map(lambda x: x * x, range(4)) == [0, 1, 4, 9]
+            assert dispatcher.describe()["workers_spawned"] == 0
+
+
+class TestFleetDispatch:
+    def test_two_workers_bit_identical_and_exactly_once(
+        self, tmp_path, job_factory
+    ):
+        """The milestone-1 acceptance shape: one batch's unique blocks split
+        across 2 workers, outcomes bit-identical to serial in-process, each
+        block compiled exactly once across the fleet."""
+        angles = (0.2, 0.5, 0.8, 1.1)
+        jobs = [job_factory(a) for a in angles]
+        expected = [
+            _encode_outcome(run_block_job(job, cache=PulseCache()))
+            for job in jobs
+        ]
+        with QueueDispatcher(
+            tmp_path / "q", workers=2, poll_s=0.02
+        ) as dispatcher:
+            outcomes = dispatcher.dispatch_jobs(jobs)
+            info = dispatcher.describe()
+        assert [_encode_outcome(o) for o in outcomes] == expected
+        assert info["workers_spawned"] == 2
+        assert info["dispatched_jobs"] == len(jobs)
+        assert info["completed_jobs"] == len(jobs)
+        # Exactly once: the per-worker completion counts account for every
+        # job with none double-compiled.
+        assert sum(info["completions_by_worker"].values()) == len(jobs)
+        # Afterwards the queue directory is fully drained.
+        assert dispatcher.queue.status()["pending_jobs"] == 0
+        assert dispatcher.queue.status()["leased_jobs"] == 0
+
+    def test_worker_failure_raises_pipeline_error(self, tmp_path, job_factory):
+        job = job_factory(0.4)
+        job.device_qubits = (5, 7)  # off the 2-qubit device: compile raises
+        with QueueDispatcher(
+            tmp_path / "q", workers=1, poll_s=0.02
+        ) as dispatcher:
+            with pytest.raises(PipelineError, match="failed job"):
+                dispatcher.dispatch_jobs([job])
+
+    def test_cache_dir_stamped_and_pulses_shared(self, tmp_path, job_factory):
+        """Workers persist pulses through the shared library: the service
+        side can read the compiled entry back by the job's own key."""
+        library = tmp_path / "library"
+        job = job_factory(0.6)
+        assert job.cache_dir is None
+        with QueueDispatcher(
+            tmp_path / "q", cache_dir=str(library), workers=1, poll_s=0.02
+        ) as dispatcher:
+            [outcome] = dispatcher.dispatch_jobs([job])
+        assert job.cache_dir == str(library)
+        entry = PersistentPulseCache(str(library)).get(job.key)
+        assert entry is not None
+        assert entry.duration_ns == outcome.duration_ns
+
+    def test_no_progress_timeout_raises(self, tmp_path, job_factory):
+        """A fleet that looks alive but never completes anything must hit
+        the no-progress deadline and report, not hang forever."""
+        dispatcher = QueueDispatcher(
+            tmp_path / "q", workers=1, poll_s=0.01, job_timeout_s=0.2
+        )
+        # Sabotage the fleet: the dispatcher believes one worker is alive,
+        # but nothing ever drains the queue.
+        dispatcher._ensure_workers = lambda: None
+        dispatcher._live_workers = lambda: 1
+        with pytest.raises(PipelineError, match="no progress"):
+            dispatcher.dispatch_jobs([job_factory(0.3)])
+        dispatcher.close()

@@ -171,6 +171,58 @@ class TestAutoExecutor:
             np.testing.assert_allclose(ours.controls, theirs.controls)
 
 
+class TestAutoExecutorDemandGrowth:
+    """Without a pinned ``max_workers`` the delegated pool is sized from
+    observed map sizes, doubling toward ``min(cpu_count, largest map)``."""
+
+    def _executor(self, monkeypatch, cores: int, max_workers=None):
+        import repro.pipeline.executors as executors_module
+
+        monkeypatch.setattr(executors_module.os, "cpu_count", lambda: cores)
+        return executors_module.AutoExecutor(max_workers)
+
+    def test_first_delegation_grants_the_initial_pool(self, monkeypatch):
+        executor = self._executor(monkeypatch, 16)
+        assert executor.granted_workers is None
+        assert executor.map(_square, range(4)) == [x * x for x in range(4)]
+        assert executor.granted_workers == executor.INITIAL_GRANT
+        assert executor.largest_map == 4
+        assert executor.pool_growths == 0
+
+    def test_grant_doubles_as_bigger_maps_arrive(self, monkeypatch):
+        executor = self._executor(monkeypatch, 16)
+        executor.map(_square, range(4))   # grant 4
+        executor.map(_square, range(9))   # 4 → 8 → 16? target min(16, 9)=9
+        assert executor.granted_workers == 16
+        assert executor.pool_growths == 2
+        assert executor.largest_map == 9
+        # Smaller maps afterwards never shrink the grant.
+        executor.map(_square, range(5))
+        assert executor.granted_workers == 16
+        assert executor.pool_growths == 2
+
+    def test_grant_is_capped_by_cpu_count(self, monkeypatch):
+        executor = self._executor(monkeypatch, 6)
+        executor.map(_square, range(40))
+        assert executor.granted_workers == 6
+        assert executor.largest_map == 40
+
+    def test_pinned_max_workers_never_grows(self, monkeypatch):
+        executor = self._executor(monkeypatch, 16, max_workers=3)
+        executor.map(_square, range(12))
+        executor.map(_square, range(12))
+        assert executor.granted_workers == 3
+        assert executor.pool_growths == 0
+
+    def test_growth_is_visible_in_describe(self, monkeypatch):
+        executor = self._executor(monkeypatch, 8)
+        executor.map(_square, range(8))
+        info = executor.describe()
+        assert info["granted_workers"] == 8
+        assert info["largest_map"] == 8
+        assert info["pool_growths"] == 1
+
+
 class TestMapContract:
     @pytest.mark.parametrize("executor_name", ["serial", "thread", "process"])
     def test_order_preserved(self, executor_name):

@@ -1,0 +1,128 @@
+"""CompilationService on the fleet: queue dispatch parity and admission.
+
+The milestone-1 service-level contracts:
+
+* every strategy compiled through ``dispatcher="queue"`` with real worker
+  processes is bit-identical to the serial in-process executor (warm
+  start pinned off — it is the one deliberately order-sensitive knob);
+* ``queue_depth`` bounds admission — extra ``submit()`` calls block and
+  are counted — without losing or erroring any request;
+* the fleet directory falls back to ``<cache_dir>/fleet``, and a queue
+  dispatcher without either knob is a configuration error.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service import CompilationService, CompileRequest, ServiceConfig
+
+#: (strategy, extra request options) — flexible-partial's tuning loop is
+#: cut to one sample to keep the fleet round-trip fast.
+STRATEGIES = [
+    ("gate", {}),
+    ("step-function", {}),
+    ("full-grape", {}),
+    ("strict-partial", {}),
+    ("flexible-partial", {"tuning_samples": 1}),
+]
+
+
+class TestQueueDispatchParity:
+    def test_all_strategies_bit_identical_to_serial(
+        self, tmp_path, workload, coarse_settings, coarse_hyper, programs_identical
+    ):
+        """One serial service and one 2-worker fleet service compile the
+        same five requests; every program must match bit-for-bit."""
+        circuit, theta = workload
+        serial_cfg = ServiceConfig(executor="serial", warm_start=False)
+        fleet_cfg = ServiceConfig(
+            dispatcher="queue",
+            fleet_dir=str(tmp_path / "fleet"),
+            fleet_workers=2,
+            warm_start=False,
+        )
+        results: dict = {}
+        for label, cfg in (("serial", serial_cfg), ("fleet", fleet_cfg)):
+            with CompilationService(
+                config=cfg,
+                settings=coarse_settings,
+                hyperparameters=coarse_hyper,
+            ) as service:
+                results[label] = [
+                    service.compile(
+                        CompileRequest(
+                            circuit, theta, strategy=name, options=dict(options)
+                        )
+                    )
+                    for name, options in STRATEGIES
+                ]
+        for (name, _), serial, fleet in zip(
+            STRATEGIES, results["serial"], results["fleet"]
+        ):
+            assert programs_identical(serial.program, fleet.program), name
+            assert fleet.strategy == name
+
+    def test_fleet_dir_derived_from_cache_dir(self, tmp_path):
+        config = ServiceConfig(
+            dispatcher="queue", cache_dir=str(tmp_path / "cache")
+        )
+        with CompilationService(config=config) as service:
+            assert service.executor.queue.directory == (
+                Path(tmp_path) / "cache" / "fleet"
+            )
+            assert service.stats()["executor"]["executor"] == "queue"
+
+    def test_queue_dispatcher_without_directory_is_an_error(self):
+        with pytest.raises(ReproError, match="REPRO_FLEET_DIR"):
+            CompilationService(config=ServiceConfig(dispatcher="queue"))
+
+
+class TestBoundedAdmission:
+    def test_queue_depth_bounds_and_counts_backpressure(
+        self, workload, coarse_settings, coarse_hyper
+    ):
+        """Three submissions through a depth-1 gate: all complete, and at
+        least two had to wait for a slot."""
+        circuit, theta = workload
+        config = ServiceConfig(
+            executor="serial",
+            submit_workers=2,
+            queue_depth=1,
+            warm_start=False,
+        )
+        with CompilationService(
+            config=config,
+            settings=coarse_settings,
+            hyperparameters=coarse_hyper,
+        ) as service:
+            futures = [
+                service.submit(CompileRequest(circuit, theta, strategy="gate"))
+                for _ in range(3)
+            ]
+            durations = {f.result(timeout=300).program.duration_ns for f in futures}
+            stats = service.stats()["requests"]
+        assert len(durations) == 1  # identical requests, identical programs
+        assert stats["submitted"] == 3
+        assert stats["queue_depth"] == 1
+        assert stats["backpressure_waits"] >= 1
+
+    def test_unbounded_admission_never_waits(
+        self, workload, coarse_settings, coarse_hyper
+    ):
+        circuit, theta = workload
+        with CompilationService(
+            config=ServiceConfig(executor="serial", warm_start=False),
+            settings=coarse_settings,
+            hyperparameters=coarse_hyper,
+        ) as service:
+            future = service.submit(
+                CompileRequest(circuit, theta, strategy="gate")
+            )
+            future.result(timeout=300)
+            stats = service.stats()["requests"]
+        assert stats["queue_depth"] is None
+        assert stats["backpressure_waits"] == 0

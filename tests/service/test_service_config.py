@@ -47,6 +47,10 @@ class TestEnvConsolidation:
             "REPRO_WARM_START",
             "REPRO_WARM_START_MAX_DIST",
             "REPRO_SCAN_BLOCK",
+            "REPRO_DISPATCHER",
+            "REPRO_FLEET_DIR",
+            "REPRO_FLEET_WORKERS",
+            "REPRO_QUEUE_DEPTH",
         ):
             assert name in source
 
@@ -68,6 +72,10 @@ class TestFromEnv:
             "REPRO_WARM_START",
             "REPRO_WARM_START_MAX_DIST",
             "REPRO_SCAN_BLOCK",
+            "REPRO_DISPATCHER",
+            "REPRO_FLEET_DIR",
+            "REPRO_FLEET_WORKERS",
+            "REPRO_QUEUE_DEPTH",
         ):
             monkeypatch.delenv(name, raising=False)
         config, sources = ServiceConfig.from_env_with_sources()
@@ -89,6 +97,10 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_WARM_START", "no")
         monkeypatch.setenv("REPRO_WARM_START_MAX_DIST", "0.4")
         monkeypatch.setenv("REPRO_SCAN_BLOCK", "32")
+        monkeypatch.setenv("REPRO_DISPATCHER", "queue")
+        monkeypatch.setenv("REPRO_FLEET_DIR", "/tmp/fleet")
+        monkeypatch.setenv("REPRO_FLEET_WORKERS", "2")
+        monkeypatch.setenv("REPRO_QUEUE_DEPTH", "16")
         config, sources = ServiceConfig.from_env_with_sources()
         assert config.executor == "thread-persistent"
         assert config.max_workers == 3
@@ -104,6 +116,10 @@ class TestFromEnv:
         assert config.warm_start is False
         assert config.warm_start_max_dist == 0.4
         assert config.scan_block == 32
+        assert config.dispatcher == "queue"
+        assert config.fleet_dir == "/tmp/fleet"
+        assert config.fleet_workers == 2
+        assert config.queue_depth == 16
         assert set(sources.values()) == {"env"}
 
     def test_garbage_warns_and_falls_back(self, monkeypatch):
@@ -118,6 +134,9 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_WARM_START", "perhaps")
         monkeypatch.setenv("REPRO_WARM_START_MAX_DIST", "2.0")
         monkeypatch.setenv("REPRO_SCAN_BLOCK", "none")
+        monkeypatch.setenv("REPRO_DISPATCHER", "carrier-pigeon")
+        monkeypatch.setenv("REPRO_FLEET_WORKERS", "-1")
+        monkeypatch.setenv("REPRO_QUEUE_DEPTH", "0")
         with pytest.warns(UserWarning):
             config, sources = ServiceConfig.from_env_with_sources()
         assert config == ServiceConfig()

@@ -230,3 +230,138 @@ class TestCommands:
         import re
 
         assert re.search(r"runtime GRAPE iterations \|\s+0\b", out)
+
+
+class TestFleetCli:
+    """The worker entrypoint, ``fleet status``, and the dispatcher knobs."""
+
+    def test_worker_requires_fleet_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_defaults(self):
+        args = build_parser().parse_args(["worker", "--fleet-dir", "/tmp/q"])
+        assert args.lease_ttl == 30.0
+        assert args.poll == 0.2
+        assert args.max_jobs is None
+        assert args.idle_exit is None
+        assert args.worker_id is None
+        assert args.cache_dir is None
+
+    def test_fleet_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet"])
+
+    def test_compile_batch_accepts_dispatcher_knobs(self):
+        args = build_parser().parse_args(
+            [
+                "compile-batch", "--benchmark", "vqe:H2",
+                "--dispatcher", "queue", "--fleet-dir", "/tmp/q",
+                "--fleet-workers", "2", "--queue-depth", "8",
+            ]
+        )
+        assert args.dispatcher == "queue"
+        assert args.fleet_dir == "/tmp/q"
+        assert args.fleet_workers == 2
+        assert args.queue_depth == 8
+
+    def test_compile_batch_rejects_unknown_dispatcher(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "compile-batch", "--benchmark", "vqe:H2",
+                    "--dispatcher", "carrier-pigeon",
+                ]
+            )
+
+    def test_fleet_status_missing_dir_reports_empty(self, capsys, tmp_path):
+        """A queue directory nobody has written to is an empty queue, and
+        inspecting it must not create it."""
+        missing = tmp_path / "never-created"
+        assert main(["fleet", "status", "--dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "empty" in out and "pending jobs" in out
+        assert not missing.exists()
+
+    def test_fleet_status_reports_leases_and_workers(self, capsys, tmp_path):
+        from repro.fleet import FleetQueue
+
+        queue = FleetQueue(tmp_path)
+        queue.enqueue("a")
+        queue.enqueue("b")
+        assert queue.claim("w1") is not None
+        queue.write_worker_heartbeat("w1", "busy", 0)
+
+        assert main(["fleet", "status", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        lines = {
+            line.split("|")[0].strip(): line
+            for line in out.splitlines()
+            if "|" in line
+        }
+        # Pending counts every job file still queued, leased ones included.
+        assert "2" in lines["pending jobs"]
+        assert "1" in lines["leased jobs"]
+        lease_row = next(v for k, v in lines.items() if k.startswith("lease "))
+        assert "worker=w1" in lease_row and "live" in lease_row
+        assert "state=busy" in lines["worker w1"]
+
+    def test_worker_idle_exit_through_main(self, tmp_path):
+        """The CLI entrypoint runs a real worker loop to clean idle exit."""
+        import signal
+
+        previous = {
+            sig: signal.getsignal(sig) for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            code = main(
+                [
+                    "worker", "--fleet-dir", str(tmp_path),
+                    "--poll", "0.05", "--idle-exit", "0.2",
+                ]
+            )
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        assert code == 0
+
+    def test_config_show_reports_fleet_knobs(self, capsys, monkeypatch):
+        for name in (
+            "REPRO_DISPATCHER",
+            "REPRO_FLEET_DIR",
+            "REPRO_FLEET_WORKERS",
+            "REPRO_QUEUE_DEPTH",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert (
+            main(
+                [
+                    "config", "show", "--dispatcher", "queue",
+                    "--fleet-dir", "/tmp/q", "--fleet-workers", "3",
+                    "--queue-depth", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        lines = {
+            line.split("|")[0].strip(): line
+            for line in out.splitlines()
+            if "|" in line
+        }
+        for field in ("dispatcher", "fleet_dir", "fleet_workers", "queue_depth"):
+            assert "CLI" in lines[field], field
+
+    @pytest.mark.slow
+    def test_compile_batch_through_fleet_dispatcher(self, capsys, tmp_path):
+        code = main(
+            [
+                "compile-batch", "--benchmark", "qaoa:3regular:4:1",
+                "--batch", "2", "--iterations", "50", "--fidelity", "0.9",
+                "--dispatcher", "queue", "--fleet-dir", str(tmp_path / "q"),
+                "--fleet-workers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unique blocks compiled" in out

@@ -48,9 +48,9 @@ def test_version_consistent_with_pyproject():
 def test_every_subpackage_reachable_from_root():
     import repro
 
-    for sub in ("analysis", "blocking", "circuits", "core", "linalg",
-                "pipeline", "pulse", "qaoa", "service", "sim", "transpile",
-                "vqe"):
+    for sub in ("analysis", "blocking", "circuits", "core", "fleet",
+                "linalg", "pipeline", "pulse", "qaoa", "service", "sim",
+                "transpile", "vqe"):
         assert hasattr(repro, sub)
 
 
