@@ -897,6 +897,104 @@ def bench_service_load(quick: bool) -> dict:
     return {"entries": entries, "derived": derived}
 
 
+def bench_http(quick: bool) -> dict:
+    """HTTP frontend overhead: ``POST /v1/compile`` vs in-process compile.
+
+    One serial service serves the *same* cached request through both
+    venues, so the compile itself is a cache hit in both and the measured
+    difference is pure transport: wire encode, one localhost HTTP/1.1
+    round-trip (keep-alive would help a tight loop; urllib reconnects, so
+    this is the conservative number), wire decode.  Every remote result
+    must be bit-identical to the inline one — the wire format's
+    repr-float schedules make that an exact assertion, not a tolerance.
+    """
+    from repro.server import CompilationServer, ServerClient
+
+    iterations = 30 if quick else 200
+    settings = GrapeSettings(dt_ns=0.5, target_fidelity=0.95)
+    hyper = GrapeHyperparameters(
+        learning_rate=0.05, decay_rate=0.002, max_iterations=120
+    )
+    circuit = QuantumCircuit(2, name="http_overhead")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.rz(0.375, 1)
+    request = CompileRequest(circuit, strategy="gate")
+
+    def _controls(result):
+        return [s.controls.tobytes() for s in result.compiled.program.schedules]
+
+    service = CompilationService(
+        config=ServiceConfig(executor="serial", warm_start=False),
+        device=GmonDevice(line_topology(2)),
+        settings=settings,
+        hyperparameters=hyper,
+    )
+    inline_ms, http_ms = [], []
+    try:
+        with CompilationServer(service, port=0).start() as server:
+            client = ServerClient(server.url, timeout_s=120.0)
+            # Untimed warmup pays the one real GRAPE compile; everything
+            # timed afterwards is a cache hit through both venues.
+            expected = _controls(service.compile(request))
+            for _ in range(iterations):
+                start = time.perf_counter()
+                inline_result = service.compile(request)
+                inline_ms.append((time.perf_counter() - start) * 1e3)
+                start = time.perf_counter()
+                remote_result = client.compile(request)
+                http_ms.append((time.perf_counter() - start) * 1e3)
+                if _controls(remote_result) != expected:
+                    raise AssertionError(
+                        "HTTP compile returned different pulses than the "
+                        "in-process compile of the same request"
+                    )
+            server_stats = server.stats()
+    finally:
+        service.close()
+
+    derived = {
+        "iterations": iterations,
+        "inline_p50_ms": round(float(np.percentile(inline_ms, 50)), 3),
+        "inline_p99_ms": round(float(np.percentile(inline_ms, 99)), 3),
+        "http_p50_ms": round(float(np.percentile(http_ms, 50)), 3),
+        "http_p99_ms": round(float(np.percentile(http_ms, 99)), 3),
+        "results_identical": True,
+        "http_requests_total": server_stats["requests_total"],
+    }
+    derived["overhead_p50_ms"] = round(
+        derived["http_p50_ms"] - derived["inline_p50_ms"], 3
+    )
+    # Pathology gate only (localhost HTTP should cost single-digit ms;
+    # the margin absorbs loaded CI runners, not real regressions).
+    if derived["overhead_p50_ms"] > 250:
+        raise AssertionError(
+            f"HTTP overhead p50 of {derived['overhead_p50_ms']:.0f} ms "
+            "is far beyond a localhost round-trip"
+        )
+    print(
+        f"  http: inline p50 {derived['inline_p50_ms']:.1f} ms, "
+        f"http p50 {derived['http_p50_ms']:.1f} ms "
+        f"(overhead {derived['overhead_p50_ms']:.1f} ms, "
+        f"p99 {derived['http_p99_ms']:.1f} ms)"
+    )
+    entries = [
+        {
+            "name": "http_sync_compile",
+            "p50_ms": derived["http_p50_ms"],
+            "p99_ms": derived["http_p99_ms"],
+            "iterations": iterations,
+        },
+        {
+            "name": "inline_compile",
+            "p50_ms": derived["inline_p50_ms"],
+            "p99_ms": derived["inline_p99_ms"],
+            "iterations": iterations,
+        },
+    ]
+    return {"entries": entries, "derived": derived}
+
+
 def bench_grape_batch(quick: bool) -> dict:
     """Cross-block batched GRAPE kernel vs the per-block kernel, serially.
 
@@ -1301,6 +1399,7 @@ BENCHES = {
     "cache": bench_cache,
     "grape_batch": bench_grape_batch,
     "grape_kernel": bench_grape_kernel,
+    "http": bench_http,
     "pipeline": bench_pipeline,
     "service_concurrency": bench_service_concurrency,
     "service_load": bench_service_load,

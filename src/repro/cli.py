@@ -23,9 +23,19 @@ Small utilities for poking at the reproduction without writing a script:
 * ``worker`` — run one fleet worker against a file-backed work queue:
   claim leased ``BlockJob``\\ s, compile them, write completion records.
   SIGTERM drains the in-flight job before exit; ``--max-jobs`` and
-  ``--idle-exit`` bound a worker's lifetime for tests and batch runs.
+  ``--idle-exit`` bound a worker's lifetime for tests and batch runs;
+  ``--announce`` publishes a registration record and ``--host-label``
+  simulates a distinct host on one box.
 * ``fleet status`` — inspect a fleet queue directory: pending/leased job
-  counts, per-lease age and staleness, and worker heartbeats.
+  counts, per-lease age and staleness, worker heartbeats grouped by
+  host; ``--json`` emits the machine-readable snapshot.
+* ``serve`` — run the HTTP compilation frontend
+  (:mod:`repro.server`): ``POST /v1/compile`` over one
+  ``CompilationService``, with SIGTERM draining in-flight requests
+  (new compiles get 503) before exit.
+* ``remote-compile`` — compile one benchmark against a running server
+  over HTTP; ``--verify-local`` recompiles in-process and checks the
+  returned pulses are bit-identical.
 * ``cache-stats`` — inspect a persistent pulse-cache directory: shard
   occupancy, index size, evictions, prefetch counters, plus persistent
   worker-pool telemetry.  A directory that does not exist yet reports an
@@ -151,6 +161,12 @@ def _service_config_from_args(args):
         overrides["fleet_workers"] = args.fleet_workers
     if getattr(args, "queue_depth", None) is not None:
         overrides["queue_depth"] = args.queue_depth
+    if getattr(args, "fleet_autoscale", None) is not None:
+        overrides["fleet_autoscale"] = args.fleet_autoscale
+    if getattr(args, "fleet_min_workers", None) is not None:
+        overrides["fleet_min_workers"] = args.fleet_min_workers
+    if getattr(args, "fleet_max_workers", None) is not None:
+        overrides["fleet_max_workers"] = args.fleet_max_workers
     return config.replace(**overrides) if overrides else config
 
 
@@ -349,6 +365,14 @@ def _cmd_config_show(args) -> int:
         ("fleet_dir", "fleet_dir"),
         ("fleet_workers", "fleet_workers"),
         ("queue_depth", "queue_depth"),
+        ("fleet_lease_ttl_s", "fleet_lease_ttl"),
+        ("fleet_heartbeat_s", "fleet_heartbeat"),
+        ("fleet_min_workers", "fleet_min_workers"),
+        ("fleet_max_workers", "fleet_max_workers"),
+        ("server_host", "server_host"),
+        ("server_port", "server_port"),
+        ("server_max_body_mb", "server_max_body_mb"),
+        ("server_ticket_ttl_s", "server_ticket_ttl"),
     ):
         value = getattr(args, arg_name, None)
         if value is not None:
@@ -357,6 +381,9 @@ def _cmd_config_show(args) -> int:
     if getattr(args, "prefetch", None) is not None:
         overrides["prefetch"] = args.prefetch
         sources["prefetch"] = "CLI"
+    if getattr(args, "fleet_autoscale", None) is not None:
+        overrides["fleet_autoscale"] = args.fleet_autoscale
+        sources["fleet_autoscale"] = "CLI"
     if getattr(args, "grape_batch", None) is not None:
         overrides["grape_batch"] = args.grape_batch
         sources["grape_batch"] = "CLI"
@@ -485,17 +512,25 @@ def _cmd_library_gc(args) -> int:
 
 
 def _cmd_worker(args) -> int:
+    from repro.errors import ReproError
     from repro.fleet import FleetWorker
 
-    worker = FleetWorker(
-        args.fleet_dir,
-        cache_dir=args.cache_dir,
-        lease_ttl_s=args.lease_ttl,
-        poll_s=args.poll,
-        max_jobs=args.max_jobs,
-        idle_exit_s=args.idle_exit,
-        worker_id=args.worker_id,
-    )
+    try:
+        worker = FleetWorker(
+            args.fleet_dir,
+            cache_dir=args.cache_dir,
+            lease_ttl_s=args.lease_ttl,
+            poll_s=args.poll,
+            heartbeat_s=args.heartbeat,
+            max_jobs=args.max_jobs,
+            idle_exit_s=args.idle_exit,
+            worker_id=args.worker_id,
+            host_label=args.host_label,
+            announce=args.announce,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     worker.install_signal_handlers()
     print(
         f"worker {worker.worker_id} pulling from {args.fleet_dir}",
@@ -504,7 +539,21 @@ def _cmd_worker(args) -> int:
     return worker.run()
 
 
+def _empty_fleet_status(directory: str) -> dict:
+    """The ``status()`` shape for a queue directory nobody created yet."""
+    return {
+        "directory": directory,
+        "pending_jobs": 0,
+        "leased_jobs": 0,
+        "completed_results": 0,
+        "leases": [],
+        "workers": [],
+        "hosts": {},
+    }
+
+
 def _cmd_fleet_status(args) -> int:
+    import json
     from pathlib import Path
 
     from repro.fleet import FleetQueue
@@ -513,42 +562,183 @@ def _cmd_fleet_status(args) -> int:
         # Same contract as cache-stats: a queue directory nobody has
         # written to is an *empty queue*, and inspecting it must not
         # create it.
-        rows = [
-            ("directory", args.dir),
-            ("pending jobs", 0),
-            ("leased jobs", 0),
-            ("completed results", 0),
-        ]
+        status = _empty_fleet_status(args.dir)
         title = "fleet queue (empty — not created yet)"
     else:
         status = FleetQueue(args.dir).status()
-        rows = [
-            ("directory", status["directory"]),
-            ("pending jobs", status["pending_jobs"]),
-            ("leased jobs", status["leased_jobs"]),
-            ("completed results", status["completed_results"]),
-        ]
-        for lease in status["leases"]:
-            state = "STALE" if lease["stale"] else "live"
-            rows.append(
-                (
-                    f"lease {lease['job_id']}",
-                    f"worker={lease['worker']} age={lease['age_s']:.1f}s "
-                    f"heartbeat={lease['heartbeat_age_s']:.1f}s "
-                    f"reclaims={lease['reclaims']} {state}",
-                )
-            )
-        for worker in status["workers"]:
-            rows.append(
-                (
-                    f"worker {worker['worker']}",
-                    f"pid={worker['pid']} state={worker['state']} "
-                    f"jobs_done={worker['jobs_done']} "
-                    f"heartbeat={worker['heartbeat_age_s']:.1f}s",
-                )
-            )
         title = "fleet queue"
+    if args.json:
+        # The machine-readable snapshot the autoscaler tests and the
+        # /v1/stats handler consume — one JSON object, nothing else.
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        ("directory", status["directory"]),
+        ("pending jobs", status["pending_jobs"]),
+        ("leased jobs", status["leased_jobs"]),
+        ("completed results", status["completed_results"]),
+    ]
+    for host, group in sorted(status["hosts"].items()):
+        rows.append(
+            (
+                f"host {host}",
+                f"workers={group['workers']} active={group['active']} "
+                f"leases={group['leases']} jobs_done={group['jobs_done']}",
+            )
+        )
+    for lease in status["leases"]:
+        state = "STALE" if lease["stale"] else "live"
+        rows.append(
+            (
+                f"lease {lease['job_id']}",
+                f"worker={lease['worker']} host={lease.get('host')} "
+                f"age={lease['age_s']:.1f}s "
+                f"heartbeat={lease['heartbeat_age_s']:.1f}s "
+                f"reclaims={lease['reclaims']} {state}",
+            )
+        )
+    for worker in status["workers"]:
+        announced = " announced" if worker.get("announced") else ""
+        rows.append(
+            (
+                f"worker {worker['worker']}",
+                f"pid={worker['pid']} host={worker.get('host')} "
+                f"state={worker['state']} "
+                f"jobs_done={worker['jobs_done']} "
+                f"heartbeat={worker['heartbeat_age_s']:.1f}s{announced}",
+            )
+        )
     print(format_table(("property", "value"), rows, title=title))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.server.http import CompilationServer
+    from repro.service import CompilationService
+
+    config = _service_config_from_args(args)
+    host = args.host if args.host is not None else config.server_host
+    port = args.port if args.port is not None else config.server_port
+    service = CompilationService(config=config)
+    server = CompilationServer(
+        service,
+        host=host,
+        port=port,
+        max_body_bytes=int(config.server_max_body_mb * 1024 * 1024),
+        ticket_ttl_s=config.server_ticket_ttl_s,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        # Flip to draining immediately (new compiles get 503) and let the
+        # main loop run the graceful shutdown.
+        server.begin_drain()
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    server.start()
+    print(f"serving on {server.url} (SIGTERM drains)", file=sys.stderr)
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        print("draining in-flight requests ...", file=sys.stderr)
+        drained = server.drain(grace_s=args.grace)
+        server.close()
+        # Close the service last: accepted ticket futures finish compiling
+        # on its submit pool during this drain.
+        service.close()
+        if not drained:
+            print(
+                f"drain exceeded {args.grace:.0f}s grace; exited anyway",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _pulses_identical(a, b) -> bool:
+    """Bit-exact comparison of two compiled pulses' programs."""
+    if len(a.program.schedules) != len(b.program.schedules):
+        return False
+    for left, right in zip(a.program.schedules, b.program.schedules):
+        if (
+            left.qubits != right.qubits
+            or left.dt_ns != right.dt_ns
+            or left.channel_names != right.channel_names
+            or left.controls.shape != right.controls.shape
+            or not np.array_equal(left.controls, right.controls)
+        ):
+            return False
+    return True
+
+
+def _cmd_remote_compile(args) -> int:
+    from repro.pulse.grape import GrapeHyperparameters, GrapeSettings
+    from repro.server.client import ServerClient
+    from repro.service import CompileRequest
+
+    try:
+        circuit = _benchmark_circuit(args.benchmark)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    values = list(
+        rng.uniform(-np.pi / 2, np.pi / 2, size=len(circuit.parameters))
+    )
+    request = CompileRequest(
+        circuit=circuit,
+        values=values,
+        strategy=METHOD_STRATEGIES[args.method],
+        settings=GrapeSettings(dt_ns=args.dt, target_fidelity=args.fidelity),
+        hyperparameters=GrapeHyperparameters(
+            0.05, 0.002, max_iterations=args.iterations
+        ),
+        max_block_width=args.block_width,
+    )
+    client = ServerClient(args.url, timeout_s=args.timeout)
+    if args.ticket:
+        ticket = client.submit(request)
+        print(f"ticket {ticket}", file=sys.stderr)
+        result = client.result(
+            ticket, request=request, timeout_s=args.timeout
+        )
+    else:
+        result = client.compile(request)
+    compiled = result.compiled
+    rows = [
+        ("server", args.url),
+        ("benchmark", args.benchmark),
+        ("method", args.method),
+        ("strategy", request.strategy),
+        ("mode", "ticket" if args.ticket else "sync"),
+        ("pulse duration (ns)", f"{compiled.pulse_duration_ns:.1f}"),
+        ("runtime latency (s)", f"{compiled.runtime_latency_s:.3f}"),
+        ("runtime GRAPE iterations", compiled.runtime_iterations),
+        ("server wall time (s)", f"{result.wall_time_s:.3f}"),
+    ]
+    verified = None
+    if args.verify_local:
+        from repro.service import CompilationService
+
+        # Recompile in-process with the local environment's config, minus
+        # anything non-local: the in-process run must not route through a
+        # fleet or read a warm on-disk cache the server also writes.
+        config = _service_config_from_args(args).replace(
+            dispatcher="executor", fleet_dir=None, cache_dir=None
+        )
+        with CompilationService(config=config) as service:
+            local = service.compile(request)
+        verified = _pulses_identical(compiled, local.compiled)
+        rows.append(("bit-identical to local compile", verified))
+    print(format_table(("property", "value"), rows, title="remote compile"))
+    if verified is False:
+        print("error: remote pulses differ from local compile", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -727,6 +917,26 @@ def build_parser() -> argparse.ArgumentParser:
         dest="worker_id",
         help="identity used in leases and heartbeats (default: host-pid)",
     )
+    worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        help="lease-renewal interval in seconds while compiling "
+        "(default: lease-ttl / 3; must be shorter than --lease-ttl)",
+    )
+    worker.add_argument(
+        "--host-label",
+        default=None,
+        dest="host_label",
+        help="hostname written into leases/heartbeats instead of the real "
+        "one (simulated multi-host testing; disables same-host pid probes)",
+    )
+    worker.add_argument(
+        "--announce",
+        action="store_true",
+        help="publish a registration record (start time, knobs, version) "
+        "in this worker's heartbeat, shown by fleet status",
+    )
     worker.set_defaults(func=_cmd_worker)
 
     fleet = sub.add_parser(
@@ -738,7 +948,124 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue depth, leases (with staleness), and worker heartbeats",
     )
     fleet_status.add_argument("--dir", required=True, help="fleet queue directory")
+    fleet_status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable status snapshot as JSON",
+    )
     fleet_status.set_defaults(func=_cmd_fleet_status)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP compilation frontend over one "
+        "CompilationService (SIGTERM drains in-flight requests)",
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default: REPRO_SERVER_HOST, else 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port; 0 picks an ephemeral one "
+        "(default: REPRO_SERVER_PORT, else 8642)",
+    )
+    serve.add_argument(
+        "--grace",
+        type=float,
+        default=30.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    serve.add_argument("--executor", choices=EXECUTOR_CHOICES, default=None)
+    serve.add_argument(
+        "--jobs", type=int, default=None, help="max_workers override"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="persistent pulse cache shared with fleet workers",
+    )
+    serve.add_argument(
+        "--dispatcher", choices=DISPATCHER_CHOICES, default=None
+    )
+    serve.add_argument("--fleet-dir", default=None, dest="fleet_dir")
+    serve.add_argument(
+        "--fleet-workers", type=int, default=None, dest="fleet_workers"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        dest="queue_depth",
+        help="bounded admission; a full queue answers 429",
+    )
+    serve.add_argument(
+        "--autoscale",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        dest="fleet_autoscale",
+        help="scale fleet workers from queue depth instead of a fixed "
+        "count (default: REPRO_FLEET_AUTOSCALE)",
+    )
+    serve.add_argument(
+        "--min-workers",
+        type=int,
+        default=None,
+        dest="fleet_min_workers",
+        help="autoscaler floor (default: REPRO_FLEET_MIN_WORKERS)",
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        dest="fleet_max_workers",
+        help="autoscaler ceiling (default: REPRO_FLEET_MAX_WORKERS)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    remote = sub.add_parser(
+        "remote-compile",
+        help="compile one benchmark against a running repro server "
+        "over HTTP",
+    )
+    remote.add_argument(
+        "--url", required=True, help="server base URL, e.g. http://host:8642"
+    )
+    remote.add_argument(
+        "--benchmark",
+        required=True,
+        help="vqe:<molecule> or qaoa:<kind>:<nodes>:<p>, e.g. vqe:H2",
+    )
+    remote.add_argument(
+        "--method", choices=tuple(METHOD_STRATEGIES), default="grape"
+    )
+    remote.add_argument("--dt", type=float, default=0.5, help="GRAPE slice (ns)")
+    remote.add_argument("--fidelity", type=float, default=0.95)
+    remote.add_argument("--iterations", type=int, default=150)
+    remote.add_argument("--block-width", type=int, default=2)
+    remote.add_argument("--seed", type=int, default=0)
+    remote.add_argument(
+        "--ticket",
+        action="store_true",
+        help="use the async ticket mode and poll /v1/jobs for the result",
+    )
+    remote.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="HTTP round-trip (and ticket-poll) timeout in seconds",
+    )
+    remote.add_argument(
+        "--verify-local",
+        action="store_true",
+        dest="verify_local",
+        help="also compile in-process and fail unless the remote pulses "
+        "are bit-identical",
+    )
+    remote.set_defaults(func=_cmd_remote_compile)
 
     cache_ = sub.add_parser(
         "cache-stats", help="inspect a persistent pulse-cache directory"
@@ -870,6 +1197,71 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="queue_depth",
         help="queue_depth override (bounded submit() admission)",
+    )
+    show.add_argument(
+        "--fleet-lease-ttl",
+        type=float,
+        default=None,
+        dest="fleet_lease_ttl",
+        help="fleet_lease_ttl_s override (seconds before a silent lease "
+        "is reclaimed)",
+    )
+    show.add_argument(
+        "--fleet-heartbeat",
+        type=float,
+        default=None,
+        dest="fleet_heartbeat",
+        help="fleet_heartbeat_s override (lease-renewal interval; must "
+        "be shorter than the lease TTL)",
+    )
+    show.add_argument(
+        "--fleet-autoscale",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        dest="fleet_autoscale",
+        help="--fleet-autoscale / --no-fleet-autoscale override "
+        "(queue-depth worker scaling)",
+    )
+    show.add_argument(
+        "--fleet-min-workers",
+        type=int,
+        default=None,
+        dest="fleet_min_workers",
+        help="fleet_min_workers override (autoscaler floor)",
+    )
+    show.add_argument(
+        "--fleet-max-workers",
+        type=int,
+        default=None,
+        dest="fleet_max_workers",
+        help="fleet_max_workers override (autoscaler ceiling)",
+    )
+    show.add_argument(
+        "--server-host",
+        default=None,
+        dest="server_host",
+        help="server_host override (HTTP frontend bind address)",
+    )
+    show.add_argument(
+        "--server-port",
+        type=int,
+        default=None,
+        dest="server_port",
+        help="server_port override (HTTP frontend bind port)",
+    )
+    show.add_argument(
+        "--server-max-body-mb",
+        type=float,
+        default=None,
+        dest="server_max_body_mb",
+        help="server_max_body_mb override (largest accepted request body)",
+    )
+    show.add_argument(
+        "--server-ticket-ttl",
+        type=float,
+        default=None,
+        dest="server_ticket_ttl",
+        help="server_ticket_ttl_s override (async ticket retention)",
     )
     show.set_defaults(func=_cmd_config_show)
     return parser

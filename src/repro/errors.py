@@ -52,6 +52,12 @@ class CompilationError(ReproError):
     binding the wrong number of parameters at run time."""
 
 
+class ServiceSaturated(ReproError):
+    """Raised by non-blocking admission when the service's bounded queue
+    is full — the caller should back off and retry (HTTP maps this to
+    429 Too Many Requests)."""
+
+
 class VQEError(ReproError):
     """Raised for invalid fermionic operators, molecules, or VQE setups."""
 

@@ -18,18 +18,25 @@ entirely.  This package is the venue for that:
   service selects with ``REPRO_DISPATCHER=queue``: it spawns and revives
   ``REPRO_FLEET_WORKERS`` local workers and routes every fixed block
   through the queue.
+* :mod:`repro.fleet.autoscaler` — :class:`FleetAutoscaler`, queue-depth
+  worker scaling between ``REPRO_FLEET_MIN_WORKERS`` and
+  ``REPRO_FLEET_MAX_WORKERS``: sustained backlog grows the pool, surge
+  workers drain away on idle exit.
 
-Milestone 1 (this PR) is N workers on one machine splitting one batch's
-unique blocks; the queue layout already tolerates several hosts sharing
-the directory over a network filesystem.
+Milestone 1 was N workers on one machine splitting one batch's unique
+blocks.  Milestone 2 (this PR) adds the network frontend
+(:mod:`repro.server`), host-aware status over a shared directory (real
+NFS, or ``host_label`` simulation in CI), and backlog-driven autoscaling.
 """
 
+from repro.fleet.autoscaler import FleetAutoscaler
 from repro.fleet.dispatcher import QueueDispatcher
 from repro.fleet.queue import FLEET_SCHEMA_VERSION, FleetQueue
 from repro.fleet.worker import FleetWorker
 
 __all__ = [
     "FLEET_SCHEMA_VERSION",
+    "FleetAutoscaler",
     "FleetQueue",
     "FleetWorker",
     "QueueDispatcher",

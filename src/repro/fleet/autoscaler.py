@@ -1,0 +1,179 @@
+"""FleetAutoscaler — queue-depth-driven worker scaling.
+
+Fleet milestone 2's third leg: instead of keeping a fixed
+``REPRO_FLEET_WORKERS`` process count alive, the dispatcher samples the
+queue and sizes its local worker pool between a floor and a ceiling.
+
+The policy is deliberately boring (hysteresis, not prediction):
+
+* **Scale up** when the backlog (pending + leased jobs) has exceeded the
+  live worker count for ``backlog_streak`` consecutive samples — a
+  momentary spike rides on the existing pool; a *sustained* backlog earns
+  a new worker, one per decision, up to ``max_workers``.
+* **Scale down** by attrition: surge workers (everything above
+  ``min_workers``) are spawned with an idle-exit deadline, so when the
+  queue empties they terminate themselves; the autoscaler merely reaps
+  the exited processes and counts the shrink.  Core workers (the first
+  ``min_workers``) have no idle exit and are respawned if they die.
+
+Scaling decisions are rate-limited to one per ``interval_s`` so a poll
+loop can call :meth:`maybe_sample` as often as it likes.  The spawn and
+depth probes are injectable, which keeps the policy unit-testable without
+real processes; counters surface in ``stats()["fleet"]["autoscaler"]``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ReproError
+
+
+class FleetAutoscaler:
+    """Size a local worker pool from sampled queue depth.
+
+    Parameters
+    ----------
+    queue_depth:
+        ``() -> int`` returning the current backlog (pending + leased
+        jobs visible in the fleet directory).
+    spawn_worker:
+        ``(idle_exit_s | None) -> handle`` starting one worker process;
+        the handle must expose ``poll()`` (``None`` while alive), as
+        :class:`subprocess.Popen` does.
+    min_workers / max_workers:
+        The pool's floor (core workers, kept alive) and ceiling.
+    backlog_streak:
+        How many consecutive backlogged samples trigger one scale-up.
+    interval_s:
+        Minimum spacing between scaling decisions.
+    surge_idle_exit_s:
+        The idle-exit deadline given to surge workers — the scale-down
+        mechanism.  Core workers never get one.
+    clock:
+        Injectable time source (tests); defaults to ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        queue_depth,
+        spawn_worker,
+        min_workers: int = 0,
+        max_workers: int = 4,
+        backlog_streak: int = 3,
+        interval_s: float = 1.0,
+        surge_idle_exit_s: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if min_workers < 0:
+            raise ReproError(f"min_workers must be >= 0, got {min_workers}")
+        if max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+        if min_workers > max_workers:
+            raise ReproError(
+                f"min_workers ({min_workers}) must not exceed "
+                f"max_workers ({max_workers})"
+            )
+        if backlog_streak < 1:
+            raise ReproError(
+                f"backlog_streak must be >= 1, got {backlog_streak}"
+            )
+        self._queue_depth = queue_depth
+        self._spawn = spawn_worker
+        self.min_workers = int(min_workers)
+        self.max_workers = int(max_workers)
+        self.backlog_streak = int(backlog_streak)
+        self.interval_s = float(interval_s)
+        self.surge_idle_exit_s = float(surge_idle_exit_s)
+        self._clock = clock
+        self._core: list = []
+        self._surge: list = []
+        self._streak = 0
+        self._last_decision: float | None = None
+        self.samples = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.core_respawns = 0
+        self.peak_workers = 0
+        self.last_depth = 0
+
+    # -- pool state --------------------------------------------------------
+    def _reap(self) -> None:
+        """Drop exited handles; surge exits count as scale-downs, dead
+        core workers are respawned (they have no reason to exit)."""
+        self._surge, exited = (
+            [p for p in self._surge if p.poll() is None],
+            [p for p in self._surge if p.poll() is not None],
+        )
+        self.scale_downs += len(exited)
+        dead_core = [p for p in self._core if p.poll() is not None]
+        self._core = [p for p in self._core if p.poll() is None]
+        for _ in dead_core:
+            self.core_respawns += 1
+            self._core.append(self._spawn(None))
+
+    def live_workers(self) -> int:
+        """Current pool size (core + surge), after reaping."""
+        self._reap()
+        return len(self._core) + len(self._surge)
+
+    def processes(self) -> list:
+        """Every live handle (for the dispatcher's close())."""
+        return list(self._core) + list(self._surge)
+
+    # -- policy ------------------------------------------------------------
+    def ensure_floor(self) -> None:
+        """Bring the core pool up to ``min_workers`` (no sampling)."""
+        self._reap()
+        while len(self._core) < self.min_workers:
+            self._core.append(self._spawn(None))
+        self.peak_workers = max(
+            self.peak_workers, len(self._core) + len(self._surge)
+        )
+
+    def sample(self) -> None:
+        """One scaling decision from the current queue depth."""
+        self.samples += 1
+        self.ensure_floor()
+        depth = int(self._queue_depth())
+        self.last_depth = depth
+        live = len(self._core) + len(self._surge)
+        if depth > live:
+            self._streak += 1
+        else:
+            self._streak = 0
+        if self._streak >= self.backlog_streak and live < self.max_workers:
+            self._surge.append(self._spawn(self.surge_idle_exit_s))
+            self.scale_ups += 1
+            self._streak = 0
+            self.peak_workers = max(self.peak_workers, live + 1)
+
+    def maybe_sample(self) -> bool:
+        """Rate-limited :meth:`sample`; returns whether one ran."""
+        now = self._clock()
+        if (
+            self._last_decision is not None
+            and now - self._last_decision < self.interval_s
+        ):
+            return False
+        self._last_decision = now
+        self.sample()
+        return True
+
+    # -- telemetry ---------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "core_workers": len(self._core),
+            "surge_workers": len(self._surge),
+            "samples": self.samples,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "core_respawns": self.core_respawns,
+            "peak_workers": self.peak_workers,
+            "last_depth": self.last_depth,
+            "backlog_streak": self.backlog_streak,
+            "interval_s": self.interval_s,
+            "surge_idle_exit_s": self.surge_idle_exit_s,
+        }

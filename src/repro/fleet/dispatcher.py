@@ -60,12 +60,18 @@ class QueueDispatcher(BlockExecutor):
         cache_dir: str | None = None,
         workers: int = 0,
         lease_ttl_s: float = 30.0,
+        heartbeat_s: float | None = None,
         poll_s: float = 0.05,
         job_timeout_s: float = 600.0,
+        autoscale: bool = False,
+        min_workers: int = 0,
+        max_workers: int = 4,
+        surge_idle_exit_s: float = 5.0,
     ):
         self.queue = FleetQueue(fleet_dir, lease_ttl_s=lease_ttl_s)
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.workers = max(0, int(workers))
+        self.heartbeat_s = heartbeat_s
         self.poll_s = float(poll_s)
         self.job_timeout_s = float(job_timeout_s)
         self._procs: list = []
@@ -78,9 +84,33 @@ class QueueDispatcher(BlockExecutor):
         self.completed_jobs = 0
         self.inline_jobs = 0
         self.completions_by_worker: dict = {}
+        # Autoscale mode replaces the fixed-count respawn loop: the
+        # autoscaler owns the pool, sampling backlog once per interval
+        # from inside the dispatch poll loop.
+        self._autoscaler = None
+        if autoscale:
+            from repro.fleet.autoscaler import FleetAutoscaler
+
+            self._autoscaler = FleetAutoscaler(
+                queue_depth=self._backlog,
+                spawn_worker=self._spawn_worker_process,
+                min_workers=min_workers,
+                max_workers=max_workers,
+                surge_idle_exit_s=surge_idle_exit_s,
+            )
 
     # -- worker lifecycle --------------------------------------------------
-    def _spawn_worker(self) -> None:
+    def _backlog(self) -> int:
+        """Incomplete jobs (pending + leased) — the autoscaler's signal.
+
+        A job file persists until its completion record retires it, so
+        counting ``jobs/`` covers both queued and in-flight work without
+        the full ``status()`` scan.
+        """
+        return len(list(self.queue.jobs_dir.glob("*.job")))
+
+    def _spawn_worker_process(self, idle_exit_s: float | None = None):
+        """Start one detached worker; returns its process handle."""
         import repro
 
         src_root = Path(repro.__file__).resolve().parent.parent
@@ -97,19 +127,32 @@ class QueueDispatcher(BlockExecutor):
             "--poll",
             str(self.poll_s),
         ]
+        if self.heartbeat_s is not None:
+            cmd += ["--heartbeat", str(self.heartbeat_s)]
+        if idle_exit_s is not None:
+            cmd += ["--idle-exit", str(idle_exit_s)]
         if self.cache_dir:
             cmd += ["--cache-dir", self.cache_dir]
-        self._procs.append(subprocess.Popen(cmd))
+        proc = subprocess.Popen(cmd)
         self.workers_spawned += 1
+        return proc
+
+    def _spawn_worker(self) -> None:
+        self._procs.append(self._spawn_worker_process())
 
     def _live_workers(self) -> int:
         with self._procs_lock:
+            if self._autoscaler is not None:
+                return self._autoscaler.live_workers()
             self._procs = [p for p in self._procs if p.poll() is None]
             return len(self._procs)
 
     def _ensure_workers(self) -> None:
         """Top the fleet back up to the configured worker count."""
         with self._procs_lock:
+            if self._autoscaler is not None:
+                self._autoscaler.ensure_floor()
+                return
             self._procs = [p for p in self._procs if p.poll() is None]
             while len(self._procs) < self.workers:
                 self._spawn_worker()
@@ -118,6 +161,8 @@ class QueueDispatcher(BlockExecutor):
         """Drain the fleet: SIGTERM each worker, then escalate to kill."""
         with self._procs_lock:
             procs, self._procs = self._procs, []
+            if self._autoscaler is not None:
+                procs += self._autoscaler.processes()
         for proc in procs:
             if proc.poll() is None:
                 try:
@@ -156,9 +201,14 @@ class QueueDispatcher(BlockExecutor):
         for job in jobs:
             if self.cache_dir and not job.cache_dir:
                 job.cache_dir = self.cache_dir
-        if self.workers == 0 and self._live_workers() == 0:
+        if (
+            self._autoscaler is None
+            and self.workers == 0
+            and self._live_workers() == 0
+        ):
             # Degraded one-process mode: nothing will drain the queue, so
             # compile here and skip the round-trip through the directory.
+            # (Never taken with the autoscaler: it spawns on backlog.)
             self.inline_jobs += len(jobs)
             return [run_block_job(job, cache=cache) for job in jobs]
         self._ensure_workers()
@@ -190,7 +240,12 @@ class QueueDispatcher(BlockExecutor):
             if progressed:
                 deadline = time.monotonic() + self.job_timeout_s
                 continue
-            if self.workers > 0 and self._live_workers() < self.workers:
+            if self._autoscaler is not None:
+                # The autoscaler owns the pool: one rate-limited backlog
+                # sample per poll instead of fixed-count respawning.
+                with self._procs_lock:
+                    self._autoscaler.maybe_sample()
+            elif self.workers > 0 and self._live_workers() < self.workers:
                 if respawns_left <= 0:
                     raise PipelineError(
                         "fleet workers keep dying with "
@@ -210,6 +265,13 @@ class QueueDispatcher(BlockExecutor):
         return [outcomes[job_id] for job_id in job_ids]
 
     def describe(self) -> dict:
+        with self._procs_lock:
+            autoscaler = (
+                self._autoscaler.describe()
+                if self._autoscaler is not None
+                else None
+            )
+        status = self.queue.status()
         return {
             "executor": self.name,
             "fleet_dir": str(self.queue.directory),
@@ -221,4 +283,16 @@ class QueueDispatcher(BlockExecutor):
             "completed_jobs": self.completed_jobs,
             "inline_jobs": self.inline_jobs,
             "completions_by_worker": dict(self.completions_by_worker),
+            # The ``fleet`` section the service lifts into stats()["fleet"]
+            # and the HTTP frontend serves under /v1/stats.
+            "fleet": {
+                "mode": "autoscale" if self._autoscaler is not None else "fixed",
+                "directory": str(self.queue.directory),
+                "pending_jobs": status["pending_jobs"],
+                "leased_jobs": status["leased_jobs"],
+                "hosts": status["hosts"],
+                "live_workers": self._live_workers(),
+                "workers_spawned": self.workers_spawned,
+                "autoscaler": autoscaler,
+            },
         }

@@ -81,9 +81,21 @@ class FleetQueue:
     (the file lock serializes the claim/complete critical sections).
     """
 
-    def __init__(self, directory: str | os.PathLike, lease_ttl_s: float = 30.0):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        lease_ttl_s: float = 30.0,
+        host_label: str | None = None,
+    ):
         self.directory = Path(directory)
         self.lease_ttl_s = float(lease_ttl_s)
+        # The host name written into leases and worker heartbeats.  A
+        # ``host_label`` override simulates a distinct host on one box
+        # (CI's multi-host mode): it also disables the same-host dead-pid
+        # probe, so reclaim runs on real TTL semantics — exactly what a
+        # genuinely remote host would experience.
+        self.host = host_label or platform.node()
+        self._host_is_real = host_label is None
         self.jobs_dir = self.directory / "jobs"
         self.leases_dir = self.directory / "leases"
         self.results_dir = self.directory / "results"
@@ -149,9 +161,13 @@ class FleetQueue:
         A lease from a pid on *this* host that no longer exists is stale
         immediately (the ``kill -9`` case); otherwise the worker gets the
         full TTL since its last heartbeat before anyone steals its job.
+        The pid probe only applies between real hostnames — under a
+        ``host_label`` override pids are not comparable, so staleness
+        falls back to pure TTL (the cross-host rule).
         """
         if (
-            lease.get("host") == platform.node()
+            self._host_is_real
+            and lease.get("host") == self.host
             and isinstance(lease.get("pid"), int)
             and not _pid_alive(lease["pid"])
         ):
@@ -216,7 +232,7 @@ class FleetQueue:
                         "job_id": job_id,
                         "worker": worker_id,
                         "pid": os.getpid(),
-                        "host": platform.node(),
+                        "host": self.host,
                         "acquired_at": now,
                         "heartbeat_at": now,
                         "ttl_s": self.lease_ttl_s,
@@ -258,24 +274,34 @@ class FleetQueue:
             self._complete_locked(job_id, record)
 
     def write_worker_heartbeat(
-        self, worker_id: str, state: str, jobs_done: int
+        self, worker_id: str, state: str, jobs_done: int, extra: dict | None = None
     ) -> None:
-        """Publish one worker's liveness for ``fleet status``."""
-        _write_json_atomic(
-            self.workers_dir / f"{worker_id}.json",
-            {
-                "worker": worker_id,
-                "pid": os.getpid(),
-                "host": platform.node(),
-                "updated_at": time.time(),
-                "state": state,
-                "jobs_done": jobs_done,
-            },
-        )
+        """Publish one worker's liveness for ``fleet status``.
+
+        ``extra`` carries the worker's ``--announce`` registration fields
+        (start time, knobs, capabilities); it rides along on every beat
+        so the record survives the atomic rewrite.
+        """
+        record = {
+            "worker": worker_id,
+            "pid": os.getpid(),
+            "host": self.host,
+            "updated_at": time.time(),
+            "state": state,
+            "jobs_done": jobs_done,
+        }
+        if extra:
+            record.update(extra)
+        _write_json_atomic(self.workers_dir / f"{worker_id}.json", record)
 
     # -- observability -----------------------------------------------------
     def status(self) -> dict:
-        """A point-in-time snapshot: depth, leases, results, workers."""
+        """A point-in-time snapshot: depth, leases, results, workers.
+
+        Host-aware: every lease and worker entry carries its ``host``,
+        and ``hosts`` aggregates them per machine sharing the directory —
+        the view ``fleet status`` renders and the autoscaler samples.
+        """
         now = time.time()
         pending = sorted(p.stem for p in self.jobs_dir.glob("*.job"))
         leases = []
@@ -288,6 +314,7 @@ class FleetQueue:
                 {
                     "job_id": lease.get("job_id", path.stem),
                     "worker": lease.get("worker"),
+                    "host": lease.get("host"),
                     "age_s": round(now - (lease.get("acquired_at") or now), 3),
                     "heartbeat_age_s": round(now - (heartbeat or now), 3),
                     "reclaims": lease.get("reclaims", 0),
@@ -299,17 +326,47 @@ class FleetQueue:
             info = _read_json(path)
             if info is None:
                 continue
-            workers.append(
-                {
-                    "worker": info.get("worker", path.stem),
-                    "pid": info.get("pid"),
-                    "state": info.get("state"),
-                    "jobs_done": info.get("jobs_done", 0),
-                    "heartbeat_age_s": round(
-                        now - (info.get("updated_at") or now), 3
-                    ),
+            entry = {
+                "worker": info.get("worker", path.stem),
+                "pid": info.get("pid"),
+                "host": info.get("host"),
+                "state": info.get("state"),
+                "jobs_done": info.get("jobs_done", 0),
+                "heartbeat_age_s": round(
+                    now - (info.get("updated_at") or now), 3
+                ),
+            }
+            if info.get("announced"):
+                entry["announced"] = {
+                    key: info[key]
+                    for key in (
+                        "started_at",
+                        "lease_ttl_s",
+                        "heartbeat_s",
+                        "cache_dir",
+                        "version",
+                    )
+                    if key in info
                 }
+            workers.append(entry)
+        hosts: dict = {}
+        for entry in workers:
+            host = entry.get("host") or "?"
+            group = hosts.setdefault(
+                host,
+                {"workers": 0, "active": 0, "jobs_done": 0, "leases": 0},
             )
+            group["workers"] += 1
+            if entry.get("state") != "exited":
+                group["active"] += 1
+            group["jobs_done"] += entry.get("jobs_done") or 0
+        for entry in leases:
+            host = entry.get("host") or "?"
+            group = hosts.setdefault(
+                host,
+                {"workers": 0, "active": 0, "jobs_done": 0, "leases": 0},
+            )
+            group["leases"] += 1
         return {
             "directory": str(self.directory),
             "pending_jobs": len(pending),
@@ -317,4 +374,5 @@ class FleetQueue:
             "completed_results": len(list(self.results_dir.glob("*.json"))),
             "leases": leases,
             "workers": workers,
+            "hosts": hosts,
         }

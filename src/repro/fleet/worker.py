@@ -25,7 +25,6 @@ Robustness contract (the fleet's satellite requirements):
 from __future__ import annotations
 
 import os
-import platform
 import signal
 import threading
 import time
@@ -47,6 +46,10 @@ class FleetWorker:
         their own ``cache_dir``, which wins when present.
     lease_ttl_s / poll_s:
         Crash-reclaim TTL and the idle claim-poll interval.
+    heartbeat_s:
+        Lease-renewal interval while compiling.  ``None`` (default)
+        derives ``lease_ttl_s / 3`` — three missed beats before the
+        lease goes stale.  Must be shorter than ``lease_ttl_s``.
     max_jobs:
         Exit after completing this many jobs (``None`` = unbounded).
     idle_exit_s:
@@ -54,6 +57,12 @@ class FleetWorker:
         a signal instead).
     worker_id:
         Stable identity for leases/heartbeats; defaults to host + pid.
+    host_label:
+        Override the hostname written into leases/heartbeats (simulated
+        multi-host testing; see :class:`~repro.fleet.queue.FleetQueue`).
+    announce:
+        Publish a registration record (start time, knobs, capabilities)
+        in the worker heartbeat, surfaced by ``fleet status``.
     """
 
     def __init__(
@@ -62,19 +71,49 @@ class FleetWorker:
         cache_dir: str | None = None,
         lease_ttl_s: float = 30.0,
         poll_s: float = 0.2,
+        heartbeat_s: float | None = None,
         max_jobs: int | None = None,
         idle_exit_s: float | None = None,
         worker_id: str | None = None,
+        host_label: str | None = None,
+        announce: bool = False,
     ):
-        self.queue = FleetQueue(fleet_dir, lease_ttl_s=lease_ttl_s)
+        from repro.errors import ReproError
+
+        self.queue = FleetQueue(
+            fleet_dir, lease_ttl_s=lease_ttl_s, host_label=host_label
+        )
         self.cache_dir = cache_dir
         self.poll_s = float(poll_s)
+        if heartbeat_s is not None and heartbeat_s >= float(lease_ttl_s):
+            raise ReproError(
+                f"heartbeat_s ({heartbeat_s}) must be shorter than "
+                f"lease_ttl_s ({lease_ttl_s}) or every lease goes stale "
+                "between beats"
+            )
+        self.heartbeat_s = (
+            float(heartbeat_s)
+            if heartbeat_s is not None
+            else max(self.queue.lease_ttl_s / 3.0, 0.05)
+        )
         self.max_jobs = max_jobs
         self.idle_exit_s = idle_exit_s
-        self.worker_id = worker_id or f"{platform.node()}-{os.getpid()}"
+        self.worker_id = worker_id or f"{self.queue.host}-{os.getpid()}"
         self.jobs_done = 0
         self._drain = threading.Event()
         self._caches: dict = {}  # cache_dir (or None) -> shared cache
+        self._announce: dict | None = None
+        if announce:
+            from repro import __version__
+
+            self._announce = {
+                "announced": True,
+                "started_at": time.time(),
+                "lease_ttl_s": self.queue.lease_ttl_s,
+                "heartbeat_s": self.heartbeat_s,
+                "cache_dir": cache_dir,
+                "version": __version__,
+            }
 
     def install_signal_handlers(self) -> None:
         """Route SIGTERM/SIGINT to the drain flag (main thread only)."""
@@ -105,7 +144,7 @@ class FleetWorker:
     def _run_one(self, job_id: str, job) -> None:
         """Compile one claimed job and publish its completion record."""
         stop = threading.Event()
-        interval = max(self.queue.lease_ttl_s / 3.0, 0.05)
+        interval = self.heartbeat_s
 
         def _renew():
             while not stop.wait(interval):
@@ -140,9 +179,15 @@ class FleetWorker:
         self.queue.complete(job_id, record)
         self.jobs_done += 1
 
+    def _beat(self, state: str) -> None:
+        """One liveness heartbeat, carrying the announce record if any."""
+        self.queue.write_worker_heartbeat(
+            self.worker_id, state, self.jobs_done, extra=self._announce
+        )
+
     def run(self) -> int:
         """The claim loop; returns a process exit code (0 = clean)."""
-        self.queue.write_worker_heartbeat(self.worker_id, "idle", 0)
+        self._beat("idle")
         idle_since = time.monotonic()
         while not self._drain.is_set():
             claimed = self.queue.claim(self.worker_id)
@@ -152,20 +197,14 @@ class FleetWorker:
                     and time.monotonic() - idle_since >= self.idle_exit_s
                 ):
                     break
-                self.queue.write_worker_heartbeat(
-                    self.worker_id, "idle", self.jobs_done
-                )
+                self._beat("idle")
                 self._drain.wait(self.poll_s)
                 continue
             job_id, job = claimed
-            self.queue.write_worker_heartbeat(
-                self.worker_id, f"compiling:{job_id}", self.jobs_done
-            )
+            self._beat(f"compiling:{job_id}")
             self._run_one(job_id, job)
             idle_since = time.monotonic()
             if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
                 break
-        self.queue.write_worker_heartbeat(
-            self.worker_id, "exited", self.jobs_done
-        )
+        self._beat("exited")
         return 0

@@ -1,0 +1,80 @@
+"""Async-compile tickets: the server-side registry behind ``GET /v1/jobs``.
+
+A ticketed ``POST /v1/compile`` returns immediately with an opaque id;
+the compilation runs on the service's submit pool and the client polls
+``GET /v1/jobs/<id>`` until the state flips to ``done`` (or ``error``).
+Results are kept until fetched once, or until the ticket ages past the
+TTL — an abandoned ticket must not pin a pulse program in server memory
+forever.
+
+Tickets are process-local by design: the durable, shareable layer is the
+pulse library (a re-submitted request after a server restart is a cache
+hit), so the ticket registry only needs to cover one server's lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+
+
+class TicketStore:
+    """Thread-safe id → in-flight-future registry with TTL expiry."""
+
+    def __init__(self, ttl_s: float = 3600.0, clock=time.monotonic):
+        self.ttl_s = float(ttl_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tickets: dict = {}
+        self.issued = 0
+        self.resolved = 0
+        self.expired = 0
+
+    def issue(self, future) -> str:
+        """Register one future; returns its opaque ticket id."""
+        ticket = uuid.uuid4().hex
+        with self._lock:
+            self._expire_locked()
+            self._tickets[ticket] = (future, self._clock())
+            self.issued += 1
+        return ticket
+
+    def lookup(self, ticket: str):
+        """The future behind ``ticket``, or ``None`` if unknown/expired.
+
+        A completed future is *consumed*: the ticket is forgotten on the
+        first lookup that observes it done, so its result's memory can be
+        reclaimed (the client got its answer).
+        """
+        with self._lock:
+            self._expire_locked()
+            entry = self._tickets.get(ticket)
+            if entry is None:
+                return None
+            future = entry[0]
+            if future.done():
+                del self._tickets[ticket]
+                self.resolved += 1
+            return future
+
+    def _expire_locked(self) -> None:
+        now = self._clock()
+        stale = [
+            ticket
+            for ticket, (future, issued_at) in self._tickets.items()
+            if now - issued_at > self.ttl_s and future.done()
+        ]
+        for ticket in stale:
+            del self._tickets[ticket]
+            self.expired += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "open": len(self._tickets),
+                "issued": self.issued,
+                "resolved": self.resolved,
+                "expired": self.expired,
+                "ttl_s": self.ttl_s,
+            }

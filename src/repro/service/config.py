@@ -62,6 +62,57 @@ class ReproDeprecationWarning(DeprecationWarning):
     """
 
 
+def _env_number(
+    env_name: str,
+    field_name: str,
+    kind,
+    valid,
+    requirement: str,
+    values: dict,
+    sources: dict,
+) -> None:
+    """Parse one numeric env var with the standard tolerant behaviour:
+    unset/empty keeps the default, malformed or out-of-range warns."""
+    raw = os.environ.get(env_name)
+    if not raw:
+        return
+    try:
+        value = kind(raw)
+    except ValueError:
+        noun = "an integer" if kind is int else "a number"
+        warnings.warn(
+            f"ignoring {env_name}={raw!r} (not {noun})", stacklevel=4
+        )
+        return
+    if not valid(value):
+        warnings.warn(
+            f"ignoring {env_name}={value} ({requirement})", stacklevel=4
+        )
+        return
+    values[field_name] = value
+    sources[field_name] = "env"
+
+
+def _env_bool(
+    env_name: str, field_name: str, values: dict, sources: dict
+) -> None:
+    """Parse one boolean env var (same spellings as REPRO_PREFETCH)."""
+    raw = os.environ.get(env_name, "")
+    if not raw:
+        return
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        values[field_name] = True
+        sources[field_name] = "env"
+    elif lowered in ("0", "false", "no", "off"):
+        values[field_name] = False
+        sources[field_name] = "env"
+    else:
+        warnings.warn(
+            f"ignoring {env_name}={raw!r} (expected a boolean)", stacklevel=4
+        )
+
+
 def warn_deprecated(old: str, strategy: str) -> None:
     """Emit the one-per-call shim warning pointing at the service facade."""
     warnings.warn(
@@ -168,6 +219,35 @@ class ServiceConfig:
         be queued or running at once; further ``submit`` calls block
         until a slot frees (backpressure).  ``None`` (default) admits
         without bound.
+    fleet_lease_ttl_s:
+        Lease time-to-live for fleet jobs (``REPRO_FLEET_LEASE_TTL``,
+        seconds).  A claimed job whose lease heartbeat goes silent for
+        this long is reclaimed by another worker.
+    fleet_heartbeat_s:
+        Worker heartbeat interval (``REPRO_FLEET_HEARTBEAT``, seconds).
+        ``None`` (default) derives ``lease_ttl / 3`` — three missed beats
+        before a lease goes stale.  Must be shorter than the lease TTL.
+    fleet_autoscale:
+        Let the queue dispatcher scale its local worker pool from queue
+        depth (``REPRO_FLEET_AUTOSCALE``) between ``fleet_min_workers``
+        and ``fleet_max_workers``, instead of keeping a fixed
+        ``fleet_workers`` count alive.
+    fleet_min_workers:
+        Autoscaler floor (``REPRO_FLEET_MIN_WORKERS``): core workers kept
+        alive even when the queue is empty.
+    fleet_max_workers:
+        Autoscaler ceiling (``REPRO_FLEET_MAX_WORKERS``): surge workers
+        stop being added once the pool reaches this size.
+    server_host / server_port:
+        Bind address for ``python -m repro serve``
+        (``REPRO_SERVER_HOST`` / ``REPRO_SERVER_PORT``).  Port ``0``
+        picks an ephemeral port.
+    server_max_body_mb:
+        Largest ``POST /v1/compile`` body the HTTP frontend accepts
+        (``REPRO_SERVER_MAX_BODY_MB``); bigger requests get 413.
+    server_ticket_ttl_s:
+        How long the HTTP frontend retains a finished, unfetched async
+        ticket (``REPRO_SERVER_TICKET_TTL``, seconds).
     """
 
     executor: str = "auto"
@@ -190,6 +270,15 @@ class ServiceConfig:
     fleet_dir: str | None = None
     fleet_workers: int = 0
     queue_depth: int | None = None
+    fleet_lease_ttl_s: float = 30.0
+    fleet_heartbeat_s: float | None = None
+    fleet_autoscale: bool = False
+    fleet_min_workers: int = 0
+    fleet_max_workers: int = 4
+    server_host: str = "127.0.0.1"
+    server_port: int = 8642
+    server_max_body_mb: float = 32.0
+    server_ticket_ttl_s: float = 3600.0
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_CHOICES:
@@ -236,6 +325,50 @@ class ServiceConfig:
         if self.queue_depth is not None and self.queue_depth < 1:
             raise ReproError(
                 f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.fleet_lease_ttl_s <= 0:
+            raise ReproError(
+                f"fleet_lease_ttl_s must be positive, got {self.fleet_lease_ttl_s}"
+            )
+        if self.fleet_heartbeat_s is not None:
+            if self.fleet_heartbeat_s <= 0:
+                raise ReproError(
+                    f"fleet_heartbeat_s must be positive, "
+                    f"got {self.fleet_heartbeat_s}"
+                )
+            if self.fleet_heartbeat_s >= self.fleet_lease_ttl_s:
+                raise ReproError(
+                    f"fleet_heartbeat_s ({self.fleet_heartbeat_s}) must be "
+                    f"shorter than fleet_lease_ttl_s "
+                    f"({self.fleet_lease_ttl_s}) or every lease goes stale "
+                    "between beats"
+                )
+        if self.fleet_min_workers < 0:
+            raise ReproError(
+                f"fleet_min_workers must be >= 0, got {self.fleet_min_workers}"
+            )
+        if self.fleet_max_workers < 1:
+            raise ReproError(
+                f"fleet_max_workers must be >= 1, got {self.fleet_max_workers}"
+            )
+        if self.fleet_min_workers > self.fleet_max_workers:
+            raise ReproError(
+                f"fleet_min_workers ({self.fleet_min_workers}) must not "
+                f"exceed fleet_max_workers ({self.fleet_max_workers})"
+            )
+        if not 0 <= self.server_port <= 65535:
+            raise ReproError(
+                f"server_port must be in [0, 65535], got {self.server_port}"
+            )
+        if self.server_max_body_mb <= 0:
+            raise ReproError(
+                f"server_max_body_mb must be positive, "
+                f"got {self.server_max_body_mb}"
+            )
+        if self.server_ticket_ttl_s <= 0:
+            raise ReproError(
+                f"server_ticket_ttl_s must be positive, "
+                f"got {self.server_ticket_ttl_s}"
             )
 
     # -- construction --------------------------------------------------------
@@ -528,6 +661,67 @@ class ServiceConfig:
                 else:
                     values["queue_depth"] = queue_depth
                     sources["queue_depth"] = "env"
+
+        _env_number(
+            "REPRO_FLEET_LEASE_TTL", "fleet_lease_ttl_s", float,
+            lambda v: v > 0, "must be positive", values, sources,
+        )
+        _env_number(
+            "REPRO_FLEET_HEARTBEAT", "fleet_heartbeat_s", float,
+            lambda v: v > 0, "must be positive", values, sources,
+        )
+        _env_bool("REPRO_FLEET_AUTOSCALE", "fleet_autoscale", values, sources)
+        _env_number(
+            "REPRO_FLEET_MIN_WORKERS", "fleet_min_workers", int,
+            lambda v: v >= 0, "must be >= 0", values, sources,
+        )
+        _env_number(
+            "REPRO_FLEET_MAX_WORKERS", "fleet_max_workers", int,
+            lambda v: v >= 1, "must be >= 1", values, sources,
+        )
+        server_host = os.environ.get("REPRO_SERVER_HOST")
+        if server_host:
+            values["server_host"] = server_host
+            sources["server_host"] = "env"
+        _env_number(
+            "REPRO_SERVER_PORT", "server_port", int,
+            lambda v: 0 <= v <= 65535, "must be in [0, 65535]",
+            values, sources,
+        )
+        _env_number(
+            "REPRO_SERVER_MAX_BODY_MB", "server_max_body_mb", float,
+            lambda v: v > 0, "must be positive", values, sources,
+        )
+        _env_number(
+            "REPRO_SERVER_TICKET_TTL", "server_ticket_ttl_s", float,
+            lambda v: v > 0, "must be positive", values, sources,
+        )
+
+        # Cross-field constraints stay tolerant here (this runs at import
+        # time): a combination the constructor would reject falls back to
+        # defaults with a warning instead of crashing ``import repro``.
+        ttl = values.get("fleet_lease_ttl_s", 30.0)
+        heartbeat = values.get("fleet_heartbeat_s")
+        if heartbeat is not None and heartbeat >= ttl:
+            warnings.warn(
+                f"ignoring REPRO_FLEET_HEARTBEAT={heartbeat} (must be "
+                f"shorter than the lease TTL of {ttl})",
+                stacklevel=3,
+            )
+            del values["fleet_heartbeat_s"]
+            sources["fleet_heartbeat_s"] = "default"
+        min_workers = values.get("fleet_min_workers", 0)
+        max_workers = values.get("fleet_max_workers", 4)
+        if min_workers > max_workers:
+            warnings.warn(
+                f"ignoring REPRO_FLEET_MIN_WORKERS={min_workers} / "
+                f"REPRO_FLEET_MAX_WORKERS={max_workers} (min exceeds max)",
+                stacklevel=3,
+            )
+            values.pop("fleet_min_workers", None)
+            values.pop("fleet_max_workers", None)
+            sources["fleet_min_workers"] = "default"
+            sources["fleet_max_workers"] = "default"
 
         return cls(**values), sources
 

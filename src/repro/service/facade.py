@@ -40,7 +40,7 @@ import time
 import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 
-from repro.errors import PipelineError, ReproError
+from repro.errors import PipelineError, ReproError, ServiceSaturated
 from repro.service.config import ServiceConfig
 from repro.service.registry import get_strategy
 from repro.service.requests import CompileRequest, CompileResult
@@ -154,6 +154,11 @@ class CompilationService:
             fleet_dir,
             cache_dir=self.config.cache_dir,
             workers=self.config.fleet_workers,
+            lease_ttl_s=self.config.fleet_lease_ttl_s,
+            heartbeat_s=self.config.fleet_heartbeat_s,
+            autoscale=self.config.fleet_autoscale,
+            min_workers=self.config.fleet_min_workers,
+            max_workers=self.config.fleet_max_workers,
         )
 
     def _load_scheduler_state(self, state_cls):
@@ -216,7 +221,7 @@ class CompilationService:
         finally:
             self._end_request()
 
-    def submit(self, request: CompileRequest) -> Future:
+    def submit(self, request: CompileRequest, block: bool = True) -> Future:
         """Enqueue one request; returns a ``concurrent.futures.Future``.
 
         Callable from any number of threads: all submissions share this
@@ -226,7 +231,10 @@ class CompilationService:
         With ``queue_depth`` configured, admission is bounded: when that
         many submissions are already queued or running, this call blocks
         until one of them completes (backpressure), keeping a fast
-        producer from piling unbounded work onto the service.
+        producer from piling unbounded work onto the service.  With
+        ``block=False`` a full queue raises
+        :class:`~repro.errors.ServiceSaturated` instead of waiting — the
+        path the HTTP frontend turns into 429 Too Many Requests.
         """
         if not isinstance(request, CompileRequest):
             raise ReproError(
@@ -238,6 +246,12 @@ class CompilationService:
             if not self._admission.acquire(blocking=False):
                 with self._lock:
                     self.backpressure_waits += 1
+                if not block:
+                    raise ServiceSaturated(
+                        f"submission queue is full "
+                        f"({self.config.queue_depth} requests queued or "
+                        "running); back off and retry"
+                    )
                 self._admission.acquire()
         try:
             with self._submit_pool_lock:
@@ -321,6 +335,7 @@ class CompilationService:
         from repro.pulse.grape.batched import batch_telemetry
         from repro.pulse.grape.seeding import warm_start_telemetry
 
+        executor_info = self.executor.describe()
         return {
             "config": self.config.as_dict(),
             "requests": {
@@ -333,7 +348,14 @@ class CompilationService:
             "scheduler": self.scheduler_state.as_dict(),
             "plan_cache": self.plan_cache.as_dict(),
             "cache": self.cache.stats(),
-            "executor": self.executor.describe(),
+            "executor": executor_info,
+            # Fleet telemetry (queue depth, worker hosts, autoscaler
+            # counters) when the executor is a QueueDispatcher, else None.
+            "fleet": (
+                executor_info.get("fleet")
+                if isinstance(executor_info, dict)
+                else None
+            ),
             "pools": persistent_executor_stats(),
             "grape_batch": batch_telemetry(),
             "warm_start": warm_start_telemetry(),

@@ -17,7 +17,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceSaturated
 from repro.service import CompilationService, CompileRequest, ServiceConfig
 
 #: (strategy, extra request options) — flexible-partial's tuning loop is
@@ -109,6 +109,50 @@ class TestBoundedAdmission:
         assert stats["submitted"] == 3
         assert stats["queue_depth"] == 1
         assert stats["backpressure_waits"] >= 1
+
+    def test_nonblocking_submit_raises_when_saturated(
+        self, workload, coarse_settings, coarse_hyper
+    ):
+        """``submit(block=False)`` on a full depth-1 queue fails fast with
+        ServiceSaturated (the HTTP frontend's 429) instead of waiting."""
+        circuit, theta = workload
+        config = ServiceConfig(
+            executor="serial", queue_depth=1, warm_start=False
+        )
+        with CompilationService(
+            config=config,
+            settings=coarse_settings,
+            hyperparameters=coarse_hyper,
+        ) as service:
+            request = CompileRequest(circuit, theta, strategy="gate")
+            # Hold the only admission slot so saturation is deterministic.
+            assert service._admission.acquire(blocking=False)
+            try:
+                with pytest.raises(ServiceSaturated, match="queue is full"):
+                    service.submit(request, block=False)
+            finally:
+                service._admission.release()
+            stats = service.stats()["requests"]
+            assert stats["backpressure_waits"] == 1
+            assert stats["submitted"] == 0  # the refusal admitted nothing
+            # With the slot back, the non-blocking path admits normally.
+            future = service.submit(request, block=False)
+            assert future.result(timeout=300).compiled is not None
+
+    def test_nonblocking_submit_without_bound_always_admits(
+        self, workload, coarse_settings, coarse_hyper
+    ):
+        circuit, theta = workload
+        with CompilationService(
+            config=ServiceConfig(executor="serial", warm_start=False),
+            settings=coarse_settings,
+            hyperparameters=coarse_hyper,
+        ) as service:
+            future = service.submit(
+                CompileRequest(circuit, theta, strategy="gate"), block=False
+            )
+            future.result(timeout=300)
+            assert service.stats()["requests"]["backpressure_waits"] == 0
 
     def test_unbounded_admission_never_waits(
         self, workload, coarse_settings, coarse_hyper

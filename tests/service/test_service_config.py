@@ -51,6 +51,15 @@ class TestEnvConsolidation:
             "REPRO_FLEET_DIR",
             "REPRO_FLEET_WORKERS",
             "REPRO_QUEUE_DEPTH",
+            "REPRO_FLEET_LEASE_TTL",
+            "REPRO_FLEET_HEARTBEAT",
+            "REPRO_FLEET_AUTOSCALE",
+            "REPRO_FLEET_MIN_WORKERS",
+            "REPRO_FLEET_MAX_WORKERS",
+            "REPRO_SERVER_HOST",
+            "REPRO_SERVER_PORT",
+            "REPRO_SERVER_MAX_BODY_MB",
+            "REPRO_SERVER_TICKET_TTL",
         ):
             assert name in source
 
@@ -76,6 +85,15 @@ class TestFromEnv:
             "REPRO_FLEET_DIR",
             "REPRO_FLEET_WORKERS",
             "REPRO_QUEUE_DEPTH",
+            "REPRO_FLEET_LEASE_TTL",
+            "REPRO_FLEET_HEARTBEAT",
+            "REPRO_FLEET_AUTOSCALE",
+            "REPRO_FLEET_MIN_WORKERS",
+            "REPRO_FLEET_MAX_WORKERS",
+            "REPRO_SERVER_HOST",
+            "REPRO_SERVER_PORT",
+            "REPRO_SERVER_MAX_BODY_MB",
+            "REPRO_SERVER_TICKET_TTL",
         ):
             monkeypatch.delenv(name, raising=False)
         config, sources = ServiceConfig.from_env_with_sources()
@@ -101,6 +119,15 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_FLEET_DIR", "/tmp/fleet")
         monkeypatch.setenv("REPRO_FLEET_WORKERS", "2")
         monkeypatch.setenv("REPRO_QUEUE_DEPTH", "16")
+        monkeypatch.setenv("REPRO_FLEET_LEASE_TTL", "12.5")
+        monkeypatch.setenv("REPRO_FLEET_HEARTBEAT", "2.5")
+        monkeypatch.setenv("REPRO_FLEET_AUTOSCALE", "yes")
+        monkeypatch.setenv("REPRO_FLEET_MIN_WORKERS", "1")
+        monkeypatch.setenv("REPRO_FLEET_MAX_WORKERS", "6")
+        monkeypatch.setenv("REPRO_SERVER_HOST", "0.0.0.0")
+        monkeypatch.setenv("REPRO_SERVER_PORT", "9001")
+        monkeypatch.setenv("REPRO_SERVER_MAX_BODY_MB", "8.0")
+        monkeypatch.setenv("REPRO_SERVER_TICKET_TTL", "120")
         config, sources = ServiceConfig.from_env_with_sources()
         assert config.executor == "thread-persistent"
         assert config.max_workers == 3
@@ -120,6 +147,15 @@ class TestFromEnv:
         assert config.fleet_dir == "/tmp/fleet"
         assert config.fleet_workers == 2
         assert config.queue_depth == 16
+        assert config.fleet_lease_ttl_s == 12.5
+        assert config.fleet_heartbeat_s == 2.5
+        assert config.fleet_autoscale is True
+        assert config.fleet_min_workers == 1
+        assert config.fleet_max_workers == 6
+        assert config.server_host == "0.0.0.0"
+        assert config.server_port == 9001
+        assert config.server_max_body_mb == 8.0
+        assert config.server_ticket_ttl_s == 120.0
         assert set(sources.values()) == {"env"}
 
     def test_garbage_warns_and_falls_back(self, monkeypatch):
@@ -137,6 +173,14 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_DISPATCHER", "carrier-pigeon")
         monkeypatch.setenv("REPRO_FLEET_WORKERS", "-1")
         monkeypatch.setenv("REPRO_QUEUE_DEPTH", "0")
+        monkeypatch.setenv("REPRO_FLEET_LEASE_TTL", "-3")
+        monkeypatch.setenv("REPRO_FLEET_HEARTBEAT", "soon")
+        monkeypatch.setenv("REPRO_FLEET_AUTOSCALE", "sometimes")
+        monkeypatch.setenv("REPRO_FLEET_MIN_WORKERS", "-1")
+        monkeypatch.setenv("REPRO_FLEET_MAX_WORKERS", "0")
+        monkeypatch.setenv("REPRO_SERVER_PORT", "70000")
+        monkeypatch.setenv("REPRO_SERVER_MAX_BODY_MB", "huge")
+        monkeypatch.setenv("REPRO_SERVER_TICKET_TTL", "0")
         with pytest.warns(UserWarning):
             config, sources = ServiceConfig.from_env_with_sources()
         assert config == ServiceConfig()
@@ -188,6 +232,77 @@ class TestValidation:
 
         assert legacy.EXECUTOR_CHOICES is EXECUTOR_CHOICES
         assert legacy.CACHE_SHARD_CHOICES is CACHE_SHARD_CHOICES
+
+
+class TestFleetServerValidation:
+    """Constructor validation for the fleet/server knobs (CLI and direct
+    construction paths — the env path is tolerant instead, see below)."""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"fleet_lease_ttl_s": 0},
+            {"fleet_lease_ttl_s": -1.0},
+            {"fleet_heartbeat_s": 0.0},
+            {"fleet_heartbeat_s": 30.0},  # == lease TTL: every beat stale
+            {"fleet_heartbeat_s": 45.0, "fleet_lease_ttl_s": 30.0},
+            {"fleet_min_workers": -1},
+            {"fleet_max_workers": 0},
+            {"fleet_min_workers": 5, "fleet_max_workers": 2},
+            {"server_port": -1},
+            {"server_port": 65536},
+            {"server_max_body_mb": 0},
+            {"server_ticket_ttl_s": 0},
+        ],
+        ids=[
+            "zero-ttl", "negative-ttl", "zero-heartbeat",
+            "heartbeat-equals-ttl", "heartbeat-exceeds-ttl",
+            "negative-min", "zero-max", "min-exceeds-max",
+            "negative-port", "port-too-high", "zero-body", "zero-ticket-ttl",
+        ],
+    )
+    def test_bad_values_rejected(self, overrides):
+        with pytest.raises(ReproError):
+            ServiceConfig(**overrides)
+
+    def test_good_values_accepted(self):
+        config = ServiceConfig(
+            fleet_lease_ttl_s=10.0,
+            fleet_heartbeat_s=2.0,
+            fleet_autoscale=True,
+            fleet_min_workers=1,
+            fleet_max_workers=3,
+            server_port=0,
+            server_max_body_mb=1.0,
+            server_ticket_ttl_s=60.0,
+        )
+        assert config.fleet_heartbeat_s == 2.0
+        assert config.fleet_autoscale is True
+
+
+class TestEnvCrossFieldFixups:
+    """Cross-field constraints must not crash ``import repro``: the env
+    reader falls back to defaults with a warning instead."""
+
+    def test_heartbeat_not_shorter_than_ttl_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_LEASE_TTL", "10")
+        monkeypatch.setenv("REPRO_FLEET_HEARTBEAT", "60")
+        with pytest.warns(UserWarning, match="REPRO_FLEET_HEARTBEAT"):
+            config, sources = ServiceConfig.from_env_with_sources()
+        assert config.fleet_lease_ttl_s == 10.0
+        assert config.fleet_heartbeat_s is None
+        assert sources["fleet_lease_ttl_s"] == "env"
+        assert sources["fleet_heartbeat_s"] == "default"
+
+    def test_min_exceeding_max_drops_both(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_MIN_WORKERS", "8")
+        monkeypatch.setenv("REPRO_FLEET_MAX_WORKERS", "2")
+        with pytest.warns(UserWarning, match="min exceeds max"):
+            config, sources = ServiceConfig.from_env_with_sources()
+        assert config.fleet_min_workers == 0
+        assert config.fleet_max_workers == 4
+        assert sources["fleet_min_workers"] == "default"
+        assert sources["fleet_max_workers"] == "default"
 
 
 class TestUtilities:

@@ -365,3 +365,124 @@ class TestFleetCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "unique blocks compiled" in out
+
+
+class TestServerCli:
+    """The ``serve`` / ``remote-compile`` parsers and the new fleet flags."""
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host is None and args.port is None  # config decides
+        assert args.grace == 30.0
+        assert args.fleet_autoscale is None
+        assert args.fleet_min_workers is None
+        assert args.fleet_max_workers is None
+
+    def test_serve_autoscale_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--autoscale", "--min-workers", "1",
+                "--max-workers", "3", "--queue-depth", "8",
+            ]
+        )
+        assert args.fleet_autoscale is True
+        assert args.fleet_min_workers == 1
+        assert args.fleet_max_workers == 3
+        assert args.queue_depth == 8
+        assert (
+            build_parser()
+            .parse_args(["serve", "--no-autoscale"])
+            .fleet_autoscale
+            is False
+        )
+
+    def test_remote_compile_requires_url_and_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["remote-compile", "--url", "http://x"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["remote-compile", "--benchmark", "vqe:H2"]
+            )
+
+    def test_remote_compile_defaults(self):
+        args = build_parser().parse_args(
+            ["remote-compile", "--url", "http://h:1", "--benchmark", "vqe:H2"]
+        )
+        assert args.method == "grape"
+        assert args.ticket is False
+        assert args.verify_local is False
+        assert args.timeout == 600.0
+
+    def test_worker_announce_and_host_label_flags(self):
+        args = build_parser().parse_args(
+            [
+                "worker", "--fleet-dir", "/tmp/q", "--heartbeat", "2.5",
+                "--host-label", "simhost-a", "--announce",
+            ]
+        )
+        assert args.heartbeat == 2.5
+        assert args.host_label == "simhost-a"
+        assert args.announce is True
+
+    def test_worker_heartbeat_must_undercut_lease_ttl(self, tmp_path):
+        code = main(
+            [
+                "worker", "--fleet-dir", str(tmp_path),
+                "--lease-ttl", "1.0", "--heartbeat", "5.0",
+            ]
+        )
+        assert code == 2
+
+    def test_fleet_status_json_flag(self):
+        args = build_parser().parse_args(
+            ["fleet", "status", "--dir", "/tmp/q", "--json"]
+        )
+        assert args.json is True
+
+    def test_config_show_reports_server_knobs(self, capsys, monkeypatch):
+        for name in (
+            "REPRO_FLEET_LEASE_TTL", "REPRO_FLEET_HEARTBEAT",
+            "REPRO_FLEET_AUTOSCALE", "REPRO_FLEET_MIN_WORKERS",
+            "REPRO_FLEET_MAX_WORKERS", "REPRO_SERVER_HOST",
+            "REPRO_SERVER_PORT", "REPRO_SERVER_MAX_BODY_MB",
+            "REPRO_SERVER_TICKET_TTL",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert (
+            main(
+                [
+                    "config", "show",
+                    "--fleet-lease-ttl", "20", "--fleet-heartbeat", "4",
+                    "--fleet-autoscale", "--fleet-min-workers", "1",
+                    "--fleet-max-workers", "3",
+                    "--server-host", "0.0.0.0", "--server-port", "9001",
+                    "--server-max-body-mb", "8",
+                    "--server-ticket-ttl", "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        lines = {
+            line.split("|")[0].strip(): line
+            for line in out.splitlines()
+            if "|" in line
+        }
+        for field in (
+            "fleet_lease_ttl_s", "fleet_heartbeat_s", "fleet_autoscale",
+            "fleet_min_workers", "fleet_max_workers", "server_host",
+            "server_port", "server_max_body_mb", "server_ticket_ttl_s",
+        ):
+            assert "CLI" in lines[field], field
+
+    def test_config_show_rejects_inconsistent_cli_combo(self, capsys):
+        """CLI overrides go through constructor validation, not the
+        tolerant env path: heartbeat >= TTL is a hard error."""
+        code = main(
+            [
+                "config", "show",
+                "--fleet-lease-ttl", "5", "--fleet-heartbeat", "30",
+            ]
+        )
+        assert code == 2
+        assert "shorter than" in capsys.readouterr().err

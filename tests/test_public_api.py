@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.blocking",
     "repro.circuits",
     "repro.core",
+    "repro.fleet",
     "repro.library",
     "repro.linalg",
     "repro.perf",
@@ -21,6 +22,7 @@ PACKAGES = [
     "repro.pulse",
     "repro.pulse.grape",
     "repro.qaoa",
+    "repro.server",
     "repro.service",
     "repro.sim",
     "repro.transpile",
